@@ -1,0 +1,36 @@
+//! Bench for experiment E6 / Theorem 2: the LEVELATTACK adversary.
+//!
+//! Prints the lower-bound table rows for DASH, then times the attack at
+//! each depth (its cost is dominated by the healing rounds the Prune
+//! operation triggers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfheal_core::dash::Dash;
+use selfheal_core::levelattack::run_level_attack;
+use std::hint::black_box;
+
+const SEED: u64 = 20080124;
+
+fn bench_lower_bound(c: &mut Criterion) {
+    println!("\nTheorem 2 rows (DASH, M = 2, 4-ary trees):");
+    println!("  {:>6}  {:>6}  {:>9}  {:>8}", "depth", "n", "forced dδ", "floor D");
+    for depth in 2..=5u32 {
+        let r = run_level_attack(Dash, 2, depth, SEED);
+        println!("  {:>6}  {:>6}  {:>9}  {:>8}", depth, r.n, r.max_delta_ever, depth);
+    }
+    println!();
+
+    let mut group = c.benchmark_group("levelattack_dash");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for depth in [2u32, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| black_box(run_level_attack(Dash, 2, d, SEED)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bound);
+criterion_main!(benches);

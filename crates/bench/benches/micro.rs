@@ -1,0 +1,115 @@
+//! Micro-benchmarks of the healing hot path: reconstruction-set
+//! computation, binary-tree wiring, deletion, and the graph substrate
+//! operations underneath them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfheal_core::rt;
+use selfheal_core::state::HealingNetwork;
+use selfheal_graph::components::UnionFind;
+use selfheal_graph::generators::{barabasi_albert, star_graph};
+use selfheal_graph::{Csr, NodeId};
+use std::hint::black_box;
+
+fn bench_rt_machinery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rt");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for spokes in [8usize, 64, 512] {
+        // Deleting the hub of a star produces an RT of `spokes` singleton
+        // components — the worst case for reconstruction-set size.
+        group.bench_with_input(
+            BenchmarkId::new("hub_deletion_heal", spokes),
+            &spokes,
+            |b, &k| {
+                b.iter_with_setup(
+                    || {
+                        let mut net = HealingNetwork::new(star_graph(k + 1), 1);
+                        let ctx = net.delete_node(NodeId(0)).unwrap();
+                        (net, ctx)
+                    },
+                    |(mut net, ctx)| {
+                        let members = rt::reconstruction_set(&net, &ctx);
+                        let ordered = rt::order_by_delta(&net, &members);
+                        black_box(rt::connect_binary_tree(&mut net, &ordered));
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let g = barabasi_albert(4096, 3, &mut StdRng::seed_from_u64(2));
+    group.bench_function("csr_snapshot_4096", |b| {
+        b.iter(|| black_box(Csr::from_graph(&g)));
+    });
+    let csr = Csr::from_graph(&g);
+    group.bench_function("bfs_4096", |b| {
+        let mut dist = Vec::new();
+        let mut queue = Vec::new();
+        b.iter(|| {
+            csr.bfs_into(0, &mut dist, &mut queue);
+            black_box(dist.len());
+        });
+    });
+    group.bench_function("remove_node_hub", |b| {
+        b.iter_with_setup(
+            || {
+                let g = barabasi_albert(1024, 3, &mut StdRng::seed_from_u64(3));
+                let hub = g.max_degree_node().unwrap();
+                (g, hub)
+            },
+            |(mut g, hub)| {
+                black_box(g.remove_node(hub).unwrap());
+            },
+        );
+    });
+    group.bench_function("union_find_65536", |b| {
+        b.iter(|| {
+            let mut uf = UnionFind::new(65536);
+            for i in 0..65535usize {
+                uf.union(i, i + 1);
+            }
+            black_box(uf.find(0))
+        });
+    });
+    group.finish();
+}
+
+fn bench_full_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [256usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("dash_one_round", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    let g = barabasi_albert(n, 3, &mut StdRng::seed_from_u64(5));
+                    let net = HealingNetwork::new(g, 5);
+                    let hub = net.graph().max_degree_node().unwrap();
+                    (net, hub)
+                },
+                |(mut net, hub)| {
+                    let ctx = net.delete_node(hub).unwrap();
+                    let mut dash = selfheal_core::dash::Dash;
+                    use selfheal_core::strategy::Healer;
+                    let outcome = dash.heal(&mut net, &ctx);
+                    black_box(net.propagate_min_id(&outcome.rt_members));
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rt_machinery, bench_graph_ops, bench_full_round);
+criterion_main!(benches);

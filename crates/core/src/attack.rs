@@ -1,0 +1,279 @@
+//! Adversarial attack strategies (Section 4.2 of the paper).
+//!
+//! The adversary is omniscient: it sees the whole current topology
+//! (including healing edges) when choosing the next victim. The paper
+//! evaluates two main strategies — [`MaxNode`] and [`NeighborOfMax`]
+//! (which it finds the most damaging for degree increase) — and this
+//! module adds [`RandomAttack`], [`MinDegree`] and [`Scripted`] for
+//! tests and extra experiments.
+
+use crate::state::HealingNetwork;
+use selfheal_graph::NodeId;
+use selfheal_sim::SplitMix64;
+use std::collections::VecDeque;
+
+/// An adversary that chooses one victim per round.
+pub trait Adversary {
+    /// Short stable name used in tables and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// The next node to delete, or `None` to stop (e.g. network empty).
+    fn pick(&mut self, net: &HealingNetwork) -> Option<NodeId>;
+}
+
+impl<A: Adversary + ?Sized> Adversary for Box<A> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn pick(&mut self, net: &HealingNetwork) -> Option<NodeId> {
+        (**self).pick(net)
+    }
+}
+
+/// Delete the current maximum-degree node (ties → lowest id).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxNode;
+
+impl Adversary for MaxNode {
+    fn name(&self) -> &'static str {
+        "max-node"
+    }
+
+    fn pick(&mut self, net: &HealingNetwork) -> Option<NodeId> {
+        net.graph().max_degree_node()
+    }
+}
+
+/// Delete a uniformly random neighbor of the current maximum-degree node;
+/// if the max node is isolated, delete it instead.
+///
+/// This is the paper's `NeighborOfMaxStrategy` (NMS) — its rationale:
+/// hubs are well protected in real networks, but their neighbors are
+/// soft targets whose deletion keeps piling degree onto the hub.
+#[derive(Clone, Debug)]
+pub struct NeighborOfMax {
+    rng: SplitMix64,
+}
+
+impl NeighborOfMax {
+    /// Seeded adversary (deterministic victim sequence per seed).
+    pub fn new(seed: u64) -> Self {
+        NeighborOfMax { rng: SplitMix64::new(seed) }
+    }
+}
+
+impl Adversary for NeighborOfMax {
+    fn name(&self) -> &'static str {
+        "neighbor-of-max"
+    }
+
+    fn pick(&mut self, net: &HealingNetwork) -> Option<NodeId> {
+        let hub = net.graph().max_degree_node()?;
+        let nbrs = net.graph().neighbors(hub);
+        if nbrs.is_empty() {
+            Some(hub)
+        } else {
+            Some(*self.rng.choose(nbrs))
+        }
+    }
+}
+
+/// Delete a uniformly random live node.
+#[derive(Clone, Debug)]
+pub struct RandomAttack {
+    rng: SplitMix64,
+}
+
+impl RandomAttack {
+    /// Seeded adversary.
+    pub fn new(seed: u64) -> Self {
+        RandomAttack { rng: SplitMix64::new(seed) }
+    }
+}
+
+impl Adversary for RandomAttack {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn pick(&mut self, net: &HealingNetwork) -> Option<NodeId> {
+        let live: Vec<NodeId> = net.graph().live_nodes().collect();
+        if live.is_empty() {
+            None
+        } else {
+            Some(*self.rng.choose(&live))
+        }
+    }
+}
+
+/// Delete the current minimum-degree node (ties → lowest id). Mostly
+/// deletes leaves — a gentle adversary useful as a contrast in ablations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinDegree;
+
+impl Adversary for MinDegree {
+    fn name(&self) -> &'static str {
+        "min-degree"
+    }
+
+    fn pick(&mut self, net: &HealingNetwork) -> Option<NodeId> {
+        net.graph().min_degree_node()
+    }
+}
+
+/// Delete the highest-degree *articulation point* of the current graph,
+/// falling back to the overall max-degree node when the graph is
+/// biconnected.
+///
+/// Articulation points are the structurally most damaging victims: every
+/// such deletion would disconnect the network if healing did not respond,
+/// so this adversary forces real healing work every single round. Not in
+/// the paper — added as a stronger stress test of the connectivity
+/// guarantee.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CutVertex;
+
+impl Adversary for CutVertex {
+    fn name(&self) -> &'static str {
+        "cut-vertex"
+    }
+
+    fn pick(&mut self, net: &HealingNetwork) -> Option<NodeId> {
+        let g = net.graph();
+        let aps = selfheal_graph::cuts::articulation_points(g);
+        aps.into_iter()
+            .max_by_key(|&v| (g.degree(v), std::cmp::Reverse(v)))
+            .or_else(|| g.max_degree_node())
+    }
+}
+
+/// Replay a fixed victim sequence (dead or unknown ids are skipped).
+/// Used by the LEVELATTACK driver and by regression tests.
+#[derive(Clone, Debug, Default)]
+pub struct Scripted {
+    queue: VecDeque<NodeId>,
+}
+
+impl Scripted {
+    /// Script the given victim order.
+    pub fn new<I: IntoIterator<Item = NodeId>>(victims: I) -> Self {
+        Scripted { queue: victims.into_iter().collect() }
+    }
+
+    /// Append another victim.
+    pub fn push(&mut self, v: NodeId) {
+        self.queue.push_back(v);
+    }
+
+    /// Victims not yet replayed.
+    pub fn remaining(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl Adversary for Scripted {
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+
+    fn pick(&mut self, net: &HealingNetwork) -> Option<NodeId> {
+        while let Some(v) = self.queue.pop_front() {
+            if net.is_alive(v) {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfheal_graph::generators::star_graph;
+
+    fn star_net() -> HealingNetwork {
+        HealingNetwork::new(star_graph(6), 1)
+    }
+
+    #[test]
+    fn max_node_picks_the_hub() {
+        let net = star_net();
+        assert_eq!(MaxNode.pick(&net), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn neighbor_of_max_picks_a_spoke() {
+        let net = star_net();
+        let mut a = NeighborOfMax::new(5);
+        for _ in 0..10 {
+            let v = a.pick(&net).unwrap();
+            assert_ne!(v, NodeId(0), "NMS must not pick the hub while it has neighbors");
+        }
+    }
+
+    #[test]
+    fn neighbor_of_max_falls_back_to_isolated_hub() {
+        let g = selfheal_graph::Graph::new(1);
+        let net = HealingNetwork::new(g, 0);
+        let mut a = NeighborOfMax::new(1);
+        assert_eq!(a.pick(&net), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn random_attack_is_deterministic_per_seed() {
+        let net = star_net();
+        let picks = |seed: u64| {
+            let mut a = RandomAttack::new(seed);
+            (0..5).map(|_| a.pick(&net).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(9), picks(9));
+    }
+
+    #[test]
+    fn min_degree_picks_a_spoke() {
+        let net = star_net();
+        let v = MinDegree.pick(&net).unwrap();
+        assert_ne!(v, NodeId(0));
+    }
+
+    #[test]
+    fn adversaries_return_none_on_empty_network() {
+        let mut net = HealingNetwork::new(selfheal_graph::Graph::new(1), 0);
+        net.delete_node(NodeId(0)).unwrap();
+        assert_eq!(MaxNode.pick(&net), None);
+        assert_eq!(MinDegree.pick(&net), None);
+        assert_eq!(NeighborOfMax::new(0).pick(&net), None);
+        assert_eq!(RandomAttack::new(0).pick(&net), None);
+    }
+
+    #[test]
+    fn cut_vertex_prefers_articulation_points() {
+        // Barbell: two triangles joined by edge (2,3); APs are 2 and 3.
+        let mut g = selfheal_graph::Graph::new(6);
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
+            g.add_edge(NodeId(a), NodeId(b)).unwrap();
+        }
+        let net = HealingNetwork::new(g, 0);
+        let v = CutVertex.pick(&net).unwrap();
+        assert!(v == NodeId(2) || v == NodeId(3));
+    }
+
+    #[test]
+    fn cut_vertex_falls_back_on_biconnected_graphs() {
+        let g = selfheal_graph::generators::complete_graph(5);
+        let net = HealingNetwork::new(g, 0);
+        assert_eq!(CutVertex.pick(&net), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn scripted_skips_dead_victims() {
+        let mut net = star_net();
+        net.delete_node(NodeId(2)).unwrap();
+        let mut s = Scripted::new(vec![NodeId(2), NodeId(3), NodeId(1)]);
+        assert_eq!(s.pick(&net), Some(NodeId(3)));
+        assert_eq!(s.remaining(), 1);
+        assert_eq!(s.pick(&net), Some(NodeId(1)));
+        assert_eq!(s.pick(&net), None);
+    }
+}

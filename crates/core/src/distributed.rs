@@ -1,0 +1,296 @@
+//! DASH as a real message-passing protocol on `selfheal-sim`.
+//!
+//! The engine in [`crate::engine`] runs DASH as a centralized graph
+//! transformation with *modeled* message accounting. This module runs the
+//! same algorithm as an actual distributed protocol: deletions are
+//! detected by neighbors, reconnection happens through one-hop
+//! coordination, and the minimum-ID broadcast of Algorithm 1 step 5 is
+//! carried by real unit-latency messages flooding the healing forest.
+//! Integration tests assert the two implementations produce *identical*
+//! topologies, component IDs and message counts — the strongest evidence
+//! that the modeled accounting in the figures is faithful.
+//!
+//! Division of knowledge (matching the paper's model):
+//! - **NoN oracle**: each node knows its neighbors' neighbors, IDs and
+//!   degree counters. The paper assumes this is maintained out-of-band
+//!   (refs [14, 18]) and does not charge messages for it; accordingly the
+//!   protocol reads fellow RT members' public state directly.
+//! - **Reconnection**: the lowest-id former neighbor acts as the O(1)
+//!   one-hop coordinator and applies the RT edges (Lemma 7's constant
+//!   latency).
+//! - **ID propagation**: charged per Lemma 8 — every node whose component
+//!   ID drops sends its new ID to *all* its current neighbors; receivers
+//!   adopt (and re-broadcast) only if the sender is a healing-forest
+//!   neighbor, which confines adoption to the `G'` tree while the
+//!   announcements keep NoN state fresh.
+
+use selfheal_sim::{Ctx, DeletionInfo, Protocol, SplitMix64};
+use std::collections::BTreeSet;
+
+/// Message carried by the distributed protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DashMsg {
+    /// "My component ID is now this value."
+    IdUpdate(u64),
+}
+
+/// Which healing rule the distributed protocol applies per round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealMode {
+    /// Algorithm 1: complete binary tree by increasing δ.
+    Dash,
+    /// Algorithm 3: surrogate star when a member has enough δ slack,
+    /// else fall back to the DASH tree.
+    Sdash,
+}
+
+/// Distributed DASH/SDASH: per-node state stored columnar (indexed by
+/// node id).
+#[derive(Clone, Debug)]
+pub struct DistributedDash {
+    mode: HealMode,
+    initial_id: Vec<u64>,
+    comp_id: Vec<u64>,
+    initial_degree: Vec<u32>,
+    gprime: Vec<BTreeSet<u32>>,
+    id_changes: Vec<u32>,
+    /// Guard so only the first notified neighbor coordinates a deletion.
+    last_handled: Option<u32>,
+}
+
+impl DistributedDash {
+    /// Build for a topology of `n` nodes whose initial degrees are given;
+    /// IDs are the same seeded random permutation that
+    /// [`crate::state::HealingNetwork::new`] uses, so a centralized and a
+    /// distributed run with equal seeds are directly comparable.
+    pub fn new(initial_degrees: Vec<u32>, seed: u64) -> Self {
+        Self::with_mode(HealMode::Dash, initial_degrees, seed)
+    }
+
+    /// Distributed SDASH (Algorithm 3) with the same state layout.
+    pub fn sdash(initial_degrees: Vec<u32>, seed: u64) -> Self {
+        Self::with_mode(HealMode::Sdash, initial_degrees, seed)
+    }
+
+    /// Build with an explicit healing mode.
+    pub fn with_mode(mode: HealMode, initial_degrees: Vec<u32>, seed: u64) -> Self {
+        let n = initial_degrees.len();
+        let mut ids: Vec<u64> = (0..n as u64).collect();
+        SplitMix64::new(seed).shuffle(&mut ids);
+        DistributedDash {
+            mode,
+            comp_id: ids.clone(),
+            initial_id: ids,
+            initial_degree: initial_degrees,
+            gprime: vec![BTreeSet::new(); n],
+            id_changes: vec![0; n],
+            last_handled: None,
+        }
+    }
+
+    /// Current component ID of `v`.
+    pub fn comp_id(&self, v: u32) -> u64 {
+        self.comp_id[v as usize]
+    }
+
+    /// Initial random ID of `v`.
+    pub fn initial_id(&self, v: u32) -> u64 {
+        self.initial_id[v as usize]
+    }
+
+    /// Number of times `v` adopted a smaller component ID.
+    pub fn id_changes(&self, v: u32) -> u32 {
+        self.id_changes[v as usize]
+    }
+
+    /// `v`'s healing-forest neighbors.
+    pub fn gprime_neighbors(&self, v: u32) -> &BTreeSet<u32> {
+        &self.gprime[v as usize]
+    }
+
+    /// Degree increase of `v` measured against its initial degree.
+    fn delta(&self, ctx: &Ctx<'_, DashMsg>, v: u32) -> i64 {
+        ctx.neighbors(v).len() as i64 - self.initial_degree[v as usize] as i64
+    }
+
+    /// Compute the reconstruction set `UN(v,G) ∪ N(v,G')`, removing the
+    /// dead node from every member's healing adjacency as a side effect.
+    fn reconstruction_set(&mut self, info: &DeletionInfo) -> Vec<u32> {
+        let dead = info.deleted;
+        let dead_comp = self.comp_id[dead as usize];
+        let mut members: Vec<u32> = Vec::new();
+        // N(v, G'): members whose healing adjacency contained the victim.
+        let mut tagged: Vec<(u64, u64, u32)> = Vec::new();
+        for &u in &info.former_neighbors {
+            if self.gprime[u as usize].remove(&dead) {
+                members.push(u);
+            } else if self.comp_id[u as usize] != dead_comp {
+                tagged.push((self.comp_id[u as usize], self.initial_id[u as usize], u));
+            }
+        }
+        // UN(v, G): lowest-initial-id representative per component.
+        tagged.sort_unstable();
+        let mut last: Option<u64> = None;
+        for (comp, _, u) in tagged {
+            if last != Some(comp) {
+                members.push(u);
+                last = Some(comp);
+            }
+        }
+        members.sort_unstable();
+        members
+    }
+
+    /// Adopt `id` at `me` and announce to all current neighbors.
+    fn adopt_and_announce(&mut self, ctx: &mut Ctx<'_, DashMsg>, me: u32, id: u64) {
+        self.comp_id[me as usize] = id;
+        self.id_changes[me as usize] += 1;
+        let nbrs: Vec<u32> = ctx.neighbors(me).to_vec();
+        for n in nbrs {
+            ctx.send(me, n, DashMsg::IdUpdate(id));
+        }
+    }
+}
+
+impl Protocol for DistributedDash {
+    type Msg = DashMsg;
+
+    fn on_neighbor_deleted(&mut self, ctx: &mut Ctx<'_, DashMsg>, me: u32, info: &DeletionInfo) {
+        // The fabric notifies every former neighbor; the first one
+        // coordinates the O(1) one-hop reconnection for the round.
+        if self.last_handled == Some(info.deleted) {
+            return;
+        }
+        debug_assert_eq!(Some(&me), info.former_neighbors.first());
+        self.last_handled = Some(info.deleted);
+
+        let members = self.reconstruction_set(info);
+        if members.is_empty() {
+            return;
+        }
+        // SDASH surrogation (Algorithm 3): if some member can absorb all
+        // reconnection edges without exceeding the set's current max δ,
+        // wire a star around it.
+        let surrogate = if self.mode == HealMode::Sdash && members.len() >= 2 {
+            let max_delta = members.iter().map(|&u| self.delta(ctx, u)).max().unwrap();
+            let extra = members.len() as i64 - 1;
+            members
+                .iter()
+                .copied()
+                .filter(|&w| self.delta(ctx, w) + extra <= max_delta)
+                .min_by_key(|&w| (self.delta(ctx, w), self.initial_id[w as usize]))
+        } else {
+            None
+        };
+        if let Some(w) = surrogate {
+            for &u in &members {
+                if u != w {
+                    ctx.add_link(w, u);
+                    self.gprime[w as usize].insert(u);
+                    self.gprime[u as usize].insert(w);
+                }
+            }
+        } else {
+            // Order by (δ, initial id) and wire the complete binary tree.
+            let mut ordered = members.clone();
+            ordered.sort_by_key(|&u| (self.delta(ctx, u), self.initial_id[u as usize]));
+            for i in 1..ordered.len() {
+                let (a, b) = (ordered[(i - 1) / 2], ordered[i]);
+                ctx.add_link(a, b);
+                self.gprime[a as usize].insert(b);
+                self.gprime[b as usize].insert(a);
+            }
+        }
+        // Algorithm 1 step 5: every RT member with a larger component ID
+        // adopts the minimum and starts the broadcast.
+        let min_id = members.iter().map(|&u| self.comp_id[u as usize]).min().unwrap();
+        for &u in &members {
+            if self.comp_id[u as usize] > min_id {
+                self.adopt_and_announce(ctx, u, min_id);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, DashMsg>, me: u32, from: u32, msg: DashMsg) {
+        let DashMsg::IdUpdate(id) = msg;
+        // Adoption is confined to the healing forest; announcements from
+        // non-G' neighbors only refresh NoN state.
+        if self.gprime[me as usize].contains(&from) && id < self.comp_id[me as usize] {
+            self.adopt_and_announce(ctx, me, id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfheal_sim::{Simulator, Topology};
+
+    fn star_sim(n: usize) -> Simulator<DistributedDash> {
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (0, i)).collect();
+        let topo = Topology::from_edges(n, &edges);
+        let degrees: Vec<u32> = (0..n as u32).map(|v| topo.neighbors(v).len() as u32).collect();
+        Simulator::new(topo, DistributedDash::new(degrees, 42))
+    }
+
+    #[test]
+    fn hub_deletion_reconnects_spokes() {
+        let mut sim = star_sim(8);
+        sim.delete_node(0);
+        sim.run_to_quiescence();
+        // 7 spokes in a complete binary tree: 6 links, all spokes alive.
+        let total_degree: usize = (1..8).map(|v| sim.topology.neighbors(v).len()).sum();
+        assert_eq!(total_degree, 12);
+        // One component id shared by everyone.
+        let id = sim.protocol.comp_id(1);
+        assert!((2..8).all(|v| sim.protocol.comp_id(v) == id));
+    }
+
+    #[test]
+    fn id_broadcast_floods_gprime_only() {
+        // Two separate stars; deleting one hub must not touch the other's ids.
+        let topo = Topology::from_edges(8, &[(0, 1), (0, 2), (0, 3), (4, 5), (4, 6), (4, 7)]);
+        let degrees: Vec<u32> = (0..8).map(|v| topo.neighbors(v).len() as u32).collect();
+        let mut sim = Simulator::new(topo, DistributedDash::new(degrees, 7));
+        let before: Vec<u64> = (4..8).map(|v| sim.protocol.comp_id(v)).collect();
+        sim.delete_node(0);
+        sim.run_to_quiescence();
+        let after: Vec<u64> = (4..8).map(|v| sim.protocol.comp_id(v)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn messages_follow_lemma8_model() {
+        let mut sim = star_sim(5);
+        sim.delete_node(0);
+        sim.run_to_quiescence();
+        // Each spoke whose id changed sent exactly (current degree) msgs.
+        for v in 1..5u32 {
+            let changes = sim.protocol.id_changes(v) as u64;
+            if changes > 0 {
+                assert!(sim.metrics.sent(v) >= changes, "node {v}");
+            }
+        }
+        // Nobody in a 4-node RT changes id more than once in one round.
+        assert!((1..5).all(|v| sim.protocol.id_changes(v) <= 1));
+    }
+
+    #[test]
+    fn repeated_deletions_keep_gprime_consistent() {
+        let mut sim = star_sim(10);
+        sim.delete_node(0);
+        sim.run_to_quiescence();
+        for victim in [1u32, 2, 3] {
+            sim.delete_node(victim);
+            sim.run_to_quiescence();
+            // G' adjacency must be symmetric and reference live nodes.
+            for v in sim.topology.live_nodes() {
+                for &u in sim.protocol.gprime_neighbors(v).clone().iter() {
+                    assert!(sim.topology.is_alive(u), "dead G' neighbor {u} of {v}");
+                    assert!(sim.protocol.gprime_neighbors(u).contains(&v));
+                    assert!(sim.topology.has_edge(u, v), "G' edge missing from G");
+                }
+            }
+        }
+    }
+}

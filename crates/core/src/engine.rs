@@ -1,0 +1,289 @@
+//! The attack/heal round loop.
+//!
+//! One *round* is the paper's unit of time: the adversary deletes a node,
+//! the healer reconnects, the minimum component ID is broadcast. The
+//! [`Engine`] drives rounds, collects per-round records and aggregate
+//! statistics, and (optionally) audits the theory's invariants after
+//! every round.
+
+use crate::attack::Adversary;
+use crate::invariants;
+use crate::state::{HealingNetwork, PropagationReport};
+use crate::strategy::Healer;
+use selfheal_graph::NodeId;
+
+/// Which (increasingly expensive) checks to run after every round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AuditLevel {
+    /// No checking (experiment/benchmark mode).
+    #[default]
+    Off,
+    /// Connectivity + forest + delta bound + weight conservation: O(n)
+    /// per round.
+    Cheap,
+    /// Everything, including the O(n²) `rem` potential of Lemma 4.
+    Full,
+}
+
+/// What happened in a single round.
+#[derive(Clone, Debug)]
+pub struct RoundRecord {
+    /// 1-based round number.
+    pub round: u64,
+    /// The deleted node.
+    pub deleted: NodeId,
+    /// Size of the reconstruction set.
+    pub rt_size: usize,
+    /// Healing edges added this round.
+    pub edges_added: usize,
+    /// Surrogate used (SDASH only).
+    pub surrogate: Option<NodeId>,
+    /// ID broadcast accounting for this round.
+    pub propagation: PropagationReport,
+    /// Maximum `δ` among this round's reconstruction-set members
+    /// (only RT members can gain degree in a round).
+    pub round_max_delta: i64,
+}
+
+/// Aggregate statistics over a run.
+#[derive(Clone, Debug, Default)]
+pub struct EngineReport {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Maximum `δ(v)` ever observed for any node at any time.
+    pub max_delta_ever: i64,
+    /// Maximum number of ID changes suffered by one node.
+    pub max_id_changes: u32,
+    /// Maximum per-node traffic (ID messages sent + received).
+    pub max_traffic: u64,
+    /// Total ID-maintenance messages sent.
+    pub total_messages: u64,
+    /// Total healing edges added to `G'`.
+    pub total_edges_added: u64,
+    /// Sum of per-round broadcast latencies (for the amortized bound).
+    pub total_propagation_latency: u64,
+    /// Maximum single-round broadcast latency.
+    pub max_propagation_latency: u64,
+    /// Invariant violations found (empty when auditing is off or clean).
+    pub violations: Vec<String>,
+}
+
+impl EngineReport {
+    /// Amortized ID-propagation latency per round (Lemma 9's quantity).
+    pub fn amortized_latency(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.total_propagation_latency as f64 / self.rounds as f64
+        }
+    }
+}
+
+/// Drives `adversary` against `healer` on `net`.
+pub struct Engine<H: Healer, A: Adversary> {
+    /// The evolving network state (public for metric hooks).
+    pub net: HealingNetwork,
+    healer: H,
+    adversary: A,
+    audit: AuditLevel,
+    report: EngineReport,
+}
+
+impl<H: Healer, A: Adversary> Engine<H, A> {
+    /// New engine with auditing off.
+    pub fn new(net: HealingNetwork, healer: H, adversary: A) -> Self {
+        Engine { net, healer, adversary, audit: AuditLevel::Off, report: EngineReport::default() }
+    }
+
+    /// Enable invariant auditing.
+    pub fn with_audit(mut self, level: AuditLevel) -> Self {
+        self.audit = level;
+        self
+    }
+
+    /// The healer's name.
+    pub fn healer_name(&self) -> &'static str {
+        self.healer.name()
+    }
+
+    /// The adversary's name.
+    pub fn adversary_name(&self) -> &'static str {
+        self.adversary.name()
+    }
+
+    /// Execute one round; `None` when the adversary has no victim left.
+    pub fn step(&mut self) -> Option<RoundRecord> {
+        let victim = self.adversary.pick(&self.net)?;
+        let ctx = self
+            .net
+            .delete_node(victim)
+            .expect("adversary picked a dead node");
+        let outcome = self.healer.heal(&mut self.net, &ctx);
+        let propagation = if self.healer.needs_id_propagation() {
+            self.net.propagate_min_id(&outcome.rt_members)
+        } else {
+            crate::state::PropagationReport::default()
+        };
+
+        self.report.rounds += 1;
+        self.report.total_messages += propagation.messages;
+        self.report.total_edges_added += outcome.edges_added.len() as u64;
+        self.report.total_propagation_latency += propagation.latency;
+        self.report.max_propagation_latency =
+            self.report.max_propagation_latency.max(propagation.latency);
+
+        // Only RT members can have gained degree this round, so the
+        // running max over rounds of the RT max equals the global max.
+        let round_max_delta = outcome
+            .rt_members
+            .iter()
+            .map(|&v| self.net.delta(v))
+            .max()
+            .unwrap_or(i64::MIN);
+        self.report.max_delta_ever = self.report.max_delta_ever.max(round_max_delta);
+        for &v in &outcome.rt_members {
+            self.report.max_id_changes = self.report.max_id_changes.max(self.net.id_changes(v));
+            self.report.max_traffic = self.report.max_traffic.max(self.net.traffic(v));
+        }
+
+        match self.audit {
+            AuditLevel::Off => {}
+            AuditLevel::Cheap | AuditLevel::Full => {
+                let check_rem = self.audit == AuditLevel::Full;
+                let rep =
+                    invariants::check_all(&self.net, self.healer.preserves_forest(), check_rem);
+                for v in rep.violations {
+                    self.report
+                        .violations
+                        .push(format!("round {}: {v}", self.report.rounds));
+                }
+            }
+        }
+
+        Some(RoundRecord {
+            round: self.report.rounds,
+            deleted: victim,
+            rt_size: outcome.rt_members.len(),
+            edges_added: outcome.edges_added.len(),
+            surrogate: outcome.surrogate,
+            propagation,
+            round_max_delta,
+        })
+    }
+
+    /// Run until the adversary stops (normally: the network is empty).
+    pub fn run_to_empty(&mut self) -> EngineReport {
+        while self.step().is_some() {}
+        self.finalize()
+    }
+
+    /// Run at most `k` further rounds.
+    pub fn run_rounds(&mut self, k: u64) -> EngineReport {
+        for _ in 0..k {
+            if self.step().is_none() {
+                break;
+            }
+        }
+        self.finalize()
+    }
+
+    /// Final report. Per-node maxima (id changes / traffic) are refreshed
+    /// with a full scan over all node slots so nodes that were never RT
+    /// members are included.
+    fn finalize(&mut self) -> EngineReport {
+        for i in 0..self.net.graph().node_bound() {
+            let v = NodeId::from_index(i);
+            self.report.max_id_changes = self.report.max_id_changes.max(self.net.id_changes(v));
+            self.report.max_traffic = self.report.max_traffic.max(self.net.traffic(v));
+        }
+        self.report.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{MaxNode, NeighborOfMax, Scripted};
+    use crate::dash::Dash;
+    use crate::naive::NoHeal;
+    use crate::sdash::Sdash;
+    use selfheal_graph::generators::barabasi_albert;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ba_net(n: usize, seed: u64) -> HealingNetwork {
+        let g = barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
+        HealingNetwork::new(g, seed)
+    }
+
+    #[test]
+    fn dash_survives_full_audit_to_empty() {
+        let engine = Engine::new(ba_net(48, 5), Dash, MaxNode).with_audit(AuditLevel::Full);
+        let report = { engine }.run_to_empty();
+        assert_eq!(report.rounds, 48);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.max_delta_ever as f64 <= 2.0 * 48f64.log2());
+    }
+
+    #[test]
+    fn sdash_survives_cheap_audit_under_nms() {
+        let mut engine =
+            Engine::new(ba_net(64, 7), Sdash, NeighborOfMax::new(7)).with_audit(AuditLevel::Cheap);
+        let report = engine.run_to_empty();
+        assert_eq!(report.rounds, 64);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn no_heal_audit_detects_disconnection() {
+        let mut engine =
+            Engine::new(ba_net(32, 3), NoHeal, MaxNode).with_audit(AuditLevel::Cheap);
+        let report = engine.run_to_empty();
+        assert!(!report.violations.is_empty(), "NoHeal must break connectivity");
+    }
+
+    #[test]
+    fn step_returns_records_then_none() {
+        let mut engine = Engine::new(ba_net(8, 1), Dash, MaxNode);
+        let mut rounds = 0;
+        while let Some(rec) = engine.step() {
+            rounds += 1;
+            assert_eq!(rec.round, rounds);
+            assert!(engine.net.deletion_count() == rounds);
+        }
+        assert_eq!(rounds, 8);
+        assert!(engine.step().is_none());
+    }
+
+    #[test]
+    fn run_rounds_stops_early() {
+        let mut engine = Engine::new(ba_net(20, 2), Dash, MaxNode);
+        let report = engine.run_rounds(5);
+        assert_eq!(report.rounds, 5);
+        assert_eq!(engine.net.graph().live_node_count(), 15);
+    }
+
+    #[test]
+    fn scripted_run_is_reproducible() {
+        let run = || {
+            let mut engine = Engine::new(
+                ba_net(24, 9),
+                Dash,
+                Scripted::new((0..24u32).map(NodeId)),
+            );
+            let r = engine.run_to_empty();
+            (r.rounds, r.max_delta_ever, r.total_messages, r.total_edges_added)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn report_amortized_latency() {
+        let mut engine = Engine::new(ba_net(40, 11), Dash, MaxNode);
+        let report = engine.run_to_empty();
+        assert!(report.amortized_latency() >= 0.0);
+        assert!(report.max_propagation_latency >= 1);
+        // Empty report guards division by zero.
+        assert_eq!(EngineReport::default().amortized_latency(), 0.0);
+    }
+}

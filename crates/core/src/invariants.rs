@@ -1,0 +1,232 @@
+//! Proofs-as-checks: executable versions of the paper's lemmas.
+//!
+//! Every guarantee the paper proves about DASH is implemented here as a
+//! runtime check so tests (and the engine's audit mode) can validate the
+//! implementation against the theory after every round:
+//!
+//! - Theorem 1 / connectivity — `G` stays connected,
+//! - Lemma 1 — `G'` is a forest,
+//! - Lemma 4 — the potential `rem(v) ≥ 2^{δ(v)/2}`,
+//! - Lemma 5 — `rem(v) ≤ n`,
+//! - Lemma 6 — `δ(v) ≤ 2 log₂ n`,
+//! - weight conservation — `W* + lost = n` (used by Lemma 5's proof).
+
+use crate::state::HealingNetwork;
+use selfheal_graph::components::is_connected;
+use selfheal_graph::forest::is_forest;
+use selfheal_graph::NodeId;
+
+/// Whether the real network `G` is connected (the paper's core guarantee).
+pub fn connectivity_ok(net: &HealingNetwork) -> bool {
+    is_connected(net.graph())
+}
+
+/// Whether the healing graph `G'` is a forest (Lemma 1).
+pub fn forest_ok(net: &HealingNetwork) -> bool {
+    is_forest(net.healing_graph())
+}
+
+/// Result of checking the Lemma 6 degree bound.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeltaBound {
+    /// Maximum observed `δ(v)` over live nodes.
+    pub max_delta: i64,
+    /// The theoretical bound `2 log₂ n` for the initial `n`.
+    pub bound: f64,
+    /// Whether the bound holds.
+    pub ok: bool,
+}
+
+/// Check `δ(v) ≤ 2 log₂ n` for every live node (Lemma 6).
+///
+/// `n` is the total number of nodes ever created, so the bound remains
+/// meaningful under churn (joins).
+pub fn delta_bound(net: &HealingNetwork) -> DeltaBound {
+    let n = net.total_created().max(1) as f64;
+    let bound = 2.0 * n.log2();
+    let max_delta = net.max_delta_alive();
+    DeltaBound { max_delta, bound, ok: (max_delta as f64) <= bound + 1e-9 }
+}
+
+/// Total weight of the `G'` tree containing `u` when `v` is removed:
+/// `W(T(u, v))` in the paper's notation. Returns 0 if `u` is dead.
+pub fn subtree_weight(net: &HealingNetwork, u: NodeId, v: NodeId) -> u64 {
+    if !net.is_alive(u) || u == v {
+        return 0;
+    }
+    let gp = net.healing_graph();
+    let mut seen = vec![false; gp.node_bound()];
+    seen[u.index()] = true;
+    if v.index() < seen.len() {
+        seen[v.index()] = true; // exclude v from the traversal
+    }
+    let mut stack = vec![u];
+    let mut total = 0u64;
+    while let Some(x) = stack.pop() {
+        total += net.weight(x);
+        for &y in gp.neighbors(x) {
+            if !seen[y.index()] {
+                seen[y.index()] = true;
+                stack.push(y);
+            }
+        }
+    }
+    total
+}
+
+/// The paper's potential function:
+/// `rem(v) = Σ_u W(T(u,v)) − max_u W(T(u,v)) + w(v)` over
+/// `u ∈ N(v, G')`. Intuitively: the weight that would remain attached to
+/// `v`'s share if its heaviest branch were cut away.
+pub fn rem(net: &HealingNetwork, v: NodeId) -> u64 {
+    let gp = net.healing_graph();
+    let mut sum = 0u64;
+    let mut max = 0u64;
+    for &u in gp.neighbors(v) {
+        let w = subtree_weight(net, u, v);
+        sum += w;
+        max = max.max(w);
+    }
+    sum - max + net.weight(v)
+}
+
+/// Check Lemma 4 (`rem(v) ≥ 2^{δ(v)/2}`) and Lemma 5 (`rem(v) ≤ n`) for
+/// every live node. O(n²) in the worst case — intended for tests and
+/// audit runs, not hot loops.
+pub fn rem_potential_ok(net: &HealingNetwork) -> bool {
+    let n = net.total_created() as u64;
+    net.graph().live_nodes().all(|v| {
+        let r = rem(net, v);
+        let needed = 2f64.powf(net.delta(v) as f64 / 2.0);
+        r as f64 + 1e-9 >= needed && r <= n
+    })
+}
+
+/// Check weight conservation: live weight plus recorded losses equals the
+/// number of nodes ever created (each node is born with weight 1).
+pub fn weight_conservation_ok(net: &HealingNetwork) -> bool {
+    let live: u64 = net.graph().live_nodes().map(|v| net.weight(v)).sum();
+    live + net.weight_lost() == net.total_created() as u64
+}
+
+/// Outcome of running every check at once.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InvariantReport {
+    /// Human-readable descriptions of each violated invariant.
+    pub violations: Vec<String>,
+}
+
+impl InvariantReport {
+    /// Whether all checked invariants held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Run all checks applicable to the given strategy.
+///
+/// `expect_forest` should be false for GraphHeal (which deliberately
+/// allows cycles in `G'`); `check_rem` enables the O(n²) potential check.
+pub fn check_all(net: &HealingNetwork, expect_forest: bool, check_rem: bool) -> InvariantReport {
+    let mut violations = Vec::new();
+    if !connectivity_ok(net) {
+        violations.push("G is disconnected".to_string());
+    }
+    if expect_forest && !forest_ok(net) {
+        violations.push("G' contains a cycle".to_string());
+    }
+    let db = delta_bound(net);
+    if !db.ok {
+        violations.push(format!("max delta {} exceeds 2 log2 n = {:.2}", db.max_delta, db.bound));
+    }
+    if !weight_conservation_ok(net) {
+        violations.push("weight not conserved".to_string());
+    }
+    if check_rem && !rem_potential_ok(net) {
+        violations.push("rem potential below 2^(delta/2) or above n".to_string());
+    }
+    InvariantReport { violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dash::Dash;
+    use crate::strategy::Healer;
+    use selfheal_graph::generators::{path_graph, star_graph};
+
+    #[test]
+    fn fresh_network_passes_everything() {
+        let net = HealingNetwork::new(path_graph(10), 0);
+        let report = check_all(&net, true, true);
+        assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn rem_of_isolated_gprime_node_is_own_weight() {
+        let net = HealingNetwork::new(path_graph(4), 0);
+        for v in 0..4u32 {
+            assert_eq!(rem(&net, NodeId(v)), 1);
+        }
+    }
+
+    #[test]
+    fn subtree_weight_partitions_the_tree() {
+        let mut net = HealingNetwork::new(star_graph(5), 1);
+        // Build G' = star around node 1: edges (1,2), (1,3), (1,4).
+        for v in 2..5u32 {
+            net.add_heal_edge(NodeId(1), NodeId(v)).unwrap();
+        }
+        // From node 2's perspective, removing node 1 isolates it.
+        assert_eq!(subtree_weight(&net, NodeId(2), NodeId(1)), 1);
+        // From node 1's side each branch weighs 1.
+        assert_eq!(subtree_weight(&net, NodeId(2), NodeId::MAX), 4); // whole tree
+        assert_eq!(rem(&net, NodeId(1)), 3 - 1 + 1);
+        // rem(2) = sum - max + w(2) over the single branch T(1,2): 3 - 3 + 1.
+        assert_eq!(rem(&net, NodeId(2)), 1);
+    }
+
+    #[test]
+    fn rem_grows_with_dash_healing() {
+        let mut net = HealingNetwork::new(star_graph(8), 3);
+        let ctx = net.delete_node(NodeId(0)).unwrap();
+        let outcome = Dash.heal(&mut net, &ctx);
+        net.propagate_min_id(&outcome.rt_members);
+        assert!(rem_potential_ok(&net));
+        // The RT root gained degree 2, so its rem must be >= 2.
+        let root = net
+            .graph()
+            .live_nodes()
+            .max_by_key(|&v| net.delta(v))
+            .unwrap();
+        assert!(rem(&net, root) as f64 >= 2f64.powf(net.delta(root) as f64 / 2.0));
+    }
+
+    #[test]
+    fn delta_bound_flags_violations() {
+        let net = HealingNetwork::new(path_graph(4), 0);
+        let db = delta_bound(&net);
+        assert!(db.ok);
+        assert_eq!(db.max_delta, 0);
+        assert!((db.bound - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnection_is_reported() {
+        let mut net = HealingNetwork::new(star_graph(4), 0);
+        net.delete_node(NodeId(0)).unwrap();
+        let report = check_all(&net, true, false);
+        assert!(!report.ok());
+        assert!(report.violations[0].contains("disconnected"));
+    }
+
+    #[test]
+    fn weight_conservation_holds_through_deletions() {
+        let mut net = HealingNetwork::new(path_graph(5), 0);
+        for v in [1u32, 3, 0, 2, 4] {
+            net.delete_node(NodeId(v)).unwrap();
+            assert!(weight_conservation_ok(&net));
+        }
+        assert_eq!(net.weight_lost(), 5);
+    }
+}

@@ -1,0 +1,225 @@
+//! LEVELATTACK — the Theorem 2 lower-bound adversary (Algorithm 2).
+//!
+//! Against any *M-degree-bounded* locality-aware healer (one that adds at
+//! most `M` degree to any node per round), the adversary takes a complete
+//! `(M+2)`-ary tree of depth `D` and deletes it level by level from the
+//! bottom up. Lemma 13: after the level-`i` deletions some original leaf
+//! carries degree increase at least `D - i`, so after the root falls the
+//! damage is at least `D = Θ(log n)` — matching DASH's `2 log₂ n` upper
+//! bound up to a constant.
+//!
+//! The `Prune(r, s)` operation deletes a whole original subtree by
+//! repeatedly deleting its deepest surviving nodes; every single deletion
+//! still triggers a healing round, so the healer gets to respond to the
+//! entire attack.
+
+use crate::state::HealingNetwork;
+use crate::strategy::Healer;
+use selfheal_graph::generators::KaryTree;
+use selfheal_graph::NodeId;
+
+/// Outcome of a LEVELATTACK run.
+#[derive(Clone, Debug)]
+pub struct LevelAttackResult {
+    /// Healer under attack.
+    pub healer: &'static str,
+    /// Degree bound `M` the tree was sized for (arity = M + 2).
+    pub m: usize,
+    /// Tree depth `D`.
+    pub depth: u32,
+    /// Nodes in the initial tree.
+    pub n: usize,
+    /// Total deletions performed.
+    pub rounds: u64,
+    /// Maximum `δ(v)` ever observed for any node.
+    pub max_delta_ever: i64,
+    /// Maximum `δ(v)` ever observed on an *original leaf* (the nodes
+    /// Lemma 13 targets).
+    pub max_leaf_delta_ever: i64,
+}
+
+impl LevelAttackResult {
+    /// Whether the observed damage meets the Theorem 2 floor of `D`.
+    pub fn meets_lower_bound(&self) -> bool {
+        self.max_delta_ever >= self.depth as i64
+    }
+}
+
+/// Driver for the attack: wraps the healing round loop and tracks maxima.
+struct Driver<H: Healer> {
+    net: HealingNetwork,
+    healer: H,
+    tree: KaryTree,
+    rounds: u64,
+    max_delta_ever: i64,
+    max_leaf_delta_ever: i64,
+}
+
+impl<H: Healer> Driver<H> {
+    fn round(&mut self, v: NodeId) {
+        let ctx = self.net.delete_node(v).expect("attack deletes live nodes only");
+        let outcome = self.healer.heal(&mut self.net, &ctx);
+        self.net.propagate_min_id(&outcome.rt_members);
+        self.rounds += 1;
+        for &u in &outcome.rt_members {
+            let d = self.net.delta(u);
+            self.max_delta_ever = self.max_delta_ever.max(d);
+            if self.tree.level(u) == self.tree.depth {
+                self.max_leaf_delta_ever = self.max_leaf_delta_ever.max(d);
+            }
+        }
+    }
+
+    /// `Prune(·, s)`: delete every surviving original descendant of `s`
+    /// (deepest first), then `s` itself.
+    fn prune(&mut self, s: NodeId) {
+        let mut subtree = self.tree.subtree(s);
+        // Deepest level first; subtree() yields level order, so reverse.
+        subtree.reverse();
+        for v in subtree {
+            if self.net.is_alive(v) {
+                self.round(v);
+            }
+        }
+    }
+
+    /// Current neighbors of `v` that are original proper descendants —
+    /// the adversary's notion of `v`'s "children" after healing rewired
+    /// the graph.
+    fn descendant_neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        self.net
+            .graph()
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| u != v && self.tree.is_descendant(v, u))
+            .collect()
+    }
+}
+
+/// Run LEVELATTACK with parameter `M` (tree arity `M + 2`) and the given
+/// depth against `healer`.
+pub fn run_level_attack<H: Healer>(
+    healer: H,
+    m: usize,
+    depth: u32,
+    seed: u64,
+) -> LevelAttackResult {
+    let arity = m + 2;
+    let tree = KaryTree::new(arity, depth);
+    let n = tree.node_count();
+    let healer_name = healer.name();
+    let net = HealingNetwork::new(tree.graph.clone(), seed);
+    let mut driver = Driver {
+        net,
+        healer,
+        tree,
+        rounds: 0,
+        max_delta_ever: 0,
+        max_leaf_delta_ever: 0,
+    };
+
+    // Delete level D-1 up to the root (level 0). Level D (the original
+    // leaves) is never attacked directly — the leaves are the nodes the
+    // adversary piles degree onto.
+    for level in (0..depth).rev() {
+        for v in driver.tree.nodes_at_level(level) {
+            if !driver.net.is_alive(v) {
+                continue;
+            }
+            // Trim v's current descendant-children down to arity by
+            // pruning those with the least degree increase (Algorithm 2,
+            // step 5).
+            let mut children = driver.descendant_neighbors(v);
+            if children.len() > arity {
+                children.sort_by_key(|&u| (driver.net.delta(u), driver.net.initial_id(u)));
+                let excess = children.len() - arity;
+                for &s in children.iter().take(excess) {
+                    if driver.net.is_alive(s) {
+                        driver.prune(s);
+                    }
+                }
+            }
+            driver.round(v);
+        }
+    }
+
+    LevelAttackResult {
+        healer: healer_name,
+        m,
+        depth,
+        n,
+        rounds: driver.rounds,
+        max_delta_ever: driver.max_delta_ever,
+        max_leaf_delta_ever: driver.max_leaf_delta_ever,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dash::Dash;
+    use crate::naive::{BinaryTreeHeal, LineHeal};
+
+    #[test]
+    fn small_tree_attack_completes() {
+        let res = run_level_attack(Dash, 2, 2, 1);
+        assert_eq!(res.n, 21); // 1 + 4 + 16
+        assert!(res.rounds >= 5, "at least levels 1 and 0 must be deleted");
+        assert!(res.max_delta_ever >= 1);
+    }
+
+    #[test]
+    fn deeper_trees_force_more_damage() {
+        let shallow = run_level_attack(Dash, 2, 2, 3);
+        let deep = run_level_attack(Dash, 2, 4, 3);
+        assert!(
+            deep.max_delta_ever >= shallow.max_delta_ever,
+            "deep {} vs shallow {}",
+            deep.max_delta_ever,
+            shallow.max_delta_ever
+        );
+    }
+
+    #[test]
+    fn lower_bound_floor_on_bounded_healers() {
+        // DASH adds at most net +2 per member per round (M = 2), so the
+        // 4-ary LEVELATTACK of depth D must force delta >= D somewhere.
+        for depth in 2..=4 {
+            let res = run_level_attack(Dash, 2, depth, 7);
+            assert!(
+                res.max_delta_ever >= depth as i64,
+                "depth {depth}: observed {} < {depth}",
+                res.max_delta_ever
+            );
+        }
+    }
+
+    #[test]
+    fn line_heal_is_one_bounded_and_suffers() {
+        // LineHeal adds at most +1 net per round (M = 1): 3-ary tree.
+        let res = run_level_attack(LineHeal, 1, 3, 5);
+        assert!(res.max_delta_ever >= 3, "observed {}", res.max_delta_ever);
+    }
+
+    #[test]
+    fn damage_lands_on_original_leaves() {
+        let res = run_level_attack(BinaryTreeHeal, 2, 3, 9);
+        // Lemma 13: the accumulating nodes are original leaves.
+        assert!(
+            res.max_leaf_delta_ever >= res.depth as i64 - 1,
+            "leaf damage {} too small for depth {}",
+            res.max_leaf_delta_ever,
+            res.depth
+        );
+    }
+
+    #[test]
+    fn result_reports_consistent_metadata() {
+        let res = run_level_attack(Dash, 1, 2, 0);
+        assert_eq!(res.healer, "dash");
+        assert_eq!(res.m, 1);
+        assert_eq!(res.n, 13); // 1 + 3 + 9
+        assert_eq!(res.meets_lower_bound(), res.max_delta_ever >= 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! # selfheal-core
+//!
+//! The paper's algorithms: **DASH** (Degree-Based Self-Healing,
+//! Algorithm 1), **SDASH** (the surrogation heuristic, Algorithm 3), the
+//! naive baselines of Section 4.3, the attack strategies of Section 4.2,
+//! the LEVELATTACK lower-bound adversary of Theorem 2, and executable
+//! versions of every lemma as invariant checks.
+//!
+//! From *"Picking up the Pieces: Self-Healing in Reconfigurable
+//! Networks"*, Jared Saia & Amitabh Trehan, IPPS 2008.
+//!
+//! ## Quick start
+//! ```
+//! use rand::SeedableRng;
+//! use selfheal_core::{attack::NeighborOfMax, dash::Dash, engine::{AuditLevel, Engine},
+//!                     state::HealingNetwork};
+//! use selfheal_graph::generators::barabasi_albert;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let g = barabasi_albert(100, 3, &mut rng);
+//! let net = HealingNetwork::new(g, 1);
+//! let mut engine = Engine::new(net, Dash, NeighborOfMax::new(1))
+//!     .with_audit(AuditLevel::Cheap);
+//! let report = engine.run_to_empty();
+//! assert!(report.violations.is_empty());
+//! assert!((report.max_delta_ever as f64) <= 2.0 * 100f64.log2());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod attack;
+pub mod batch;
+pub mod dash;
+pub mod distributed;
+pub mod engine;
+pub mod invariants;
+pub mod levelattack;
+pub mod naive;
+pub mod oracle;
+pub mod rt;
+pub mod sdash;
+pub mod state;
+pub mod strategy;
+
+pub use dash::Dash;
+pub use engine::{AuditLevel, Engine, EngineReport};
+pub use sdash::Sdash;
+pub use state::HealingNetwork;
+pub use strategy::{HealOutcome, Healer};

@@ -1,0 +1,174 @@
+//! SDASH — Surrogate Degree-Based Self-Healing (Algorithm 3 of the
+//! paper).
+//!
+//! SDASH targets *stretch* as well as degree: when one reconstruction-set
+//! member `w` can absorb every reconnection edge without exceeding the
+//! set's current maximum degree increase — formally when
+//! `δ(w) + |RT| - 1 ≤ δ(m)` where `m = argmax δ` — the deleted node is
+//! *surrogated*: `w` takes all connections (a star), so no path through
+//! the deleted node gets longer. Otherwise SDASH falls back to the DASH
+//! binary tree.
+//!
+//! The paper reports (Section 4.6) that SDASH empirically keeps both
+//! degree increase and stretch at O(log n); no proof is given — the same
+//! caveat applies here, and the Fig. 10 experiment reproduces the
+//! empirical claim.
+
+use crate::rt;
+use crate::state::{DeletionContext, HealingNetwork};
+use crate::strategy::{HealOutcome, Healer};
+use selfheal_graph::NodeId;
+
+/// The SDASH healing strategy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sdash;
+
+/// Find the surrogate candidate: the member `w` minimizing
+/// `(δ(w), initial_id(w))` that satisfies the Algorithm 3 condition, if
+/// any.
+fn surrogate_candidate(net: &HealingNetwork, members: &[NodeId]) -> Option<NodeId> {
+    if members.len() < 2 {
+        return members.first().copied();
+    }
+    let max_delta = members.iter().map(|&v| net.delta(v)).max().unwrap();
+    let extra = members.len() as i64 - 1;
+    members
+        .iter()
+        .copied()
+        .filter(|&w| net.delta(w) + extra <= max_delta)
+        .min_by_key(|&w| (net.delta(w), net.initial_id(w)))
+}
+
+impl Healer for Sdash {
+    fn name(&self) -> &'static str {
+        "sdash"
+    }
+
+    fn heal(&mut self, net: &mut HealingNetwork, ctx: &DeletionContext) -> HealOutcome {
+        let members = rt::reconstruction_set(net, ctx);
+        if members.len() < 2 {
+            return HealOutcome { rt_members: members, edges_added: vec![], surrogate: None };
+        }
+        if let Some(w) = surrogate_candidate(net, &members) {
+            let mut edges_added = Vec::with_capacity(members.len() - 1);
+            for &u in &members {
+                if u == w {
+                    continue;
+                }
+                let (_, new_gp) = net.add_heal_edge(w, u).expect("RT endpoints must be alive");
+                if new_gp {
+                    edges_added.push((w, u));
+                }
+            }
+            return HealOutcome { rt_members: members, edges_added, surrogate: Some(w) };
+        }
+        let ordered = rt::order_by_delta(net, &members);
+        let edges_added = rt::connect_binary_tree(net, &ordered);
+        HealOutcome { rt_members: members, edges_added, surrogate: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfheal_graph::components::is_connected;
+    use selfheal_graph::forest::is_forest;
+    use selfheal_graph::generators::{barabasi_albert, star_graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn round(net: &mut HealingNetwork, v: NodeId) -> HealOutcome {
+        let ctx = net.delete_node(v).unwrap();
+        let outcome = Sdash.heal(net, &ctx);
+        net.propagate_min_id(&outcome.rt_members);
+        outcome
+    }
+
+    #[test]
+    fn surrogation_when_a_member_has_slack() {
+        let mut net = HealingNetwork::new(star_graph(5), 1);
+        // Push δ of node 1 up by 3 with healing edges.
+        net.add_heal_edge(NodeId(1), NodeId(2)).unwrap();
+        net.add_heal_edge(NodeId(1), NodeId(3)).unwrap();
+        net.add_heal_edge(NodeId(1), NodeId(4)).unwrap();
+        net.propagate_min_id(&[NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        // Deleting the hub: RT is one component now -> N(v,G') of hub is
+        // empty... instead delete node 2 (neighbors: 0 and 1).
+        let outcome = round(&mut net, NodeId(2));
+        // RT = {0, 1} (or a single rep if they share a component — they
+        // don't: 0 is alone, 1 is in the healed component).
+        assert_eq!(outcome.rt_members.len(), 2);
+        // Node 0 has δ = -1 and satisfies -1 + 1 <= δ(1); surrogate must
+        // be node 0 (minimum δ).
+        assert_eq!(outcome.surrogate, Some(NodeId(0)));
+    }
+
+    #[test]
+    fn falls_back_to_binary_tree_when_no_slack() {
+        // Fresh star: deleting the hub gives RT of 7 singleton spokes, all
+        // with δ = -1. Condition: -1 + 6 <= -1 is false -> binary tree.
+        let mut net = HealingNetwork::new(star_graph(8), 2);
+        let outcome = round(&mut net, NodeId(0));
+        assert_eq!(outcome.surrogate, None);
+        assert_eq!(outcome.edges_added.len(), 6);
+        assert!(is_forest(net.healing_graph()));
+        assert!(is_connected(net.graph()));
+    }
+
+    #[test]
+    fn surrogation_preserves_distances() {
+        // Path 0-1-2 with hub 1 deleted: RT = {0, 2}; star and binary tree
+        // coincide for 2 nodes, distances must not grow beyond 1 hop.
+        let mut net = HealingNetwork::new(selfheal_graph::generators::path_graph(3), 3);
+        round(&mut net, NodeId(1));
+        assert_eq!(selfheal_graph::paths::distance(net.graph(), NodeId(0), NodeId(2)), Some(1));
+    }
+
+    #[test]
+    fn full_kill_sweep_stays_connected() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let g = barabasi_albert(60, 3, &mut rng);
+        let mut net = HealingNetwork::new(g, 29);
+        for v in 0..60u32 {
+            round(&mut net, NodeId(v));
+            assert!(is_connected(net.graph()), "disconnected after {v}");
+            assert!(is_forest(net.healing_graph()), "G' has a cycle after {v}");
+        }
+    }
+
+    #[test]
+    fn degree_increase_stays_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let n = 128;
+        let g = barabasi_albert(n, 3, &mut rng);
+        let mut net = HealingNetwork::new(g, 31);
+        // SDASH has no proven bound; the paper observes O(log n). Use the
+        // DASH bound as the empirical envelope.
+        let bound = 2.0 * (n as f64).log2();
+        for v in 0..n as u32 {
+            round(&mut net, NodeId(v));
+            assert!((net.max_delta_alive() as f64) <= bound);
+        }
+    }
+
+    #[test]
+    fn surrogate_candidate_prefers_min_delta() {
+        let mut net = HealingNetwork::new(star_graph(6), 4);
+        net.add_heal_edge(NodeId(1), NodeId(2)).unwrap();
+        net.add_heal_edge(NodeId(1), NodeId(3)).unwrap();
+        // δ(1) = 2, others 0. Members {4, 5} have slack.
+        let members = vec![NodeId(1), NodeId(4), NodeId(5)];
+        let w = surrogate_candidate(&net, &members).unwrap();
+        assert!(w == NodeId(4) || w == NodeId(5));
+        assert_ne!(w, NodeId(1));
+    }
+
+    #[test]
+    fn singleton_rt_short_circuits() {
+        let mut net = HealingNetwork::new(selfheal_graph::generators::path_graph(2), 5);
+        let ctx = net.delete_node(NodeId(0)).unwrap();
+        let outcome = Sdash.heal(&mut net, &ctx);
+        assert_eq!(outcome.rt_members, vec![NodeId(1)]);
+        assert!(outcome.edges_added.is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! E8 — simultaneous-deletion extension (paper footnote 1).
+//!
+//! DASH is claimed to handle any number of simultaneous deletions as long
+//! as NoN knowledge suffices (an independent victim set). This experiment
+//! sweeps the batch size `k` and verifies the two headline guarantees
+//! survive batching: connectivity after every batch and `δ ≤ 2 log₂ n`.
+
+use crate::config::{trial_seed, Scale, BA_ATTACHMENT};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfheal_core::batch::{delete_independent_batch, heal_batch, independent_victims};
+use selfheal_core::dash::Dash;
+use selfheal_core::state::HealingNetwork;
+use selfheal_graph::components::is_connected;
+use selfheal_graph::generators::barabasi_albert;
+use selfheal_metrics::{summarize, Table};
+
+/// One row of the batch experiment.
+#[derive(Clone, Debug)]
+pub struct BatchRow {
+    /// Batch size (victims per round).
+    pub k: usize,
+    /// Graph size.
+    pub n: usize,
+    /// Mean max degree increase over trials.
+    pub max_delta: f64,
+    /// The 2 log₂ n bound.
+    pub bound: f64,
+    /// Mean number of batches needed to empty the network.
+    pub batches: f64,
+    /// Whether connectivity held after every batch in every trial.
+    pub connected_throughout: bool,
+}
+
+/// Run one batched kill-sweep; returns (max delta ever, batch count,
+/// stayed connected).
+pub fn run_batch_trial(n: usize, k: usize, seed: u64) -> (i64, u64, bool) {
+    let g = barabasi_albert(n, BA_ATTACHMENT, &mut StdRng::seed_from_u64(seed));
+    let mut net = HealingNetwork::new(g, seed);
+    let mut dash = Dash;
+    let mut max_delta = 0i64;
+    let mut batches = 0u64;
+    let mut connected = true;
+    loop {
+        let victims = independent_victims(&net, k, |v| net.graph().degree(v) as i64);
+        if victims.is_empty() {
+            break;
+        }
+        let contexts = delete_independent_batch(&mut net, &victims).expect("independent set");
+        let outcome = heal_batch(&mut net, &mut dash, &contexts);
+        batches += 1;
+        for o in &outcome.outcomes {
+            for &v in &o.rt_members {
+                max_delta = max_delta.max(net.delta(v));
+            }
+        }
+        if !is_connected(net.graph()) {
+            connected = false;
+            break;
+        }
+    }
+    (max_delta, batches, connected)
+}
+
+/// Sweep batch sizes at every scale size.
+pub fn run(scale: Scale, base_seed: u64) -> Vec<BatchRow> {
+    let batch_sizes: &[usize] = match scale {
+        Scale::Quick => &[1, 2, 4, 8],
+        Scale::Full => &[1, 2, 4, 8, 16, 32],
+    };
+    let mut rows = Vec::new();
+    for &n in &scale.degree_sizes() {
+        for &k in batch_sizes {
+            let mut deltas = Vec::new();
+            let mut batch_counts = Vec::new();
+            let mut connected = true;
+            for t in 0..scale.trials() {
+                let (d, b, c) = run_batch_trial(n, k, trial_seed(base_seed, n * 31 + k, t));
+                deltas.push(d as f64);
+                batch_counts.push(b as f64);
+                connected &= c;
+            }
+            rows.push(BatchRow {
+                k,
+                n,
+                max_delta: summarize(deltas.iter().copied()).mean,
+                bound: 2.0 * (n as f64).log2(),
+                batches: summarize(batch_counts.iter().copied()).mean,
+                connected_throughout: connected,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the batch table.
+pub fn render(rows: &[BatchRow]) -> String {
+    let mut t = Table::new(["n", "batch k", "max dδ", "2log2 n", "batches", "connected"]);
+    for r in rows {
+        t.row([
+            r.n.to_string(),
+            r.k.to_string(),
+            format!("{:.1}", r.max_delta),
+            format!("{:.1}", r.bound),
+            format!("{:.1}", r.batches),
+            if r.connected_throughout { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batching_preserves_guarantees_at_quick_scale() {
+        let rows = run(Scale::Quick, 55);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.connected_throughout, "k={} n={} broke connectivity", r.k, r.n);
+            assert!(r.max_delta <= r.bound, "k={} n={}: {} > {}", r.k, r.n, r.max_delta, r.bound);
+        }
+    }
+
+    #[test]
+    fn bigger_batches_use_fewer_rounds() {
+        let (_, b1, _) = run_batch_trial(128, 1, 3);
+        let (_, b8, _) = run_batch_trial(128, 8, 3);
+        assert!(b8 < b1, "batched sweep should need fewer rounds: {b8} vs {b1}");
+    }
+}

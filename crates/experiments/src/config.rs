@@ -1,0 +1,207 @@
+//! Experiment configuration: scales, strategy/attack enumerations, seeds.
+
+use selfheal_core::attack::{Adversary, CutVertex, MaxNode, MinDegree, NeighborOfMax, RandomAttack};
+use selfheal_core::dash::Dash;
+use selfheal_core::naive::{BinaryTreeHeal, GraphHeal, LineHeal, NoHeal};
+use selfheal_core::sdash::Sdash;
+use selfheal_core::strategy::Healer;
+
+/// Preset sizes/trial-counts.
+///
+/// `Full` follows the paper's methodology (30 random graph instances per
+/// size); `Quick` is a CI-sized smoke version of every experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sizes, few trials — finishes in seconds.
+    Quick,
+    /// Paper-sized: 30 trials per configuration.
+    Full,
+}
+
+impl Scale {
+    /// Graph sizes for the degree/message experiments (Figs. 8 and 9).
+    pub fn degree_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![64, 128, 256],
+            Scale::Full => vec![64, 128, 256, 512, 1024, 2048, 4096],
+        }
+    }
+
+    /// Graph sizes for the stretch experiment (Fig. 10; APSP-heavy).
+    pub fn stretch_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![32, 64, 128],
+            Scale::Full => vec![64, 128, 256, 512, 1024],
+        }
+    }
+
+    /// Trials (random graph instances) per size.
+    pub fn trials(self) -> usize {
+        match self {
+            Scale::Quick => 3,
+            Scale::Full => 30,
+        }
+    }
+
+    /// LEVELATTACK depths to sweep.
+    pub fn lowerbound_depths(self) -> Vec<u32> {
+        match self {
+            Scale::Quick => vec![2, 3, 4],
+            Scale::Full => vec![2, 3, 4, 5, 6],
+        }
+    }
+}
+
+/// The Barabási–Albert attachment parameter used throughout the paper's
+/// experiments ("random power-law graphs by preferential attachment").
+pub const BA_ATTACHMENT: usize = 3;
+
+/// Healing strategies under comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealerKind {
+    /// Algorithm 1.
+    Dash,
+    /// Algorithm 3.
+    Sdash,
+    /// Naive binary tree over all neighbors (cycles allowed).
+    GraphHeal,
+    /// Component-aware, degree-oblivious binary tree.
+    BinaryTreeHeal,
+    /// Component-aware line (the refs [5, 6] baseline).
+    LineHeal,
+    /// Control: no healing.
+    NoHeal,
+}
+
+impl HealerKind {
+    /// All strategies the paper's figures compare (everything but NoHeal).
+    pub fn figure_set() -> [HealerKind; 5] {
+        [
+            HealerKind::Dash,
+            HealerKind::Sdash,
+            HealerKind::GraphHeal,
+            HealerKind::BinaryTreeHeal,
+            HealerKind::LineHeal,
+        ]
+    }
+
+    /// Instantiate the strategy.
+    pub fn build(self) -> Box<dyn Healer> {
+        match self {
+            HealerKind::Dash => Box::new(Dash),
+            HealerKind::Sdash => Box::new(Sdash),
+            HealerKind::GraphHeal => Box::new(GraphHeal),
+            HealerKind::BinaryTreeHeal => Box::new(BinaryTreeHeal),
+            HealerKind::LineHeal => Box::new(LineHeal),
+            HealerKind::NoHeal => Box::new(NoHeal),
+        }
+    }
+
+    /// Stable display name (matches `Healer::name`).
+    pub fn name(self) -> &'static str {
+        match self {
+            HealerKind::Dash => "dash",
+            HealerKind::Sdash => "sdash",
+            HealerKind::GraphHeal => "graph-heal",
+            HealerKind::BinaryTreeHeal => "bintree-heal",
+            HealerKind::LineHeal => "line-heal",
+            HealerKind::NoHeal => "no-heal",
+        }
+    }
+}
+
+/// Attack strategies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttackKind {
+    /// Delete the maximum-degree node.
+    MaxNode,
+    /// Delete a random neighbor of the maximum-degree node (NMS).
+    NeighborOfMax,
+    /// Delete a uniformly random node.
+    Random,
+    /// Delete the minimum-degree node.
+    MinDegree,
+    /// Delete the highest-degree articulation point (extension attack).
+    CutVertex,
+}
+
+impl AttackKind {
+    /// The paper's two attacks plus this reproduction's extensions.
+    pub fn all() -> [AttackKind; 5] {
+        [
+            AttackKind::MaxNode,
+            AttackKind::NeighborOfMax,
+            AttackKind::Random,
+            AttackKind::MinDegree,
+            AttackKind::CutVertex,
+        ]
+    }
+
+    /// Instantiate with a seed (ignored by deterministic attacks).
+    pub fn build(self, seed: u64) -> Box<dyn Adversary> {
+        match self {
+            AttackKind::MaxNode => Box::new(MaxNode),
+            AttackKind::NeighborOfMax => Box::new(NeighborOfMax::new(seed)),
+            AttackKind::Random => Box::new(RandomAttack::new(seed)),
+            AttackKind::MinDegree => Box::new(MinDegree),
+            AttackKind::CutVertex => Box::new(CutVertex),
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::MaxNode => "max-node",
+            AttackKind::NeighborOfMax => "neighbor-of-max",
+            AttackKind::Random => "random",
+            AttackKind::MinDegree => "min-degree",
+            AttackKind::CutVertex => "cut-vertex",
+        }
+    }
+}
+
+/// Derive a per-trial seed from a base seed, size and trial index so each
+/// trial is independent but the whole sweep is reproducible.
+pub fn trial_seed(base: u64, n: usize, trial: usize) -> u64 {
+    base.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((n as u64) << 20)
+        .wrapping_add(trial as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_have_sane_shapes() {
+        assert!(Scale::Quick.trials() < Scale::Full.trials());
+        assert!(Scale::Quick.degree_sizes().len() < Scale::Full.degree_sizes().len());
+        assert!(!Scale::Full.stretch_sizes().is_empty());
+        assert!(!Scale::Quick.lowerbound_depths().is_empty());
+    }
+
+    #[test]
+    fn healer_names_match_instances() {
+        for kind in HealerKind::figure_set() {
+            assert_eq!(kind.name(), kind.build().name());
+        }
+        assert_eq!(HealerKind::NoHeal.name(), HealerKind::NoHeal.build().name());
+    }
+
+    #[test]
+    fn attack_names_match_instances() {
+        for kind in AttackKind::all() {
+            assert_eq!(kind.name(), kind.build(1).name());
+        }
+    }
+
+    #[test]
+    fn trial_seeds_differ() {
+        let a = trial_seed(1, 64, 0);
+        let b = trial_seed(1, 64, 1);
+        let c = trial_seed(1, 128, 0);
+        let d = trial_seed(2, 64, 0);
+        assert!(a != b && a != c && a != d);
+        assert_eq!(a, trial_seed(1, 64, 0));
+    }
+}

@@ -1,0 +1,140 @@
+//! `run-experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! run-experiments <fig8|fig9a|fig9b|fig10|theorem1|lowerbound|all>
+//!                 [--quick|--full] [--seed N] [--threads N] [--csv DIR]
+//! ```
+
+use selfheal_experiments::{
+    attacks, batchexp, config::HealerKind, config::Scale, fig10, fig8, fig9, lowerbound, render,
+    theorem1,
+};
+use selfheal_metrics::csv::write_figure_csv;
+use selfheal_metrics::Figure;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Options {
+    command: String,
+    scale: Scale,
+    seed: u64,
+    threads: usize,
+    csv_dir: Option<PathBuf>,
+    chart: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: run-experiments <fig8|fig9a|fig9b|fig10|theorem1|lowerbound|attacks|batch|all> \
+         [--quick|--full] [--seed N] [--threads N] [--csv DIR] [--chart]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        command: String::new(),
+        scale: Scale::Quick,
+        seed: 20080124, // the paper's arXiv date
+        threads: selfheal_graph::parallel::default_threads(),
+        csv_dir: None,
+        chart: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.scale = Scale::Quick,
+            "--full" => opts.scale = Scale::Full,
+            "--chart" => opts.chart = true,
+            "--seed" => {
+                opts.seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                opts.threads =
+                    args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--csv" => opts.csv_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--help" | "-h" => usage(),
+            cmd if opts.command.is_empty() && !cmd.starts_with('-') => {
+                opts.command = cmd.to_string()
+            }
+            _ => usage(),
+        }
+    }
+    if opts.command.is_empty() {
+        opts.command = "all".to_string();
+    }
+    let known = [
+        "fig8", "fig9a", "fig9b", "fig10", "theorem1", "lowerbound", "attacks", "batch", "all",
+    ];
+    if !known.contains(&opts.command.as_str()) {
+        usage();
+    }
+    opts
+}
+
+fn emit_figure(fig: &Figure, slug: &str, opts: &Options) {
+    println!("{}", render::figure_table(fig));
+    if opts.chart {
+        println!(
+            "{}",
+            selfheal_metrics::plot::render(fig, selfheal_metrics::plot::PlotConfig::default())
+        );
+    }
+    if let Some(dir) = &opts.csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = dir.join(format!("{slug}.csv"));
+        write_figure_csv(fig, &path).expect("write csv");
+        println!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let t0 = Instant::now();
+    let run = |name: &str| opts.command == name || opts.command == "all";
+
+    println!(
+        "# self-healing experiment harness — scale {:?}, seed {}, {} threads\n",
+        opts.scale, opts.seed, opts.threads
+    );
+
+    if run("fig8") {
+        let fig = fig8::run(opts.scale, opts.seed, opts.threads);
+        emit_figure(&fig, "fig8_degree_increase", &opts);
+    }
+    if run("fig9a") {
+        let fig = fig9::run_id_changes(opts.scale, opts.seed, opts.threads);
+        emit_figure(&fig, "fig9a_id_changes", &opts);
+    }
+    if run("fig9b") {
+        let fig = fig9::run_messages(opts.scale, opts.seed, opts.threads);
+        emit_figure(&fig, "fig9b_messages", &opts);
+    }
+    if run("fig10") {
+        let fig = fig10::run(opts.scale, opts.seed, opts.threads);
+        emit_figure(&fig, "fig10_stretch", &opts);
+    }
+    if run("theorem1") {
+        let rows = theorem1::run(opts.scale, opts.seed, opts.threads);
+        println!("Theorem 1 validation (DASH, all attacks)\n{}", theorem1::render(&rows));
+        let violations = rows.iter().filter(|r| !r.all_ok).count();
+        println!("bound violations: {violations}\n");
+    }
+    if run("lowerbound") {
+        let results = lowerbound::run(opts.scale, opts.seed);
+        println!("Theorem 2 LEVELATTACK lower bound\n{}", lowerbound::render(&results));
+    }
+    if run("attacks") {
+        for healer in [HealerKind::Dash, HealerKind::GraphHeal] {
+            let fig = attacks::run_degree(opts.scale, healer, opts.seed, opts.threads);
+            emit_figure(&fig, &format!("e7_attacks_{}", healer.name()), &opts);
+        }
+    }
+    if run("batch") {
+        let rows = batchexp::run(opts.scale, opts.seed);
+        println!("E8: simultaneous (batch) deletions with DASH\n{}", batchexp::render(&rows));
+    }
+
+    println!("done in {:.1?}", t0.elapsed());
+}

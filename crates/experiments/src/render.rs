@@ -1,0 +1,51 @@
+//! Render figures as ASCII tables (rows = x values, columns = series).
+
+use selfheal_metrics::{table::fmt_f64, Figure, Table};
+
+/// One table per figure: first column is `x`, one column per series mean.
+pub fn figure_table(fig: &Figure) -> String {
+    let mut xs: Vec<f64> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.x))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.dedup();
+    let mut headers = vec![fig.x_label.clone()];
+    headers.extend(fig.series.iter().map(|s| s.name.clone()));
+    let mut t = Table::new(headers);
+    for &x in &xs {
+        let mut row = vec![fmt_f64(x)];
+        for s in &fig.series {
+            row.push(match s.mean_at(x) {
+                Some(m) => fmt_f64(m),
+                None => "-".to_string(),
+            });
+        }
+        t.row(row);
+    }
+    format!("{}\n({} -> {})\n{}", fig.title, fig.x_label, fig.y_label, t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfheal_metrics::{Series, SeriesPoint};
+
+    #[test]
+    fn renders_all_series_columns() {
+        let mut fig = Figure::new("T", "n", "y");
+        let mut a = Series::new("dash");
+        a.push(SeriesPoint::from_trials(10.0, &[1.0]));
+        a.push(SeriesPoint::from_trials(20.0, &[2.0]));
+        let mut b = Series::new("line-heal");
+        b.push(SeriesPoint::from_trials(10.0, &[4.0]));
+        fig.push(a);
+        fig.push(b);
+        let s = figure_table(&fig);
+        assert!(s.contains("dash"));
+        assert!(s.contains("line-heal"));
+        assert!(s.contains('-'), "missing point should render as dash");
+        assert!(s.starts_with("T\n"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Articulation points and bridges (Tarjan/Hopcroft, iterative).
+//!
+//! An articulation point (cut vertex) is a node whose removal disconnects
+//! its component; a bridge is an edge with the same property. The
+//! smartest deletion adversary targets articulation points — they force
+//! the healing algorithm to do real work every round — so the attack
+//! module builds on this.
+
+use crate::graph::Graph;
+use crate::ids::{Edge, NodeId};
+
+/// DFS state for the iterative lowlink computation.
+struct LowlinkState {
+    disc: Vec<u32>,
+    low: Vec<u32>,
+    parent: Vec<u32>,
+    timer: u32,
+}
+
+const UNVISITED: u32 = u32::MAX;
+
+/// Result of the cut analysis.
+#[derive(Clone, Debug, Default)]
+pub struct CutAnalysis {
+    /// All articulation points, sorted by id.
+    pub articulation_points: Vec<NodeId>,
+    /// All bridges.
+    pub bridges: Vec<Edge>,
+}
+
+/// Compute articulation points and bridges of the live subgraph.
+pub fn cut_analysis(g: &Graph) -> CutAnalysis {
+    let n = g.node_bound();
+    let mut st = LowlinkState {
+        disc: vec![UNVISITED; n],
+        low: vec![0; n],
+        parent: vec![u32::MAX; n],
+        timer: 0,
+    };
+    let mut is_ap = vec![false; n];
+    let mut bridges = Vec::new();
+
+    for root in g.live_nodes() {
+        if st.disc[root.index()] != UNVISITED {
+            continue;
+        }
+        // Iterative DFS: stack of (node, neighbor-cursor).
+        let mut stack: Vec<(NodeId, usize)> = Vec::new();
+        st.disc[root.index()] = st.timer;
+        st.low[root.index()] = st.timer;
+        st.timer += 1;
+        stack.push((root, 0));
+        let mut root_children = 0usize;
+
+        while let Some(&mut (v, ref mut cursor)) = stack.last_mut() {
+            let nbrs = g.neighbors(v);
+            if *cursor < nbrs.len() {
+                let u = nbrs[*cursor];
+                *cursor += 1;
+                if st.disc[u.index()] == UNVISITED {
+                    st.parent[u.index()] = v.0;
+                    if v == root {
+                        root_children += 1;
+                    }
+                    st.disc[u.index()] = st.timer;
+                    st.low[u.index()] = st.timer;
+                    st.timer += 1;
+                    stack.push((u, 0));
+                } else if u.0 != st.parent[v.index()] {
+                    // Back edge.
+                    st.low[v.index()] = st.low[v.index()].min(st.disc[u.index()]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    st.low[p.index()] = st.low[p.index()].min(st.low[v.index()]);
+                    if st.low[v.index()] > st.disc[p.index()] {
+                        bridges.push(Edge::new(p, v));
+                    }
+                    if p != root && st.low[v.index()] >= st.disc[p.index()] {
+                        is_ap[p.index()] = true;
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_ap[root.index()] = true;
+        }
+    }
+
+    let articulation_points = (0..n)
+        .filter(|&i| is_ap[i])
+        .map(NodeId::from_index)
+        .collect();
+    bridges.sort_unstable();
+    CutAnalysis { articulation_points, bridges }
+}
+
+/// Just the articulation points (sorted by id).
+pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
+    cut_analysis(g).articulation_points
+}
+
+/// Just the bridges.
+pub fn bridges(g: &Graph) -> Vec<Edge> {
+    cut_analysis(g).bridges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, cycle_graph, path_graph, star_graph};
+
+    #[test]
+    fn path_interior_nodes_are_cut_points() {
+        let g = path_graph(5);
+        let a = cut_analysis(&g);
+        assert_eq!(a.articulation_points, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(a.bridges.len(), 4); // every path edge is a bridge
+    }
+
+    #[test]
+    fn cycle_has_no_cut_points() {
+        let g = cycle_graph(6);
+        let a = cut_analysis(&g);
+        assert!(a.articulation_points.is_empty());
+        assert!(a.bridges.is_empty());
+    }
+
+    #[test]
+    fn star_hub_is_the_only_cut_point() {
+        let g = star_graph(6);
+        let a = cut_analysis(&g);
+        assert_eq!(a.articulation_points, vec![NodeId(0)]);
+        assert_eq!(a.bridges.len(), 5);
+    }
+
+    #[test]
+    fn complete_graph_has_none() {
+        let g = complete_graph(5);
+        let a = cut_analysis(&g);
+        assert!(a.articulation_points.is_empty());
+        assert!(a.bridges.is_empty());
+    }
+
+    #[test]
+    fn barbell_detects_the_bridge() {
+        // Two triangles joined by the edge (2, 3).
+        let mut g = Graph::new(6);
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
+            g.add_edge(NodeId(a), NodeId(b)).unwrap();
+        }
+        let a = cut_analysis(&g);
+        assert_eq!(a.articulation_points, vec![NodeId(2), NodeId(3)]);
+        assert_eq!(a.bridges, vec![Edge::new(NodeId(2), NodeId(3))]);
+    }
+
+    #[test]
+    fn disconnected_components_are_analyzed_independently() {
+        // A path 0-1-2 and an isolated triangle 3-4-5.
+        let mut g = Graph::new(6);
+        for (a, b) in [(0, 1), (1, 2), (3, 4), (4, 5), (5, 3)] {
+            g.add_edge(NodeId(a), NodeId(b)).unwrap();
+        }
+        let a = cut_analysis(&g);
+        assert_eq!(a.articulation_points, vec![NodeId(1)]);
+        assert_eq!(a.bridges.len(), 2);
+    }
+
+    #[test]
+    fn dead_nodes_are_skipped() {
+        let mut g = path_graph(5);
+        g.remove_node(NodeId(2)).unwrap();
+        let a = cut_analysis(&g);
+        // Remaining components are 0-1 and 3-4: endpoints only, no APs.
+        assert_eq!(a.articulation_points, Vec::<NodeId>::new());
+        assert_eq!(a.bridges.len(), 2);
+    }
+
+    #[test]
+    fn removal_of_cut_point_disconnects() {
+        // Cross-check the definition on a random-ish structure.
+        let mut g = Graph::new(7);
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)] {
+            g.add_edge(NodeId(a), NodeId(b)).unwrap();
+        }
+        for v in articulation_points(&g) {
+            let mut h = g.clone();
+            h.remove_node(v).unwrap();
+            assert!(
+                !crate::components::is_connected(&h),
+                "removing AP {v} should disconnect"
+            );
+        }
+        // And removing any non-AP keeps it connected.
+        let aps = articulation_points(&g);
+        for v in g.live_nodes().filter(|v| !aps.contains(v)) {
+            let mut h = g.clone();
+            h.remove_node(v).unwrap();
+            assert!(crate::components::is_connected(&h), "removing non-AP {v} disconnected");
+        }
+    }
+}

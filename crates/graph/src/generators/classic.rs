@@ -1,0 +1,112 @@
+//! Deterministic classic topologies: path, cycle, star, complete, grid.
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+/// Path graph `0 - 1 - ... - (n-1)`.
+pub fn path_graph(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(NodeId::from_index(i - 1), NodeId::from_index(i)).unwrap();
+    }
+    g
+}
+
+/// Cycle graph over `n >= 3` nodes (for `n < 3` falls back to a path).
+pub fn cycle_graph(n: usize) -> Graph {
+    let mut g = path_graph(n);
+    if n >= 3 {
+        g.add_edge(NodeId::from_index(n - 1), NodeId(0)).unwrap();
+    }
+    g
+}
+
+/// Star graph: node 0 is the hub, nodes `1..n` are spokes.
+pub fn star_graph(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(NodeId(0), NodeId::from_index(i)).unwrap();
+    }
+    g
+}
+
+/// Complete graph `K_n`.
+pub fn complete_graph(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(NodeId::from_index(i), NodeId::from_index(j)).unwrap();
+        }
+    }
+    g
+}
+
+/// `rows x cols` 4-connected grid; node `(r, c)` has id `r * cols + c`.
+pub fn grid_graph(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = NodeId::from_index(r * cols + c);
+            if c + 1 < cols {
+                g.add_edge(v, NodeId::from_index(r * cols + c + 1)).unwrap();
+            }
+            if r + 1 < rows {
+                g.add_edge(v, NodeId::from_index((r + 1) * cols + c)).unwrap();
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use crate::paths::diameter;
+
+    #[test]
+    fn path_properties() {
+        let g = path_graph(10);
+        assert_eq!(g.edge_count(), 9);
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(9));
+        assert_eq!(path_graph(0).edge_count(), 0);
+        assert_eq!(path_graph(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_properties() {
+        let g = cycle_graph(8);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(diameter(&g), Some(4));
+        // degenerate sizes fall back to paths
+        assert_eq!(cycle_graph(2).edge_count(), 1);
+        assert_eq!(cycle_graph(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn star_properties() {
+        let g = star_graph(6);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.degree(NodeId(0)), 5);
+        assert_eq!(diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn complete_properties() {
+        let g = complete_graph(7);
+        assert_eq!(g.edge_count(), 21);
+        assert_eq!(diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn grid_properties() {
+        let g = grid_graph(3, 4);
+        assert_eq!(g.live_node_count(), 12);
+        // edges: 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8
+        assert_eq!(g.edge_count(), 17);
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(5));
+        assert_eq!(g.degree(NodeId(0)), 2); // corner
+    }
+}

@@ -1,0 +1,91 @@
+//! Random tree generators used by tests and the Lemma 10 experiments.
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use rand::Rng;
+
+/// Random recursive tree: node `i` attaches to a uniformly random earlier
+/// node. Always a tree over `n` nodes.
+pub fn random_recursive_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        g.add_edge(NodeId::from_index(parent), NodeId::from_index(i)).unwrap();
+    }
+    g
+}
+
+/// Preferential-attachment tree (Barabási–Albert with `m = 1`): node `i`
+/// attaches to an earlier node chosen proportional to degree.
+pub fn preferential_attachment_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    let mut g = Graph::new(n);
+    if n <= 1 {
+        return g;
+    }
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n);
+    g.add_edge(NodeId(0), NodeId(1)).unwrap();
+    endpoints.push(NodeId(0));
+    endpoints.push(NodeId(1));
+    for i in 2..n {
+        let v = NodeId::from_index(i);
+        let u = endpoints[rng.gen_range(0..endpoints.len())];
+        g.add_edge(v, u).unwrap();
+        endpoints.push(v);
+        endpoints.push(u);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::is_tree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recursive_tree_is_tree() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = random_recursive_tree(100, &mut rng);
+            assert!(is_tree(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pa_tree_is_tree() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = preferential_attachment_tree(100, &mut rng);
+            assert!(is_tree(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(random_recursive_tree(0, &mut rng).live_node_count(), 0);
+        assert_eq!(random_recursive_tree(1, &mut rng).edge_count(), 0);
+        assert_eq!(preferential_attachment_tree(1, &mut rng).edge_count(), 0);
+        assert_eq!(preferential_attachment_tree(2, &mut rng).edge_count(), 1);
+    }
+
+    #[test]
+    fn pa_tree_has_bigger_hubs_than_recursive() {
+        // Statistical smoke test: preferential attachment should produce a
+        // larger maximum degree on average.
+        let mut pa_max = 0usize;
+        let mut rr_max = 0usize;
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            pa_max += crate::properties::degree_stats(&preferential_attachment_tree(500, &mut rng))
+                .unwrap()
+                .max;
+            let mut rng = StdRng::seed_from_u64(seed);
+            rr_max += crate::properties::degree_stats(&random_recursive_tree(500, &mut rng))
+                .unwrap()
+                .max;
+        }
+        assert!(pa_max > rr_max, "pa {pa_max} vs rr {rr_max}");
+    }
+}

@@ -1,0 +1,478 @@
+//! The dynamic undirected graph at the heart of every simulation.
+//!
+//! [`Graph`] is a simple (no self-loops, no parallel edges) undirected
+//! graph with *stable node ids* and tombstoned deletion: removing a node
+//! keeps its slot so every other node's id stays valid, which is exactly
+//! what a long adversarial deletion/healing run needs.
+//!
+//! Neighbor lists are kept **sorted**, so membership tests are
+//! `O(log deg)` binary searches and neighbor iteration yields ids in
+//! increasing order — a property the deterministic healing algorithms rely
+//! on for reproducibility.
+
+use crate::errors::{GraphError, Result};
+use crate::ids::{Edge, NodeId};
+
+/// A dynamic, simple, undirected graph with tombstoned node deletion.
+///
+/// # Examples
+/// ```
+/// use selfheal_graph::{Graph, NodeId};
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(NodeId(0), NodeId(1)).unwrap();
+/// g.add_edge(NodeId(1), NodeId(2)).unwrap();
+/// g.add_edge(NodeId(2), NodeId(3)).unwrap();
+/// assert_eq!(g.degree(NodeId(1)), 2);
+///
+/// let former = g.remove_node(NodeId(1)).unwrap();
+/// assert_eq!(former, vec![NodeId(0), NodeId(2)]);
+/// assert!(!g.is_alive(NodeId(1)));
+/// assert_eq!(g.degree(NodeId(0)), 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    /// Sorted adjacency list per node slot (dead slots are empty).
+    adj: Vec<Vec<NodeId>>,
+    /// Liveness flag per slot.
+    alive: Vec<bool>,
+    /// Number of live nodes.
+    live_count: usize,
+    /// Number of live edges.
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Create a graph with `n` live, isolated nodes (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            alive: vec![true; n],
+            live_count: n,
+            edge_count: 0,
+        }
+    }
+
+    /// Create an empty graph that will allocate slots lazily via
+    /// [`Graph::add_node`].
+    pub fn empty() -> Self {
+        Self::new(0)
+    }
+
+    /// Total number of node slots ever allocated (live + dead).
+    ///
+    /// All per-node auxiliary vectors in client code should be sized by
+    /// this bound.
+    #[inline]
+    pub fn node_bound(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of currently live nodes.
+    #[inline]
+    pub fn live_node_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Number of currently live edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether `v` refers to an allocated slot (live or dead).
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        v.index() < self.adj.len()
+    }
+
+    /// Whether node `v` is currently live.
+    #[inline]
+    pub fn is_alive(&self, v: NodeId) -> bool {
+        self.contains(v) && self.alive[v.index()]
+    }
+
+    /// Validate that `v` is an allocated, live node.
+    #[inline]
+    pub fn check_alive(&self, v: NodeId) -> Result<()> {
+        if !self.contains(v) {
+            Err(GraphError::NodeOutOfRange(v))
+        } else if !self.alive[v.index()] {
+            Err(GraphError::NodeDead(v))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Allocate a fresh live node and return its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::from_index(self.adj.len());
+        self.adj.push(Vec::new());
+        self.alive.push(true);
+        self.live_count += 1;
+        id
+    }
+
+    /// Degree of `v` (0 for dead or out-of-range nodes).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        if self.contains(v) {
+            self.adj[v.index()].len()
+        } else {
+            0
+        }
+    }
+
+    /// The sorted neighbor list of `v` (empty slice for dead nodes).
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        if self.contains(v) {
+            &self.adj[v.index()]
+        } else {
+            &[]
+        }
+    }
+
+    /// Whether the edge `(u, v)` exists (both endpoints live).
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.contains(u) && self.adj[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Insert the undirected edge `(u, v)`.
+    ///
+    /// # Errors
+    /// Fails with [`GraphError::SelfLoop`] for `u == v`, with
+    /// [`GraphError::EdgeExists`] if the edge is already present, and with
+    /// node errors if either endpoint is dead or out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<()> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        self.check_alive(u)?;
+        self.check_alive(v)?;
+        let pos_u = match self.adj[u.index()].binary_search(&v) {
+            Ok(_) => return Err(GraphError::EdgeExists(u, v)),
+            Err(pos) => pos,
+        };
+        // This cannot be Ok if the u-side search wasn't: adjacency is symmetric.
+        let pos_v = self.adj[v.index()]
+            .binary_search(&u)
+            .expect_err("asymmetric adjacency detected");
+        self.adj[u.index()].insert(pos_u, v);
+        self.adj[v.index()].insert(pos_v, u);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Insert `(u, v)` if absent; returns `true` when a new edge was added.
+    ///
+    /// Unlike [`Graph::add_edge`], an already-present edge is not an error.
+    pub fn ensure_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool> {
+        match self.add_edge(u, v) {
+            Ok(()) => Ok(true),
+            Err(GraphError::EdgeExists(..)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Remove the undirected edge `(u, v)`.
+    ///
+    /// # Errors
+    /// Fails with [`GraphError::EdgeMissing`] if the edge is not present.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<()> {
+        self.check_alive(u)?;
+        self.check_alive(v)?;
+        let pos_u = self.adj[u.index()]
+            .binary_search(&v)
+            .map_err(|_| GraphError::EdgeMissing(u, v))?;
+        let pos_v = self.adj[v.index()]
+            .binary_search(&u)
+            .map_err(|_| GraphError::EdgeMissing(u, v))?;
+        self.adj[u.index()].remove(pos_u);
+        self.adj[v.index()].remove(pos_v);
+        self.edge_count -= 1;
+        Ok(())
+    }
+
+    /// Delete node `v`, detaching all incident edges.
+    ///
+    /// Returns the (sorted) list of former neighbors, which is exactly the
+    /// set a locality-aware healing algorithm is allowed to rewire.
+    pub fn remove_node(&mut self, v: NodeId) -> Result<Vec<NodeId>> {
+        self.check_alive(v)?;
+        let neighbors = std::mem::take(&mut self.adj[v.index()]);
+        for &u in &neighbors {
+            let pos = self.adj[u.index()]
+                .binary_search(&v)
+                .expect("asymmetric adjacency detected");
+            self.adj[u.index()].remove(pos);
+        }
+        self.edge_count -= neighbors.len();
+        self.alive[v.index()] = false;
+        self.live_count -= 1;
+        Ok(neighbors)
+    }
+
+    /// Iterator over the ids of all live nodes, in increasing order.
+    pub fn live_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+
+    /// Iterator over all live edges, each reported once with `lo < hi`.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(move |(i, nbrs)| {
+            let u = NodeId::from_index(i);
+            nbrs.iter()
+                .filter(move |&&w| u < w)
+                .map(move |&w| Edge::new(u, w))
+        })
+    }
+
+    /// The neighbor-of-neighbor (NoN) set of `v`: every node at distance
+    /// exactly 1 or 2 from `v`, excluding `v` itself, sorted and deduplicated.
+    ///
+    /// This is the information the paper assumes every node maintains
+    /// ("for all nodes x, y, z such that x is a neighbor of y and y is a
+    /// neighbor of z, x knows z").
+    pub fn neighbors_of_neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = Vec::new();
+        for &u in self.neighbors(v) {
+            out.push(u);
+            out.extend(self.neighbors(u).iter().copied().filter(|&w| w != v));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The live node with the maximum degree (ties broken by lowest id).
+    ///
+    /// Returns `None` when the graph has no live nodes.
+    pub fn max_degree_node(&self) -> Option<NodeId> {
+        let mut best: Option<(usize, NodeId)> = None;
+        for v in self.live_nodes() {
+            let d = self.degree(v);
+            match best {
+                Some((bd, _)) if bd >= d => {}
+                _ => best = Some((d, v)),
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    /// The live node with the minimum degree (ties broken by lowest id).
+    pub fn min_degree_node(&self) -> Option<NodeId> {
+        let mut best: Option<(usize, NodeId)> = None;
+        for v in self.live_nodes() {
+            let d = self.degree(v);
+            match best {
+                Some((bd, _)) if bd <= d => {}
+                _ => best = Some((d, v)),
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    /// Sum of degrees over all live nodes (= `2 * edge_count`).
+    pub fn degree_sum(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Internal consistency check used by tests and `debug_assert!`s:
+    /// adjacency symmetric & sorted, dead nodes isolated, counters correct.
+    pub fn validate(&self) -> Result<()> {
+        let mut edges = 0usize;
+        let mut live = 0usize;
+        for (i, nbrs) in self.adj.iter().enumerate() {
+            let v = NodeId::from_index(i);
+            if self.alive[i] {
+                live += 1;
+            } else if !nbrs.is_empty() {
+                return Err(GraphError::NodeDead(v));
+            }
+            let mut prev: Option<NodeId> = None;
+            for &u in nbrs {
+                if u == v {
+                    return Err(GraphError::SelfLoop(v));
+                }
+                if let Some(p) = prev {
+                    if p >= u {
+                        // duplicate or unsorted entry
+                        return Err(GraphError::EdgeExists(v, u));
+                    }
+                }
+                prev = Some(u);
+                if !self.is_alive(u) {
+                    return Err(GraphError::NodeDead(u));
+                }
+                if self.adj[u.index()].binary_search(&v).is_err() {
+                    return Err(GraphError::EdgeMissing(u, v));
+                }
+                edges += 1;
+            }
+        }
+        debug_assert_eq!(edges % 2, 0);
+        if edges / 2 != self.edge_count || live != self.live_count {
+            return Err(GraphError::EmptyGraph); // counter drift
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(NodeId::from_index(i - 1), NodeId::from_index(i)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn new_graph_is_isolated() {
+        let g = Graph::new(5);
+        assert_eq!(g.live_node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        for v in g.live_nodes() {
+            assert_eq!(g.degree(v), 0);
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(2)).unwrap();
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(g.has_edge(NodeId(2), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree_sum(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(
+            g.add_edge(NodeId(1), NodeId(0)),
+            Err(GraphError::EdgeExists(NodeId(1), NodeId(0)))
+        );
+        assert_eq!(g.ensure_edge(NodeId(0), NodeId(1)), Ok(false));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = Graph::new(2);
+        assert_eq!(g.add_edge(NodeId(1), NodeId(1)), Err(GraphError::SelfLoop(NodeId(1))));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut g = Graph::new(2);
+        assert_eq!(
+            g.add_edge(NodeId(0), NodeId(9)),
+            Err(GraphError::NodeOutOfRange(NodeId(9)))
+        );
+        assert!(!g.is_alive(NodeId(9)));
+        assert!(!g.has_edge(NodeId(0), NodeId(9)));
+    }
+
+    #[test]
+    fn remove_edge_works_and_missing_edge_errors() {
+        let mut g = path(3);
+        g.remove_edge(NodeId(0), NodeId(1)).unwrap();
+        assert!(!g.has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(
+            g.remove_edge(NodeId(0), NodeId(1)),
+            Err(GraphError::EdgeMissing(NodeId(0), NodeId(1)))
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_node_detaches_and_tombstones() {
+        let mut g = path(4);
+        let nbrs = g.remove_node(NodeId(1)).unwrap();
+        assert_eq!(nbrs, vec![NodeId(0), NodeId(2)]);
+        assert!(!g.is_alive(NodeId(1)));
+        assert_eq!(g.live_node_count(), 3);
+        assert_eq!(g.edge_count(), 1); // only (2,3) remains
+        assert_eq!(g.degree(NodeId(0)), 0);
+        assert_eq!(g.check_alive(NodeId(1)), Err(GraphError::NodeDead(NodeId(1))));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn removing_dead_node_errors() {
+        let mut g = path(3);
+        g.remove_node(NodeId(0)).unwrap();
+        assert_eq!(g.remove_node(NodeId(0)), Err(GraphError::NodeDead(NodeId(0))));
+    }
+
+    #[test]
+    fn edges_are_reported_once() {
+        let g = path(4);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        assert_eq!(edges[0], Edge::new(NodeId(0), NodeId(1)));
+        assert_eq!(edges[2], Edge::new(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn add_node_extends_graph() {
+        let mut g = Graph::new(1);
+        let v = g.add_node();
+        assert_eq!(v, NodeId(1));
+        g.add_edge(NodeId(0), v).unwrap();
+        assert_eq!(g.live_node_count(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn neighbors_of_neighbors_excludes_self() {
+        let g = path(5);
+        // NoN of node 2 on a path: {0, 1, 3, 4}
+        assert_eq!(
+            g.neighbors_of_neighbors(NodeId(2)),
+            vec![NodeId(0), NodeId(1), NodeId(3), NodeId(4)]
+        );
+        // NoN of an endpoint
+        assert_eq!(g.neighbors_of_neighbors(NodeId(0)), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn max_and_min_degree_nodes() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1)).unwrap();
+        g.add_edge(NodeId(0), NodeId(2)).unwrap();
+        g.add_edge(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(g.max_degree_node(), Some(NodeId(0)));
+        assert_eq!(g.min_degree_node(), Some(NodeId(1))); // tie broken by id
+        let mut empty = Graph::new(1);
+        empty.remove_node(NodeId(0)).unwrap();
+        assert_eq!(empty.max_degree_node(), None);
+        assert_eq!(empty.min_degree_node(), None);
+    }
+
+    #[test]
+    fn neighbors_sorted_after_random_insertions() {
+        let mut g = Graph::new(10);
+        for v in [7u32, 3, 9, 1, 5] {
+            g.add_edge(NodeId(0), NodeId(v)).unwrap();
+        }
+        let nbrs = g.neighbors(NodeId(0));
+        assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+    }
+}

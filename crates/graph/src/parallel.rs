@@ -1,0 +1,211 @@
+//! Thread-parallel graph sweeps.
+//!
+//! The expensive analysis in this workspace is all-pairs BFS (used by the
+//! stretch metric, Fig. 10 of the paper). The graph being swept is frozen
+//! into a [`Csr`] snapshot, which is `Sync`, so the sweep parallelizes
+//! embarrassingly: sources are distributed over a small pool of scoped
+//! threads with dynamic (atomic-counter) load balancing, and per-thread
+//! partial results are folded through a crossbeam channel.
+
+use crate::csr::Csr;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A sensible default worker count: available parallelism capped at 8
+/// (the sweeps here saturate memory bandwidth long before 8 cores).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Map every item in `0..n_items` through `map` on a pool of `threads`
+/// workers and fold all results with `reduce`, starting from `identity`
+/// in each worker.
+///
+/// Items are handed out dynamically via an atomic counter, so uneven
+/// per-item costs still balance. The reduction order is unspecified;
+/// `reduce` must be associative and commutative for a deterministic
+/// result (all uses in this crate fold with `max`, which is).
+pub fn parallel_map_reduce<T, F, R>(
+    n_items: usize,
+    threads: usize,
+    identity: T,
+    map: F,
+    reduce: R,
+) -> T
+where
+    T: Send + Clone,
+    F: Fn(usize) -> T + Sync,
+    R: Fn(T, T) -> T + Sync + Send,
+{
+    let threads = threads.max(1).min(n_items.max(1));
+    if threads == 1 {
+        let mut acc = identity;
+        for i in 0..n_items {
+            acc = reduce(acc, map(i));
+        }
+        return acc;
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::bounded::<T>(threads);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let map = &map;
+            let reduce = &reduce;
+            let mut acc = identity.clone();
+            scope.spawn(move || {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_items {
+                        break;
+                    }
+                    acc = reduce(acc, map(i));
+                }
+                tx.send(acc).expect("result channel closed early");
+            });
+        }
+        drop(tx);
+        let mut total = identity.clone();
+        for part in rx.iter() {
+            total = reduce(total, part);
+        }
+        total
+    })
+}
+
+/// All-pairs shortest paths over a CSR snapshot using `threads` workers.
+///
+/// Returns the full `n x n` hop-distance matrix in dense indices,
+/// identical to [`crate::paths::apsp`] but computed in parallel. Rows are
+/// written in place, so the result is bit-for-bit deterministic regardless
+/// of scheduling.
+pub fn parallel_apsp(csr: &Csr, threads: usize) -> Vec<Vec<u32>> {
+    let n = csr.len();
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    if n == 0 {
+        return out;
+    }
+    let threads = threads.max(1).min(n);
+    let next = AtomicUsize::new(0);
+    // Hand out rows through raw pointers guarded by the atomic counter:
+    // each row index is claimed exactly once, so no two threads touch the
+    // same row. A scoped-thread + channel version would avoid the unsafe
+    // block but doubles peak memory by staging rows; APSP matrices are the
+    // biggest allocation in the workspace, so in-place wins.
+    struct RowsPtr(*mut Vec<u32>);
+    unsafe impl Send for RowsPtr {}
+    unsafe impl Sync for RowsPtr {}
+    let rows = RowsPtr(out.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let next = &next;
+            let rows = &rows;
+            scope.spawn(move || {
+                let mut queue = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // SAFETY: `i` is claimed exactly once across all
+                    // threads (fetch_add), and `out` outlives the scope.
+                    let row = unsafe { &mut *rows.0.add(i) };
+                    csr.bfs_into(i, row, &mut queue);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Sum of all finite pairwise distances and the count of connected ordered
+/// pairs, computed in parallel without materializing the APSP matrix.
+///
+/// Useful for average-path-length style metrics on large graphs.
+pub fn parallel_distance_sum(csr: &Csr, threads: usize) -> (u64, u64) {
+    parallel_map_reduce(
+        csr.len(),
+        threads,
+        (0u64, 0u64),
+        |src| {
+            let dist = csr.bfs(src);
+            let mut sum = 0u64;
+            let mut cnt = 0u64;
+            for (j, &d) in dist.iter().enumerate() {
+                if j != src && d != crate::csr::UNREACHABLE {
+                    sum += d as u64;
+                    cnt += 1;
+                }
+            }
+            (sum, cnt)
+        },
+        |a, b| (a.0 + b.0, a.1 + b.1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::ids::NodeId;
+    use crate::paths::apsp;
+
+    fn ring(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(NodeId::from_index(i), NodeId::from_index((i + 1) % n)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn parallel_apsp_matches_serial() {
+        let g = ring(64);
+        let csr = Csr::from_graph(&g);
+        let serial = apsp(&csr);
+        for threads in [1, 2, 4] {
+            let par = parallel_apsp(&csr, threads);
+            assert_eq!(par, serial, "mismatch at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_apsp_empty() {
+        let mut g = Graph::new(1);
+        g.remove_node(NodeId(0)).unwrap();
+        let csr = Csr::from_graph(&g);
+        assert!(parallel_apsp(&csr, 4).is_empty());
+    }
+
+    #[test]
+    fn map_reduce_sums() {
+        let total = parallel_map_reduce(1000, 4, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn map_reduce_single_thread_path() {
+        let total = parallel_map_reduce(10, 1, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn map_reduce_zero_items() {
+        let total = parallel_map_reduce(0, 4, 7u64, |_| 1, |a, b| a.max(b));
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn distance_sum_on_ring() {
+        // On a ring of 6, each node sees distances 1,2,3,2,1 (sum 9).
+        let g = ring(6);
+        let csr = Csr::from_graph(&g);
+        let (sum, cnt) = parallel_distance_sum(&csr, 3);
+        assert_eq!(sum, 6 * 9);
+        assert_eq!(cnt, 30);
+    }
+}

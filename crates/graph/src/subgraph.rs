@@ -1,0 +1,122 @@
+//! Induced subgraphs and component extraction.
+
+use crate::components::connected_components;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+/// An induced subgraph with the mapping back to the parent graph.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    /// The extracted graph over dense ids `0..len`.
+    pub graph: Graph,
+    /// Dense id -> original id.
+    pub original: Vec<NodeId>,
+}
+
+impl Subgraph {
+    /// Original id of dense node `i`.
+    pub fn original_id(&self, i: NodeId) -> NodeId {
+        self.original[i.index()]
+    }
+}
+
+/// Extract the subgraph induced by `nodes` (dead and out-of-range ids are
+/// ignored; duplicates collapsed).
+pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> Subgraph {
+    let mut selected: Vec<NodeId> =
+        nodes.iter().copied().filter(|&v| g.is_alive(v)).collect();
+    selected.sort_unstable();
+    selected.dedup();
+    let mut dense = vec![u32::MAX; g.node_bound()];
+    for (i, &v) in selected.iter().enumerate() {
+        dense[v.index()] = i as u32;
+    }
+    let mut sub = Graph::new(selected.len());
+    for (i, &v) in selected.iter().enumerate() {
+        for &u in g.neighbors(v) {
+            let du = dense[u.index()];
+            if du != u32::MAX && (du as usize) > i {
+                sub.add_edge(NodeId::from_index(i), NodeId(du)).unwrap();
+            }
+        }
+    }
+    Subgraph { graph: sub, original: selected }
+}
+
+/// The node set of the largest connected component (ties broken toward
+/// the component containing the smallest node id). Empty for an empty
+/// graph.
+pub fn largest_component(g: &Graph) -> Vec<NodeId> {
+    let cc = connected_components(g);
+    if cc.count == 0 {
+        return Vec::new();
+    }
+    let sizes = cc.sizes();
+    let best = (0..cc.count).max_by_key(|&c| (sizes[c], std::cmp::Reverse(c))).unwrap();
+    g.live_nodes().filter(|&v| cc.component_of(v) == Some(best)).collect()
+}
+
+/// Extract the largest connected component as its own graph.
+pub fn largest_component_subgraph(g: &Graph) -> Subgraph {
+    induced_subgraph(g, &largest_component(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    fn two_parts() -> Graph {
+        // Triangle {0,1,2} + path {3,4}.
+        let mut g = Graph::new(5);
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (3, 4)] {
+            g.add_edge(NodeId(a), NodeId(b)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = two_parts();
+        let sub = induced_subgraph(&g, &[NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(sub.graph.live_node_count(), 3);
+        assert_eq!(sub.graph.edge_count(), 1); // only (0,1)
+        assert_eq!(sub.original_id(NodeId(0)), NodeId(0));
+        assert_eq!(sub.original_id(NodeId(2)), NodeId(3));
+    }
+
+    #[test]
+    fn induced_ignores_dead_and_duplicates() {
+        let mut g = two_parts();
+        g.remove_node(NodeId(1)).unwrap();
+        let sub = induced_subgraph(&g, &[NodeId(0), NodeId(0), NodeId(1), NodeId(9)]);
+        assert_eq!(sub.graph.live_node_count(), 1);
+        assert_eq!(sub.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn largest_component_is_the_triangle() {
+        let g = two_parts();
+        assert_eq!(largest_component(&g), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let sub = largest_component_subgraph(&g);
+        assert_eq!(sub.graph.live_node_count(), 3);
+        assert_eq!(sub.graph.edge_count(), 3);
+        assert!(is_connected(&sub.graph));
+    }
+
+    #[test]
+    fn empty_graph_has_empty_component() {
+        let g = Graph::new(0);
+        assert!(largest_component(&g).is_empty());
+        assert_eq!(largest_component_subgraph(&g).graph.live_node_count(), 0);
+    }
+
+    #[test]
+    fn tie_break_prefers_lower_component_index() {
+        // Two components of equal size: {0,1} and {2,3}.
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1)).unwrap();
+        g.add_edge(NodeId(2), NodeId(3)).unwrap();
+        assert_eq!(largest_component(&g), vec![NodeId(0), NodeId(1)]);
+    }
+}

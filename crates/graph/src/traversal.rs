@@ -1,0 +1,159 @@
+//! Breadth-first and depth-first traversal over live nodes.
+//!
+//! Both traversals allocate their bookkeeping from the graph's
+//! [`node_bound`](crate::Graph::node_bound) so they are safe to run on
+//! graphs with tombstoned (deleted) nodes.
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// Breadth-first search from `src`, invoking `visit(node, depth)` for every
+/// reachable live node (including `src` at depth 0).
+///
+/// Returns the number of nodes visited. Does nothing (returns 0) if `src`
+/// is dead or out of range.
+pub fn bfs<F: FnMut(NodeId, u32)>(g: &Graph, src: NodeId, mut visit: F) -> usize {
+    if !g.is_alive(src) {
+        return 0;
+    }
+    let mut seen = vec![false; g.node_bound()];
+    let mut queue = VecDeque::new();
+    seen[src.index()] = true;
+    queue.push_back((src, 0u32));
+    let mut count = 0;
+    while let Some((v, d)) = queue.pop_front() {
+        visit(v, d);
+        count += 1;
+        for &u in g.neighbors(v) {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                queue.push_back((u, d + 1));
+            }
+        }
+    }
+    count
+}
+
+/// Iterative depth-first search from `src`, invoking `visit` in preorder.
+///
+/// Neighbors are explored in increasing id order (the sorted adjacency
+/// order), making the traversal deterministic. Returns the number of nodes
+/// visited.
+pub fn dfs<F: FnMut(NodeId)>(g: &Graph, src: NodeId, mut visit: F) -> usize {
+    if !g.is_alive(src) {
+        return 0;
+    }
+    let mut seen = vec![false; g.node_bound()];
+    let mut stack = vec![src];
+    seen[src.index()] = true;
+    let mut count = 0;
+    while let Some(v) = stack.pop() {
+        visit(v);
+        count += 1;
+        // Push in reverse so the smallest-id neighbor is expanded first.
+        for &u in g.neighbors(v).iter().rev() {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                stack.push(u);
+            }
+        }
+    }
+    count
+}
+
+/// Collect the nodes reachable from `src` (including `src`), sorted by id.
+pub fn reachable_set(g: &Graph, src: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    bfs(g, src, |v, _| out.push(v));
+    out.sort_unstable();
+    out
+}
+
+/// BFS layers from `src`: `layers[d]` holds all nodes at distance exactly
+/// `d`, each layer sorted by id.
+pub fn bfs_layers(g: &Graph, src: NodeId) -> Vec<Vec<NodeId>> {
+    let mut layers: Vec<Vec<NodeId>> = Vec::new();
+    bfs(g, src, |v, d| {
+        let d = d as usize;
+        if layers.len() <= d {
+            layers.resize_with(d + 1, Vec::new);
+        }
+        layers[d].push(v);
+    });
+    for layer in &mut layers {
+        layer.sort_unstable();
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(NodeId::from_index(i), NodeId::from_index((i + 1) % n)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_visits_all_reachable() {
+        let g = cycle(6);
+        let mut order = Vec::new();
+        let n = bfs(&g, NodeId(0), |v, _| order.push(v));
+        assert_eq!(n, 6);
+        assert_eq!(order.len(), 6);
+        assert_eq!(order[0], NodeId(0));
+    }
+
+    #[test]
+    fn bfs_depths_on_cycle() {
+        let g = cycle(6);
+        let mut depth = vec![0u32; 6];
+        bfs(&g, NodeId(0), |v, d| depth[v.index()] = d);
+        assert_eq!(depth, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn bfs_from_dead_node_is_empty() {
+        let mut g = cycle(4);
+        g.remove_node(NodeId(0)).unwrap();
+        assert_eq!(bfs(&g, NodeId(0), |_, _| {}), 0);
+        assert_eq!(dfs(&g, NodeId(0), |_| {}), 0);
+    }
+
+    #[test]
+    fn dfs_preorder_is_deterministic() {
+        let mut g = Graph::new(5);
+        g.add_edge(NodeId(0), NodeId(2)).unwrap();
+        g.add_edge(NodeId(0), NodeId(1)).unwrap();
+        g.add_edge(NodeId(1), NodeId(3)).unwrap();
+        g.add_edge(NodeId(2), NodeId(4)).unwrap();
+        let mut order = Vec::new();
+        dfs(&g, NodeId(0), |v| order.push(v));
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(3), NodeId(2), NodeId(4)]);
+    }
+
+    #[test]
+    fn reachable_set_respects_disconnection() {
+        let mut g = cycle(6);
+        g.remove_node(NodeId(1)).unwrap();
+        g.remove_node(NodeId(4)).unwrap();
+        // Cycle 0-1-2-3-4-5 minus {1,4} leaves paths 2-3 and 5-0.
+        assert_eq!(reachable_set(&g, NodeId(0)), vec![NodeId(0), NodeId(5)]);
+        assert_eq!(reachable_set(&g, NodeId(2)), vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn bfs_layers_group_by_distance() {
+        let g = cycle(6);
+        let layers = bfs_layers(&g, NodeId(0));
+        assert_eq!(layers[0], vec![NodeId(0)]);
+        assert_eq!(layers[1], vec![NodeId(1), NodeId(5)]);
+        assert_eq!(layers[2], vec![NodeId(2), NodeId(4)]);
+        assert_eq!(layers[3], vec![NodeId(3)]);
+    }
+}

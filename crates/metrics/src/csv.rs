@@ -1,0 +1,83 @@
+//! Minimal CSV output for figures (hand-rolled; values here never need
+//! quoting beyond comma/quote escaping).
+
+use crate::series::Figure;
+use std::fmt::Write as _;
+
+/// Escape one CSV field.
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Render a [`Figure`] as long-form CSV:
+/// `series,x,mean,std_dev,min,max,trials`.
+pub fn figure_to_csv(fig: &Figure) -> String {
+    let mut out = String::from("series,x,mean,std_dev,min,max,trials\n");
+    for s in &fig.series {
+        for p in &s.points {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{}",
+                field(&s.name),
+                p.x,
+                p.mean,
+                p.std_dev,
+                p.min,
+                p.max,
+                p.trials
+            );
+        }
+    }
+    out
+}
+
+/// Write a figure to a CSV file.
+pub fn write_figure_csv(fig: &Figure, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, figure_to_csv(fig))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{Series, SeriesPoint};
+
+    fn sample_figure() -> Figure {
+        let mut f = Figure::new("fig", "n", "y");
+        let mut s = Series::new("dash");
+        s.push(SeriesPoint::from_trials(10.0, &[1.0, 3.0]));
+        f.push(s);
+        f
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = figure_to_csv(&sample_figure());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "series,x,mean,std_dev,min,max,trials");
+        assert!(lines[1].starts_with("dash,10,2,"));
+        assert!(lines[1].ends_with(",2"));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("selfheal-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig.csv");
+        write_figure_csv(&sample_figure(), &path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("dash,10"));
+        std::fs::remove_file(path).unwrap();
+    }
+}

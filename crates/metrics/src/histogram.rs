@@ -1,0 +1,151 @@
+//! Integer histograms and quantiles for per-node distributions
+//! (degree increases, ID changes, message counts).
+
+/// A dense histogram over small non-negative integer observations.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, value: usize) {
+        if self.counts.len() <= value {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+        self.total += 1;
+    }
+
+    /// Record every value of an iterator.
+    pub fn extend<I: IntoIterator<Item = usize>>(&mut self, values: I) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    /// Number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count at a specific value.
+    pub fn count(&self, value: usize) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Largest observed value (`None` when empty).
+    pub fn max(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+
+    /// The q-quantile (0 ≤ q ≤ 1) by cumulative count, `None` when empty.
+    ///
+    /// `quantile(0.5)` is the median; `quantile(1.0)` equals [`Histogram::max`].
+    pub fn quantile(&self, q: f64) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.total as f64) * q).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (value, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(value);
+            }
+        }
+        self.max()
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as u64 * c)
+            .sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Simple one-line rendering: `p50=_ p90=_ p99=_ max=_`.
+    pub fn percentile_line(&self) -> String {
+        match self.max() {
+            None => "empty".to_string(),
+            Some(max) => format!(
+                "p50={} p90={} p99={} max={max}",
+                self.quantile(0.5).unwrap(),
+                self.quantile(0.9).unwrap(),
+                self.quantile(0.99).unwrap(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_total() {
+        let mut h = Histogram::new();
+        h.extend([1usize, 1, 2, 5]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(2), 1);
+        assert_eq!(h.count(3), 0);
+        assert_eq!(h.count(99), 0);
+        assert_eq!(h.max(), Some(5));
+    }
+
+    #[test]
+    fn quantiles_on_uniform() {
+        let mut h = Histogram::new();
+        h.extend(0..100usize);
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(0.5), Some(49));
+        assert_eq!(h.quantile(1.0), Some(99));
+        assert_eq!(h.quantile(0.9), Some(89));
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile_line(), "empty");
+
+        let mut one = Histogram::new();
+        one.push(7);
+        assert_eq!(one.quantile(0.0), Some(7));
+        assert_eq!(one.quantile(0.5), Some(7));
+        assert_eq!(one.quantile(1.0), Some(7));
+    }
+
+    #[test]
+    fn mean_matches_manual() {
+        let mut h = Histogram::new();
+        h.extend([0usize, 10, 20]);
+        assert!((h.mean() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_line_format() {
+        let mut h = Histogram::new();
+        h.extend([1usize, 2, 3, 4]);
+        let line = h.percentile_line();
+        assert!(line.contains("p50="));
+        assert!(line.contains("max=4"));
+    }
+}

@@ -1,0 +1,23 @@
+//! # selfheal-metrics
+//!
+//! Measurement layer for the self-healing experiments: streaming summary
+//! statistics, the *stretch* metric of Fig. 10 (with a parallel APSP
+//! baseline), figure/series aggregation over trials, ASCII tables and CSV
+//! output.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod csv;
+pub mod histogram;
+pub mod plot;
+pub mod series;
+pub mod stats;
+pub mod stretch;
+pub mod table;
+
+pub use histogram::Histogram;
+pub use series::{Figure, Series, SeriesPoint};
+pub use stats::{summarize, Summary, Welford};
+pub use stretch::{StretchBaseline, StretchResult};
+pub use table::Table;

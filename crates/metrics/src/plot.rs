@@ -1,0 +1,192 @@
+//! ASCII line charts: render a [`Figure`] as an actual plot so
+//! `run-experiments` output visually matches the paper's figures.
+//!
+//! Each series gets a glyph; points are placed on a character grid with
+//! linear or log-scaled axes. Collisions between series at the same cell
+//! are shown with `*`.
+
+use crate::series::Figure;
+use std::fmt::Write as _;
+
+/// Axis scaling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AxisScale {
+    /// Linear axis.
+    Linear,
+    /// Log₂ axis (values must be positive; zeros clamp to the minimum).
+    Log,
+}
+
+/// Chart configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PlotConfig {
+    /// Grid width in character cells (excluding labels).
+    pub width: usize,
+    /// Grid height in character cells.
+    pub height: usize,
+    /// x-axis scaling (the paper's size axes are logarithmic).
+    pub x_scale: AxisScale,
+    /// y-axis scaling.
+    pub y_scale: AxisScale,
+}
+
+impl Default for PlotConfig {
+    fn default() -> Self {
+        PlotConfig { width: 60, height: 16, x_scale: AxisScale::Log, y_scale: AxisScale::Linear }
+    }
+}
+
+const GLYPHS: &[char] = &['o', '+', 'x', '#', '@', '%', '&', '$'];
+
+fn scale(value: f64, min: f64, max: f64, cells: usize, kind: AxisScale) -> usize {
+    let (v, lo, hi) = match kind {
+        AxisScale::Linear => (value, min, max),
+        AxisScale::Log => {
+            let floor = min.max(1e-9);
+            (value.max(floor).log2(), floor.log2(), max.max(floor).log2())
+        }
+    };
+    if hi <= lo {
+        return 0;
+    }
+    let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+    ((t * (cells - 1) as f64).round() as usize).min(cells - 1)
+}
+
+/// Render the figure as an ASCII chart with a legend.
+pub fn render(fig: &Figure, cfg: PlotConfig) -> String {
+    let points: Vec<(f64, f64)> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| (p.x, p.mean)))
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if points.is_empty() {
+        return format!("{} (no data)\n", fig.title);
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; cfg.width]; cfg.height];
+    for (si, s) in fig.series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for p in &s.points {
+            if !p.x.is_finite() || !p.mean.is_finite() {
+                continue;
+            }
+            let col = scale(p.x, x_min, x_max, cfg.width, cfg.x_scale);
+            let row = scale(p.mean, y_min, y_max, cfg.height, cfg.y_scale);
+            let cell = &mut grid[cfg.height - 1 - row][col];
+            *cell = if *cell == ' ' || *cell == glyph { glyph } else { '*' };
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", fig.title);
+    let y_label_width = 10usize;
+    for (r, row) in grid.iter().enumerate() {
+        let frac = 1.0 - r as f64 / (cfg.height - 1) as f64;
+        let y_value = match cfg.y_scale {
+            AxisScale::Linear => y_min + frac * (y_max - y_min),
+            AxisScale::Log => {
+                let lo = y_min.max(1e-9).log2();
+                let hi = y_max.max(1e-9).log2();
+                2f64.powf(lo + frac * (hi - lo))
+            }
+        };
+        let label = if r == 0 || r == cfg.height - 1 || r == cfg.height / 2 {
+            format!("{y_value:>9.1} ")
+        } else {
+            " ".repeat(y_label_width)
+        };
+        let _ = writeln!(out, "{label}|{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{}+{}", " ".repeat(y_label_width), "-".repeat(cfg.width));
+    let _ = writeln!(
+        out,
+        "{}{:<w$}{:>w2$}",
+        " ".repeat(y_label_width + 1),
+        format!("{x_min}"),
+        format!("{x_max}  ({})", fig.x_label),
+        w = cfg.width / 2,
+        w2 = cfg.width - cfg.width / 2,
+    );
+    let _ = writeln!(out, "  y: {}", fig.y_label);
+    for (si, s) in fig.series.iter().enumerate() {
+        let _ = writeln!(out, "  {} {}", GLYPHS[si % GLYPHS.len()], s.name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{Series, SeriesPoint};
+
+    fn fig() -> Figure {
+        let mut f = Figure::new("Test figure", "n", "metric");
+        let mut a = Series::new("dash");
+        let mut b = Series::new("graph-heal");
+        for (x, ya, yb) in [(64.0, 2.0, 8.0), (256.0, 2.1, 26.0), (1024.0, 2.3, 120.0)] {
+            a.push(SeriesPoint::from_trials(x, &[ya]));
+            b.push(SeriesPoint::from_trials(x, &[yb]));
+        }
+        f.push(a);
+        f.push(b);
+        f
+    }
+
+    #[test]
+    fn renders_grid_and_legend() {
+        let s = render(&fig(), PlotConfig::default());
+        assert!(s.starts_with("Test figure\n"));
+        assert!(s.contains("o dash"));
+        assert!(s.contains("+ graph-heal"));
+        assert!(s.contains('|'));
+        assert!(s.contains('+'));
+        // Both glyphs appear somewhere on the grid.
+        let grid_part: String = s.lines().take(18).collect();
+        assert!(grid_part.contains('o'));
+        assert!(grid_part.contains('+') || grid_part.contains('*'));
+    }
+
+    #[test]
+    fn empty_figure_is_graceful() {
+        let f = Figure::new("Empty", "x", "y");
+        let s = render(&f, PlotConfig::default());
+        assert!(s.contains("no data"));
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        let mut f = Figure::new("Flat", "x", "y");
+        let mut a = Series::new("const");
+        a.push(SeriesPoint::from_trials(1.0, &[5.0]));
+        a.push(SeriesPoint::from_trials(2.0, &[5.0]));
+        f.push(a);
+        let s = render(&f, PlotConfig { width: 20, height: 5, ..Default::default() });
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn scale_maps_endpoints() {
+        assert_eq!(scale(0.0, 0.0, 10.0, 11, AxisScale::Linear), 0);
+        assert_eq!(scale(10.0, 0.0, 10.0, 11, AxisScale::Linear), 10);
+        assert_eq!(scale(5.0, 0.0, 10.0, 11, AxisScale::Linear), 5);
+        // Log scale: 64..1024 spans 4 doublings.
+        assert_eq!(scale(64.0, 64.0, 1024.0, 5, AxisScale::Log), 0);
+        assert_eq!(scale(1024.0, 64.0, 1024.0, 5, AxisScale::Log), 4);
+        assert_eq!(scale(256.0, 64.0, 1024.0, 5, AxisScale::Log), 2);
+        // Degenerate range collapses to 0.
+        assert_eq!(scale(3.0, 3.0, 3.0, 5, AxisScale::Linear), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # selfheal-sim
+//!
+//! A small, fully deterministic discrete-event simulator for distributed
+//! protocols over mutable network topologies.
+//!
+//! The self-healing paper claims *per-node* message and latency bounds for
+//! DASH; validating them honestly requires running DASH as an actual
+//! message-passing protocol, not just as a graph transformation. This
+//! crate provides the substrate:
+//!
+//! - [`Topology`] — the fabric's view of who is alive and connected,
+//! - [`Simulator`] — drives a [`Protocol`] with unit-latency messages,
+//!   deterministic FIFO tie-breaking and automatic per-node accounting
+//!   ([`SimMetrics`]),
+//! - [`SplitMix64`] — a self-contained seedable PRNG so simulations are
+//!   bit-reproducible across platforms,
+//! - [`trace::TraceBuffer`] — optional bounded binary event log.
+//!
+//! Determinism guarantees: given the same topology, protocol, seed and
+//! call sequence, every run delivers identical messages in identical
+//! order and produces identical metrics.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod message;
+pub mod metrics;
+pub mod protocol;
+pub mod rng;
+pub mod runner;
+pub mod scheduler;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use metrics::SimMetrics;
+pub use protocol::{Ctx, DeletionInfo, LatencyModel, Protocol};
+pub use rng::SplitMix64;
+pub use runner::{QuiescenceReport, Simulator};
+pub use time::SimTime;
+pub use topology::Topology;

@@ -1,0 +1,42 @@
+//! Message envelopes.
+
+use crate::time::SimTime;
+
+/// A message in flight, addressed by dense node index.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// Global sequence number: assigned at send time, used to break
+    /// delivery ties deterministically (FIFO per send order).
+    pub seq: u64,
+    /// Delivery timestamp.
+    pub deliver_at: SimTime,
+    /// Sender node index.
+    pub from: u32,
+    /// Recipient node index.
+    pub to: u32,
+    /// Protocol payload.
+    pub payload: M,
+}
+
+impl<M> Envelope<M> {
+    /// Ordering key: by time, then by send sequence.
+    #[inline]
+    pub fn key(&self) -> (SimTime, u64) {
+        (self.deliver_at, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_orders_by_time_then_seq() {
+        let a = Envelope { seq: 5, deliver_at: SimTime(1), from: 0, to: 1, payload: () };
+        let b = Envelope { seq: 2, deliver_at: SimTime(2), from: 0, to: 1, payload: () };
+        let c = Envelope { seq: 9, deliver_at: SimTime(1), from: 0, to: 1, payload: () };
+        assert!(a.key() < b.key());
+        assert!(a.key() < c.key());
+        assert!(c.key() < b.key());
+    }
+}

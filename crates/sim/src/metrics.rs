@@ -1,0 +1,88 @@
+//! Per-node message accounting.
+//!
+//! The paper's Theorem 1 bounds *per-node* message counts, so the fabric
+//! tracks sent/received per node rather than only aggregates.
+
+/// Message counters maintained automatically by the simulator.
+#[derive(Clone, Debug, Default)]
+pub struct SimMetrics {
+    sent: Vec<u64>,
+    received: Vec<u64>,
+    /// Messages dropped because the recipient died before delivery.
+    pub dropped: u64,
+}
+
+impl SimMetrics {
+    /// Counters for `n` nodes, all zero.
+    pub fn new(n: usize) -> Self {
+        SimMetrics { sent: vec![0; n], received: vec![0; n], dropped: 0 }
+    }
+
+    /// Record a send by node `v`.
+    #[inline]
+    pub fn record_sent(&mut self, v: u32) {
+        self.sent[v as usize] += 1;
+    }
+
+    /// Record a delivery to node `v`.
+    #[inline]
+    pub fn record_received(&mut self, v: u32) {
+        self.received[v as usize] += 1;
+    }
+
+    /// Messages sent by `v`.
+    pub fn sent(&self, v: u32) -> u64 {
+        self.sent[v as usize]
+    }
+
+    /// Messages received by `v`.
+    pub fn received(&self, v: u32) -> u64 {
+        self.received[v as usize]
+    }
+
+    /// Sent + received for `v` — the quantity bounded by Lemma 8.
+    pub fn traffic(&self, v: u32) -> u64 {
+        self.sent(v) + self.received(v)
+    }
+
+    /// Total messages sent by all nodes.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+
+    /// Total messages delivered.
+    pub fn total_received(&self) -> u64 {
+        self.received.iter().sum()
+    }
+
+    /// Maximum per-node traffic (sent + received).
+    pub fn max_traffic(&self) -> u64 {
+        (0..self.sent.len() as u32).map(|v| self.traffic(v)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = SimMetrics::new(3);
+        m.record_sent(0);
+        m.record_sent(0);
+        m.record_received(1);
+        assert_eq!(m.sent(0), 2);
+        assert_eq!(m.received(1), 1);
+        assert_eq!(m.traffic(0), 2);
+        assert_eq!(m.total_sent(), 2);
+        assert_eq!(m.total_received(), 1);
+        assert_eq!(m.max_traffic(), 2);
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let m = SimMetrics::new(0);
+        assert_eq!(m.max_traffic(), 0);
+        assert_eq!(m.total_sent(), 0);
+    }
+}

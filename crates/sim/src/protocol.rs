@@ -1,0 +1,135 @@
+//! The protocol trait and the context handle protocols use to act on the
+//! world.
+
+use crate::metrics::SimMetrics;
+use crate::rng::SplitMix64;
+use crate::scheduler::EventQueue;
+use crate::time::SimTime;
+use crate::topology::Topology;
+use crate::trace::{TraceBuffer, TraceKind};
+
+/// Message delay model.
+///
+/// The paper's latency claims assume synchronous unit-latency delivery
+/// ([`LatencyModel::Unit`]); [`LatencyModel::Jitter`] adds an adversarial
+/// per-message delay of up to `max_extra` additional hops (seeded, so
+/// still deterministic) — used to show DASH's ID broadcast converges to
+/// the same fixed point under asynchrony.
+#[derive(Clone, Debug)]
+pub enum LatencyModel {
+    /// Every message takes exactly one hop.
+    Unit,
+    /// Each message takes `1 + uniform(0..=max_extra)` hops.
+    Jitter {
+        /// Deterministic delay source.
+        rng: SplitMix64,
+        /// Maximum extra hops added to a delivery.
+        max_extra: u64,
+    },
+}
+
+impl LatencyModel {
+    /// Delay (in hops) for the next message.
+    pub fn next_delay(&mut self) -> u64 {
+        match self {
+            LatencyModel::Unit => 1,
+            LatencyModel::Jitter { rng, max_extra } => 1 + rng.gen_range(*max_extra + 1),
+        }
+    }
+}
+
+/// Information made available to the neighbors of a deleted node.
+///
+/// The paper assumes neighbor-of-neighbor (NoN) knowledge: when `deleted`
+/// dies, each former neighbor already knows the full list of its fellow
+/// former neighbors (maintained out-of-band by standard techniques, refs
+/// [14, 18] in the paper, and not charged to the healing algorithm).
+#[derive(Clone, Debug)]
+pub struct DeletionInfo {
+    /// The node that was deleted.
+    pub deleted: u32,
+    /// Its neighbor list at the moment of deletion, sorted.
+    pub former_neighbors: Vec<u32>,
+}
+
+/// Handle through which a protocol sends messages and rewires links.
+///
+/// Splitting the simulator internals into this context keeps the borrow
+/// checker happy: the protocol state and the fabric are disjoint borrows.
+pub struct Ctx<'a, M> {
+    pub(crate) topology: &'a mut Topology,
+    pub(crate) queue: &'a mut EventQueue<M>,
+    pub(crate) metrics: &'a mut SimMetrics,
+    pub(crate) trace: Option<&'a mut TraceBuffer>,
+    pub(crate) latency: &'a mut LatencyModel,
+    pub(crate) now: SimTime,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Send `msg` from `me` to `to`; delivery delay comes from the
+    /// simulator's [`LatencyModel`] (one hop by default).
+    ///
+    /// The send is counted against `me` immediately; delivery (and the
+    /// recipient's counter) happens when the event fires. Messages to
+    /// nodes that die in flight are dropped at delivery time.
+    pub fn send(&mut self, me: u32, to: u32, msg: M) {
+        debug_assert!(self.topology.is_alive(me), "dead sender {me}");
+        self.metrics.record_sent(me);
+        let deliver_at = self.now + self.latency.next_delay();
+        self.queue.push(me, to, deliver_at, msg);
+    }
+
+    /// Add the undirected link `(u, v)`; returns `true` if it was new.
+    ///
+    /// Healing algorithms may only call this for pairs of former
+    /// neighbors of a deleted node — the simulator does not police that
+    /// (locality is the *algorithm's* contract), but the trace records
+    /// every link for post-hoc auditing.
+    pub fn add_link(&mut self, u: u32, v: u32) -> bool {
+        let added = self.topology.add_edge(u, v);
+        if added {
+            if let Some(tr) = self.trace.as_deref_mut() {
+                tr.record(TraceKind::Link, self.now, u, v);
+            }
+        }
+        added
+    }
+
+    /// Sorted live neighbors of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        self.topology.neighbors(v)
+    }
+
+    /// Whether `v` is alive.
+    pub fn is_alive(&self, v: u32) -> bool {
+        self.topology.is_alive(v)
+    }
+}
+
+/// A distributed protocol under simulation.
+///
+/// One value of the implementing type holds the state of *all* nodes
+/// (indexed by dense node id); the fabric invokes the callbacks for one
+/// node at a time. This "columnar" arrangement avoids per-node boxing and
+/// keeps cross-node assertions (used heavily in tests) cheap — while the
+/// callbacks still only touch the invoked node's row, preserving the
+/// distributed-locality discipline.
+pub trait Protocol {
+    /// Message payload type.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Invoked once per live node before the simulation starts.
+    fn on_init(&mut self, _ctx: &mut Ctx<'_, Self::Msg>, _me: u32) {}
+
+    /// Invoked on each former neighbor of a deleted node, in increasing
+    /// id order, immediately after the deletion.
+    fn on_neighbor_deleted(&mut self, ctx: &mut Ctx<'_, Self::Msg>, me: u32, info: &DeletionInfo);
+
+    /// Invoked when a message is delivered to `me`.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, me: u32, from: u32, msg: Self::Msg);
+}

@@ -1,0 +1,66 @@
+//! Logical simulation time.
+
+use std::fmt;
+use std::ops::Add;
+
+/// A logical timestamp: the number of unit-latency hops since the
+/// simulation started. Message delivery advances time by exactly one unit
+/// per hop, so latencies measured in [`SimTime`] are hop counts —
+/// matching how the paper states its O(1) / O(log n) latency bounds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The timestamp one delivery hop later.
+    #[inline]
+    pub fn next(self) -> SimTime {
+        SimTime(self.0 + 1)
+    }
+
+    /// Hops elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> u64 {
+        debug_assert!(earlier.0 <= self.0);
+        self.0 - earlier.0
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let t = SimTime::ZERO;
+        assert_eq!(t.next(), SimTime(1));
+        assert_eq!(t + 5, SimTime(5));
+        assert!(SimTime(3) < SimTime(4));
+        assert_eq!(SimTime(9).since(SimTime(4)), 5);
+        assert_eq!(format!("{:?} {}", SimTime(2), SimTime(2)), "t2 2");
+    }
+}

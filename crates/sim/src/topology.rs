@@ -1,0 +1,148 @@
+//! The simulator's own lightweight view of the network topology.
+//!
+//! The simulator is deliberately independent of `selfheal-graph`: a
+//! protocol under test *is allowed* to keep richer graph state, but the
+//! fabric only needs to know who is alive and who can talk to whom. Kept
+//! minimal: sorted adjacency vectors with tombstoned deletion.
+
+/// Adjacency view used by the simulation fabric.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    adj: Vec<Vec<u32>>,
+    alive: Vec<bool>,
+    live: usize,
+}
+
+impl Topology {
+    /// `n` isolated live nodes.
+    pub fn new(n: usize) -> Self {
+        Topology { adj: vec![Vec::new(); n], alive: vec![true; n], live: n }
+    }
+
+    /// Build from an undirected edge list over `n` nodes.
+    ///
+    /// Duplicate edges and self-loops are ignored.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut t = Topology::new(n);
+        for &(a, b) in edges {
+            t.add_edge(a, b);
+        }
+        t
+    }
+
+    /// Number of node slots.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether there are no node slots.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Whether node `v` is live.
+    pub fn is_alive(&self, v: u32) -> bool {
+        (v as usize) < self.alive.len() && self.alive[v as usize]
+    }
+
+    /// Sorted live neighbors of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Whether the link `(u, v)` exists.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Add the link `(u, v)`; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is dead or out of range, or `u == v`.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> bool {
+        assert!(u != v, "self-loop at {u}");
+        assert!(self.is_alive(u), "dead or invalid endpoint {u}");
+        assert!(self.is_alive(v), "dead or invalid endpoint {v}");
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => false,
+            Err(pu) => {
+                let pv = self.adj[v as usize].binary_search(&u).unwrap_err();
+                self.adj[u as usize].insert(pu, v);
+                self.adj[v as usize].insert(pv, u);
+                true
+            }
+        }
+    }
+
+    /// Kill node `v`, detaching all links; returns its former neighbors.
+    ///
+    /// # Panics
+    /// Panics if `v` is already dead or out of range.
+    pub fn kill(&mut self, v: u32) -> Vec<u32> {
+        assert!(self.is_alive(v), "kill of dead or invalid node {v}");
+        let nbrs = std::mem::take(&mut self.adj[v as usize]);
+        for &u in &nbrs {
+            let pos = self.adj[u as usize].binary_search(&v).expect("asymmetric adjacency");
+            self.adj[u as usize].remove(pos);
+        }
+        self.alive[v as usize] = false;
+        self.live -= 1;
+        nbrs
+    }
+
+    /// Iterator over live node indices.
+    pub fn live_nodes(&self) -> impl Iterator<Item = u32> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_kill() {
+        let mut t = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3), (1, 2)]);
+        assert_eq!(t.live_count(), 4);
+        assert!(t.has_edge(1, 2));
+        let nbrs = t.kill(1);
+        assert_eq!(nbrs, vec![0, 2]);
+        assert!(!t.is_alive(1));
+        assert!(!t.has_edge(0, 1));
+        assert_eq!(t.live_count(), 3);
+        assert_eq!(t.live_nodes().collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn add_edge_dedups() {
+        let mut t = Topology::new(3);
+        assert!(t.add_edge(0, 2));
+        assert!(!t.add_edge(2, 0));
+        assert_eq!(t.neighbors(0), &[2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_edge_to_dead_panics() {
+        let mut t = Topology::new(3);
+        t.kill(1);
+        t.add_edge(0, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_kill_panics() {
+        let mut t = Topology::new(2);
+        t.kill(0);
+        t.kill(0);
+    }
+}

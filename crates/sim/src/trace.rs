@@ -1,0 +1,141 @@
+//! Bounded binary event trace.
+//!
+//! For debugging protocol runs the simulator can record every delivery
+//! and topology change into a compact fixed-width binary log (17 bytes
+//! per event in a [`bytes::BytesMut`] buffer) with a hard capacity so a
+//! runaway protocol cannot exhaust memory.
+
+use crate::time::SimTime;
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Kind of a traced event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Message delivered from `a` to `b`.
+    Deliver = 0,
+    /// Node `a` was deleted (`b` unused).
+    Kill = 1,
+    /// Link `(a, b)` was added.
+    Link = 2,
+    /// Message from `a` to dead node `b` was dropped.
+    Drop = 3,
+}
+
+/// One decoded trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Timestamp.
+    pub time: SimTime,
+    /// First operand (sender / victim / endpoint).
+    pub a: u32,
+    /// Second operand (recipient / endpoint; 0 when unused).
+    pub b: u32,
+}
+
+const RECORD_BYTES: usize = 1 + 8 + 4 + 4;
+
+/// Fixed-capacity binary ring of simulation events (stops recording when
+/// full, counting overflow instead of wrapping, so the *earliest* events —
+/// usually the interesting ones when debugging a protocol — survive).
+#[derive(Debug)]
+pub struct TraceBuffer {
+    buf: BytesMut,
+    capacity_events: usize,
+    recorded: usize,
+    /// Events that arrived after the buffer filled up.
+    pub overflowed: usize,
+}
+
+impl TraceBuffer {
+    /// A trace that can hold up to `capacity_events` events.
+    pub fn new(capacity_events: usize) -> Self {
+        TraceBuffer {
+            buf: BytesMut::with_capacity(capacity_events * RECORD_BYTES),
+            capacity_events,
+            recorded: 0,
+            overflowed: 0,
+        }
+    }
+
+    /// Record an event (silently counted as overflow when full).
+    pub fn record(&mut self, kind: TraceKind, time: SimTime, a: u32, b: u32) {
+        if self.recorded >= self.capacity_events {
+            self.overflowed += 1;
+            return;
+        }
+        self.buf.put_u8(kind as u8);
+        self.buf.put_u64(time.0);
+        self.buf.put_u32(a);
+        self.buf.put_u32(b);
+        self.recorded += 1;
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.recorded
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.recorded == 0
+    }
+
+    /// Decode all retained events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.recorded);
+        let mut slice = &self.buf[..];
+        while slice.remaining() >= RECORD_BYTES {
+            let kind = match slice.get_u8() {
+                0 => TraceKind::Deliver,
+                1 => TraceKind::Kill,
+                2 => TraceKind::Link,
+                _ => TraceKind::Drop,
+            };
+            let time = SimTime(slice.get_u64());
+            let a = slice.get_u32();
+            let b = slice.get_u32();
+            out.push(TraceEvent { kind, time, a, b });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut t = TraceBuffer::new(10);
+        t.record(TraceKind::Kill, SimTime(1), 5, 0);
+        t.record(TraceKind::Link, SimTime(2), 3, 4);
+        t.record(TraceKind::Deliver, SimTime(3), 3, 4);
+        t.record(TraceKind::Drop, SimTime(4), 1, 5);
+        let ev = t.events();
+        assert_eq!(ev.len(), 4);
+        assert_eq!(ev[0], TraceEvent { kind: TraceKind::Kill, time: SimTime(1), a: 5, b: 0 });
+        assert_eq!(ev[1].kind, TraceKind::Link);
+        assert_eq!(ev[3].kind, TraceKind::Drop);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut t = TraceBuffer::new(2);
+        for i in 0..5 {
+            t.record(TraceKind::Deliver, SimTime(i), i as u32, 0);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.overflowed, 3);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].time, SimTime(0));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = TraceBuffer::new(4);
+        assert!(t.is_empty());
+        assert!(t.events().is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! DASH as a *real* message-passing protocol on the discrete-event
+//! simulator: deletions detected by neighbors, IDs flooded hop by hop,
+//! every message individually delivered and counted.
+//!
+//! ```text
+//! cargo run --release --example distributed_dash
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfheal::core::distributed::DistributedDash;
+use selfheal::graph::generators;
+use selfheal::sim::{Simulator, SplitMix64, Topology};
+
+fn main() {
+    let n = 300;
+    let seed = 99u64;
+
+    // Build a BA overlay and mirror it into the simulator's topology.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generators::barabasi_albert(n, 3, &mut rng);
+    let edges: Vec<(u32, u32)> = g.edges().map(|e| (e.lo().0, e.hi().0)).collect();
+    let topo = Topology::from_edges(n, &edges);
+    let degrees: Vec<u32> = (0..n as u32).map(|v| topo.neighbors(v).len() as u32).collect();
+
+    let mut sim = Simulator::new(topo, DistributedDash::new(degrees, seed));
+    sim.enable_trace(4096);
+
+    // Adversary: repeatedly kill a random neighbor of the busiest node.
+    let mut rng = SplitMix64::new(seed);
+    let kills = n / 2;
+    for _ in 0..kills {
+        let hub = sim
+            .topology
+            .live_nodes()
+            .max_by_key(|&v| sim.topology.neighbors(v).len())
+            .expect("network not empty");
+        let victim = match sim.topology.neighbors(hub) {
+            [] => hub,
+            nbrs => *rng.choose(nbrs),
+        };
+        sim.delete_node(victim);
+        let report = sim.run_to_quiescence();
+        assert_eq!(report.dropped, 0, "no message should chase a dead node here");
+    }
+
+    // What did the distributed run cost?
+    let live: Vec<u32> = sim.topology.live_nodes().collect();
+    let max_traffic = live.iter().map(|&v| sim.metrics.traffic(v)).max().unwrap();
+    let max_changes = live.iter().map(|&v| sim.protocol.id_changes(v)).max().unwrap();
+    println!("killed {kills} of {n} nodes; {} survive", live.len());
+    println!("total messages delivered: {}", sim.metrics.total_received());
+    println!("max per-node traffic:     {max_traffic}");
+    println!("max per-node ID changes:  {max_changes} (2 ln n = {:.1})", 2.0 * f64::from(n as u32).ln());
+    println!("simulated time:           {} hops", sim.now());
+    println!("trace events recorded:    {}", sim.trace().unwrap().len());
+
+    // The survivors must form one connected component — verify by
+    // flooding from the first live node over the simulator's topology.
+    let mut seen = vec![false; n];
+    let mut stack = vec![live[0]];
+    seen[live[0] as usize] = true;
+    let mut reached = 0;
+    while let Some(v) = stack.pop() {
+        reached += 1;
+        for &u in sim.topology.neighbors(v) {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                stack.push(u);
+            }
+        }
+    }
+    assert_eq!(reached, live.len(), "distributed healing failed to keep the overlay connected");
+    println!("\nsurvivors are fully connected — distributed DASH healed every cut.");
+}

@@ -1,0 +1,50 @@
+//! # selfheal
+//!
+//! Facade crate for the self-healing reconfigurable-network workspace — a
+//! full reproduction of *"Picking up the Pieces: Self-Healing in
+//! Reconfigurable Networks"* (Saia & Trehan, IPPS 2008).
+//!
+//! Re-exports the workspace crates under short names and offers a
+//! [`prelude`] for examples and downstream users:
+//!
+//! - [`graph`] — graph substrate (dynamic graphs, generators, components,
+//!   shortest paths, parallel sweeps),
+//! - [`sim`] — deterministic message-passing simulator,
+//! - [`core`] — DASH/SDASH healing algorithms, attacks, engine,
+//!   invariants,
+//! - [`metrics`] — statistics, stretch, tables,
+//! - [`experiments`] — the harness regenerating every figure of the paper.
+//!
+//! # Example
+//! ```
+//! use rand::SeedableRng;
+//! use selfheal::prelude::*;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let graph = generators::barabasi_albert(64, 3, &mut rng);
+//! let net = HealingNetwork::new(graph, 1);
+//! let mut engine = Engine::new(net, Dash, MaxNode).with_audit(AuditLevel::Cheap);
+//! let report = engine.run_to_empty();
+//! assert!(report.violations.is_empty());
+//! ```
+
+pub use selfheal_core as core;
+pub use selfheal_experiments as experiments;
+pub use selfheal_graph as graph;
+pub use selfheal_metrics as metrics;
+pub use selfheal_sim as sim;
+
+/// Most-used items in one import.
+pub mod prelude {
+    pub use selfheal_core::attack::{
+        Adversary, CutVertex, MaxNode, MinDegree, NeighborOfMax, RandomAttack, Scripted,
+    };
+    pub use selfheal_core::dash::Dash;
+    pub use selfheal_core::engine::{AuditLevel, Engine, EngineReport};
+    pub use selfheal_core::naive::{BinaryTreeHeal, GraphHeal, LineHeal, NoHeal};
+    pub use selfheal_core::oracle::OracleDash;
+    pub use selfheal_core::sdash::Sdash;
+    pub use selfheal_core::state::HealingNetwork;
+    pub use selfheal_core::strategy::Healer;
+    pub use selfheal_graph::{generators, Graph, NodeId};
+}

@@ -1,0 +1,124 @@
+//! Churn: interleaved joins and adversarial deletions.
+//!
+//! "Reconfigurable" networks gain members as well as losing them. This
+//! suite drives mixed join/delete workloads through DASH and SDASH and
+//! checks that every invariant the paper proves for the delete-only
+//! model extends to the churn setting (with `n` read as "nodes ever
+//! created").
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfheal_core::dash::Dash;
+use selfheal_core::invariants;
+use selfheal_core::sdash::Sdash;
+use selfheal_core::state::HealingNetwork;
+use selfheal_core::strategy::Healer;
+use selfheal_graph::components::is_connected;
+use selfheal_graph::forest::is_forest;
+use selfheal_graph::generators::barabasi_albert;
+use selfheal_graph::NodeId;
+use selfheal_sim::SplitMix64;
+
+/// One deterministic churn round: with probability ~1/3 a join (to 1-3
+/// random live nodes), otherwise an attack on a random neighbor of the
+/// busiest node, healed by `healer`.
+fn churn_round<H: Healer>(net: &mut HealingNetwork, healer: &mut H, rng: &mut SplitMix64) {
+    let live: Vec<NodeId> = net.graph().live_nodes().collect();
+    if live.is_empty() {
+        return;
+    }
+    if rng.gen_range(3) == 0 {
+        let k = 1 + rng.gen_range(3) as usize;
+        let mut targets: Vec<NodeId> = Vec::with_capacity(k);
+        for _ in 0..k.min(live.len()) {
+            let cand = *rng.choose(&live);
+            if !targets.contains(&cand) {
+                targets.push(cand);
+            }
+        }
+        net.join_node(&targets).unwrap();
+    } else {
+        let hub = net.graph().max_degree_node().unwrap();
+        let victim = match net.graph().neighbors(hub) {
+            [] => hub,
+            nbrs => *rng.choose(nbrs),
+        };
+        let ctx = net.delete_node(victim).unwrap();
+        let outcome = healer.heal(net, &ctx);
+        net.propagate_min_id(&outcome.rt_members);
+    }
+}
+
+fn run_churn<H: Healer>(mut healer: H, seed: u64, rounds: usize) {
+    let g = barabasi_albert(48, 3, &mut StdRng::seed_from_u64(seed));
+    let mut net = HealingNetwork::new(g, seed);
+    let mut rng = SplitMix64::new(seed ^ 0xC0FFEE);
+    for round in 0..rounds {
+        churn_round(&mut net, &mut healer, &mut rng);
+        assert!(
+            is_connected(net.graph()),
+            "{}: disconnected at churn round {round} (seed {seed})",
+            healer.name()
+        );
+        assert!(
+            is_forest(net.healing_graph()),
+            "{}: G' cycle at churn round {round} (seed {seed})",
+            healer.name()
+        );
+        assert!(
+            invariants::weight_conservation_ok(&net),
+            "{}: weight leak at churn round {round}",
+            healer.name()
+        );
+        let bound = 2.0 * (net.total_created() as f64).log2();
+        assert!(
+            (net.max_delta_alive() as f64) <= bound,
+            "{}: delta bound broke under churn at round {round}",
+            healer.name()
+        );
+    }
+}
+
+#[test]
+fn dash_survives_churn() {
+    for seed in [1u64, 2, 3] {
+        run_churn(Dash, seed, 150);
+    }
+}
+
+#[test]
+fn sdash_survives_churn() {
+    for seed in [4u64, 5] {
+        run_churn(Sdash, seed, 150);
+    }
+}
+
+#[test]
+fn joins_alone_never_affect_healing_state() {
+    let g = barabasi_albert(16, 2, &mut StdRng::seed_from_u64(9));
+    let mut net = HealingNetwork::new(g, 9);
+    for i in 0..20 {
+        let target = NodeId(i % 16);
+        net.join_node(&[target]).unwrap();
+    }
+    assert_eq!(net.total_created(), 36);
+    assert_eq!(net.healing_graph().edge_count(), 0);
+    assert!(is_connected(net.graph()));
+    assert!(invariants::weight_conservation_ok(&net));
+}
+
+/// A joiner that later dies is healed like any original node.
+#[test]
+fn joined_nodes_are_healable_victims() {
+    let g = barabasi_albert(12, 2, &mut StdRng::seed_from_u64(11));
+    let mut net = HealingNetwork::new(g, 11);
+    let v = net.join_node(&[NodeId(0), NodeId(5), NodeId(9)]).unwrap();
+    let ctx = net.delete_node(v).unwrap();
+    let mut dash = Dash;
+    let outcome = dash.heal(&mut net, &ctx);
+    net.propagate_min_id(&outcome.rt_members);
+    assert!(is_connected(net.graph()));
+    // All three former attachment points were singleton G' components, so
+    // the reconstruction set spans them all.
+    assert_eq!(outcome.rt_members.len(), 3);
+}

@@ -1,0 +1,140 @@
+//! Stress: deletions arriving *before* the previous round's ID broadcast
+//! has quiesced.
+//!
+//! The paper's model gives the healing algorithm "a small amount of time
+//! to react" between deletions — reconnection is assumed to finish, but
+//! ID propagation is only guaranteed *amortized* latency, so a fast
+//! adversary can strike while broadcasts are still in flight. Stale
+//! component IDs can then over-split the reconstruction set (an
+//! unconverged component presents several distinct IDs). The key safety
+//! property that must survive: over-splitting only adds *extra* edges —
+//! connectivity is never lost, because `N(v, G')` membership (the part
+//! that re-merges a deleted node's own tree) is tracked by adjacency, not
+//! by IDs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfheal_core::distributed::DistributedDash;
+use selfheal_graph::generators::barabasi_albert;
+use selfheal_sim::{Simulator, SplitMix64, Topology};
+
+fn build_sim(n: usize, seed: u64) -> Simulator<DistributedDash> {
+    let g = barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
+    let edges: Vec<(u32, u32)> = g.edges().map(|e| (e.lo().0, e.hi().0)).collect();
+    let topo = Topology::from_edges(n, &edges);
+    let degrees: Vec<u32> = (0..n as u32).map(|v| topo.neighbors(v).len() as u32).collect();
+    Simulator::new(topo, DistributedDash::new(degrees, seed))
+}
+
+fn survivors_connected(sim: &Simulator<DistributedDash>) -> bool {
+    let live: Vec<u32> = sim.topology.live_nodes().collect();
+    let Some(&start) = live.first() else { return true };
+    let mut seen = vec![false; sim.topology.len()];
+    let mut stack = vec![start];
+    seen[start as usize] = true;
+    let mut reached = 0;
+    while let Some(v) = stack.pop() {
+        reached += 1;
+        for &u in sim.topology.neighbors(v) {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                stack.push(u);
+            }
+        }
+    }
+    reached == live.len()
+}
+
+/// Delete many nodes without ever waiting for quiescence, then drain.
+/// Connectivity must hold at every step regardless of broadcast state.
+#[test]
+fn rapid_fire_deletions_never_disconnect() {
+    for seed in [3u64, 7, 11] {
+        let n = 64;
+        let mut sim = build_sim(n, seed);
+        let mut rng = SplitMix64::new(seed);
+        for round in 0..n as u32 - 1 {
+            let live: Vec<u32> = sim.topology.live_nodes().collect();
+            let victim = *rng.choose(&live);
+            sim.delete_node(victim);
+            // NO run_to_quiescence here: broadcasts pile up across rounds.
+            assert!(
+                survivors_connected(&sim),
+                "seed {seed}: disconnected at rapid round {round}"
+            );
+        }
+        // Drain whatever is still flying; state must settle cleanly.
+        let report = sim.run_to_quiescence();
+        assert!(survivors_connected(&sim));
+        // Many messages chased dead nodes — that's expected, not an error.
+        let _ = report.dropped;
+    }
+}
+
+/// Partial drains: let only part of each broadcast through before the
+/// next deletion. IDs are stale mid-flood, but safety holds and the
+/// final drain converges every surviving component to a single ID.
+#[test]
+fn partially_drained_broadcasts_still_converge() {
+    let n = 48;
+    let seed = 5u64;
+    let mut sim = build_sim(n, seed);
+    let mut rng = SplitMix64::new(seed ^ 1);
+    for _ in 0..n as u32 / 2 {
+        let live: Vec<u32> = sim.topology.live_nodes().collect();
+        let victim = *rng.choose(&live);
+        sim.delete_node(victim);
+        // Partial progress: broadcasts only fully drain every ~4th round,
+        // so most deletions observe stale, mid-flood component IDs.
+        if rng.gen_range(4) == 0 {
+            sim.run_to_quiescence();
+        }
+        assert!(survivors_connected(&sim), "disconnected mid-flood");
+    }
+    sim.run_to_quiescence();
+    assert!(survivors_connected(&sim));
+    // After the final drain, every G'-connected pair agrees on its ID.
+    let live: Vec<u32> = sim.topology.live_nodes().collect();
+    for &v in &live {
+        for &u in sim.protocol.gprime_neighbors(v).iter() {
+            if sim.topology.is_alive(u) {
+                assert_eq!(
+                    sim.protocol.comp_id(v),
+                    sim.protocol.comp_id(u),
+                    "G' neighbors {v},{u} disagree after drain"
+                );
+            }
+        }
+    }
+}
+
+/// Degree damage under rapid fire stays within the DASH envelope: stale
+/// IDs can only over-split (more edges spread over more nodes), and the
+/// binary-tree shape still caps per-round growth.
+#[test]
+fn rapid_fire_degree_growth_stays_bounded() {
+    let n = 96;
+    let seed = 13u64;
+    let mut sim = build_sim(n, seed);
+    let initial: Vec<usize> = (0..n as u32).map(|v| sim.topology.neighbors(v).len()).collect();
+    let mut rng = SplitMix64::new(seed);
+    let mut max_delta = 0i64;
+    for _ in 0..n as u32 - 1 {
+        let live: Vec<u32> = sim.topology.live_nodes().collect();
+        let victim = *rng.choose(&live);
+        sim.delete_node(victim);
+        if rng.gen_range(3) == 0 {
+            sim.run_to_quiescence();
+        }
+        for v in sim.topology.live_nodes() {
+            let d = sim.topology.neighbors(v).len() as i64 - initial[v as usize] as i64;
+            max_delta = max_delta.max(d);
+        }
+    }
+    // Allow 2x the synchronous bound for the stale-ID over-splitting.
+    let bound = 4.0 * (n as f64).log2();
+    assert!(
+        (max_delta as f64) <= bound,
+        "rapid-fire delta {max_delta} exceeded relaxed bound {bound}"
+    );
+}

@@ -1,0 +1,318 @@
+//! Property-based tests (proptest) over random graphs, random seeds and
+//! random attack interleavings.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfheal_core::engine::{AuditLevel, Engine};
+use selfheal_core::invariants;
+use selfheal_core::state::HealingNetwork;
+use selfheal_core::strategy::Healer;
+use selfheal_experiments::config::{AttackKind, HealerKind};
+use selfheal_graph::components::{connected_components, UnionFind};
+use selfheal_graph::forest::is_forest;
+use selfheal_graph::generators;
+use selfheal_graph::{Csr, NodeId};
+use selfheal_metrics::StretchBaseline;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Connectivity and the G' forest invariant survive arbitrary-seed BA
+    /// graphs, any component-aware healer, any attack, to empty.
+    #[test]
+    fn healing_invariants_hold(
+        n in 8usize..48,
+        graph_seed in 0u64..1000,
+        attack_seed in 0u64..1000,
+        healer_idx in 0usize..4,
+        attack_idx in 0usize..4,
+    ) {
+        let healers = [
+            HealerKind::Dash,
+            HealerKind::Sdash,
+            HealerKind::BinaryTreeHeal,
+            HealerKind::LineHeal,
+        ];
+        let attacks = [
+            AttackKind::MaxNode,
+            AttackKind::NeighborOfMax,
+            AttackKind::Random,
+            AttackKind::MinDegree,
+        ];
+        let g = generators::barabasi_albert(n, 2, &mut StdRng::seed_from_u64(graph_seed));
+        let net = HealingNetwork::new(g, graph_seed);
+        let mut engine = Engine::new(
+            net,
+            healers[healer_idx].build(),
+            attacks[attack_idx].build(attack_seed),
+        ).with_audit(AuditLevel::Cheap);
+        let report = engine.run_to_empty();
+        prop_assert_eq!(report.rounds, n as u64);
+        prop_assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    /// DASH's degree bound holds for every (graph, attack) seed pair.
+    #[test]
+    fn dash_degree_bound(graph_seed in 0u64..500, attack_seed in 0u64..500) {
+        let n = 64;
+        let g = generators::barabasi_albert(n, 3, &mut StdRng::seed_from_u64(graph_seed));
+        let net = HealingNetwork::new(g, graph_seed);
+        let mut engine = Engine::new(
+            net,
+            selfheal_core::dash::Dash,
+            selfheal_core::attack::NeighborOfMax::new(attack_seed),
+        );
+        let report = engine.run_to_empty();
+        prop_assert!((report.max_delta_ever as f64) <= 2.0 * (n as f64).log2());
+    }
+
+    /// The rem potential (Lemmas 4 & 5) holds at every prefix of a sweep.
+    #[test]
+    fn rem_potential_at_random_prefix(seed in 0u64..200, kills in 1usize..24) {
+        let n = 24;
+        let g = generators::barabasi_albert(n, 2, &mut StdRng::seed_from_u64(seed));
+        let net = HealingNetwork::new(g, seed);
+        let mut engine = Engine::new(
+            net,
+            selfheal_core::dash::Dash,
+            selfheal_core::attack::RandomAttack::new(seed),
+        );
+        for _ in 0..kills {
+            if engine.step().is_none() {
+                break;
+            }
+        }
+        prop_assert!(invariants::rem_potential_ok(&engine.net));
+        prop_assert!(invariants::weight_conservation_ok(&engine.net));
+    }
+
+    /// Union-find agrees with BFS component labeling on random graphs.
+    #[test]
+    fn dsu_matches_bfs_components(n in 2usize..40, p in 0.0f64..0.3, seed in 0u64..1000) {
+        let g = generators::erdos_renyi_gnp(n, p, &mut StdRng::seed_from_u64(seed));
+        let mut uf = UnionFind::new(g.node_bound());
+        for e in g.edges() {
+            uf.union(e.lo().index(), e.hi().index());
+        }
+        let cc = connected_components(&g);
+        for u in g.live_nodes() {
+            for v in g.live_nodes() {
+                prop_assert_eq!(
+                    uf.same(u.index(), v.index()),
+                    cc.same_component(u, v),
+                    "{} vs {}", u, v
+                );
+            }
+        }
+        prop_assert_eq!(uf.set_count(), cc.count);
+    }
+
+    /// Healing graphs are always subgraphs of the real graph: E' ⊆ E.
+    #[test]
+    fn gprime_subset_of_g(seed in 0u64..300, kills in 1usize..32) {
+        let n = 32;
+        let g = generators::barabasi_albert(n, 2, &mut StdRng::seed_from_u64(seed));
+        let net = HealingNetwork::new(g, seed);
+        let mut engine = Engine::new(
+            net,
+            selfheal_core::sdash::Sdash,
+            selfheal_core::attack::RandomAttack::new(seed),
+        );
+        for _ in 0..kills {
+            if engine.step().is_none() {
+                break;
+            }
+        }
+        for e in engine.net.healing_graph().edges() {
+            prop_assert!(
+                engine.net.graph().has_edge(e.lo(), e.hi()),
+                "G' edge {:?} missing from G", e
+            );
+        }
+    }
+
+    /// Stretch is always >= 1 and finite for connectivity-preserving heals.
+    #[test]
+    fn stretch_at_least_one(seed in 0u64..100, kills in 1usize..20) {
+        let n = 24;
+        let g = generators::barabasi_albert(n, 2, &mut StdRng::seed_from_u64(seed));
+        let baseline = StretchBaseline::new(&g, 1);
+        let net = HealingNetwork::new(g, seed);
+        let mut engine = Engine::new(
+            net,
+            selfheal_core::dash::Dash,
+            selfheal_core::attack::RandomAttack::new(seed),
+        );
+        for _ in 0..kills {
+            if engine.step().is_none() {
+                break;
+            }
+        }
+        if engine.net.graph().live_node_count() >= 2 {
+            let r = baseline.stretch_of(engine.net.graph(), 1);
+            let r = r.expect("DASH preserves connectivity");
+            prop_assert!(r.stretch >= 1.0);
+            prop_assert!(r.stretch.is_finite());
+        }
+    }
+
+    /// BA generator: connected, right node/edge counts, min degree >= m.
+    #[test]
+    fn ba_generator_structure(n in 5usize..80, m in 1usize..4, seed in 0u64..1000) {
+        prop_assume!(n > m + 1);
+        let g = generators::barabasi_albert(n, m, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.live_node_count(), n);
+        prop_assert_eq!(g.edge_count(), m * (m + 1) / 2 + (n - m - 1) * m);
+        prop_assert!(selfheal_graph::components::is_connected(&g));
+        let stats = selfheal_graph::properties::degree_stats(&g).unwrap();
+        prop_assert!(stats.min >= m);
+    }
+
+    /// Complete-binary-tree wiring always yields a tree with max degree 3
+    /// in G', whatever the member multiset.
+    #[test]
+    fn binary_tree_shape(k in 1usize..64) {
+        let mut net = HealingNetwork::new(selfheal_graph::Graph::new(k), 0);
+        let nodes: Vec<NodeId> = (0..k).map(NodeId::from_index).collect();
+        selfheal_core::rt::connect_binary_tree(&mut net, &nodes);
+        prop_assert!(is_forest(net.healing_graph()));
+        prop_assert_eq!(net.healing_graph().edge_count(), k - 1);
+        for &v in &nodes {
+            prop_assert!(net.healing_graph().degree(v) <= 3);
+        }
+    }
+
+    /// Component IDs only ever decrease (they adopt minima).
+    #[test]
+    fn comp_ids_monotone_nonincreasing(seed in 0u64..200) {
+        let n = 24;
+        let g = generators::barabasi_albert(n, 2, &mut StdRng::seed_from_u64(seed));
+        let net = HealingNetwork::new(g, seed);
+        let mut engine = Engine::new(
+            net,
+            selfheal_core::dash::Dash,
+            selfheal_core::attack::MaxNode,
+        );
+        let mut last: Vec<u64> = (0..n as u32).map(|v| engine.net.comp_id(NodeId(v))).collect();
+        while engine.step().is_some() {
+            for v in 0..n as u32 {
+                let now = engine.net.comp_id(NodeId(v));
+                prop_assert!(now <= last[v as usize], "id of {v} increased");
+                last[v as usize] = now;
+            }
+        }
+    }
+
+    /// Articulation points match their definition: removing an AP splits
+    /// its component; removing a non-AP does not.
+    #[test]
+    fn articulation_points_match_bruteforce(n in 3usize..22, p in 0.08f64..0.5, seed in 0u64..500) {
+        let g = generators::erdos_renyi_gnp(n, p, &mut StdRng::seed_from_u64(seed));
+        let aps = selfheal_graph::cuts::articulation_points(&g);
+        let base = connected_components(&g).count;
+        for v in g.live_nodes() {
+            let mut h = g.clone();
+            h.remove_node(v).unwrap();
+            let after = connected_components(&h).count;
+            // v's component splits into k parts: after = base - 1 + k,
+            // so v is an AP (k >= 2) exactly when after > base. An
+            // isolated v gives after = base - 1, correctly not an AP.
+            let splits = after > base;
+            prop_assert_eq!(
+                aps.contains(&v),
+                splits,
+                "node {} (degree {}): base {} after {}",
+                v, g.degree(v), base, after
+            );
+        }
+    }
+
+    /// Bridges match their definition: removing a bridge splits a
+    /// component, removing a non-bridge edge does not.
+    #[test]
+    fn bridges_match_bruteforce(n in 3usize..20, p in 0.1f64..0.5, seed in 0u64..300) {
+        let g = generators::erdos_renyi_gnp(n, p, &mut StdRng::seed_from_u64(seed));
+        let bridges = selfheal_graph::cuts::bridges(&g);
+        let base = connected_components(&g).count;
+        for e in g.edges() {
+            let mut h = g.clone();
+            h.remove_edge(e.lo(), e.hi()).unwrap();
+            let splits = connected_components(&h).count > base;
+            prop_assert_eq!(bridges.contains(&e), splits, "edge {:?}", e);
+        }
+    }
+
+    /// Complete k-ary trees have the advertised size and level structure.
+    #[test]
+    fn kary_tree_structure(arity in 1usize..5, depth in 0u32..5) {
+        let t = generators::KaryTree::new(arity, depth);
+        prop_assert_eq!(t.node_count(), generators::KaryTree::size_for(arity, depth));
+        prop_assert!(selfheal_graph::forest::is_tree(&t.graph));
+        // Level populations: arity^level.
+        let mut expected = 1usize;
+        for level in 0..=depth {
+            prop_assert_eq!(t.nodes_at_level(level).len(), expected);
+            expected *= arity;
+        }
+        // Every non-root's parent is one level up.
+        for i in 1..t.node_count() {
+            let v = NodeId::from_index(i);
+            let p = t.parent(v).unwrap();
+            prop_assert_eq!(t.level(p) + 1, t.level(v));
+            prop_assert!(t.graph.has_edge(p, v));
+        }
+    }
+
+    /// Largest-component extraction returns a connected subgraph of
+    /// maximum size.
+    #[test]
+    fn largest_component_is_maximal(n in 2usize..40, p in 0.0f64..0.25, seed in 0u64..300) {
+        let g = generators::erdos_renyi_gnp(n, p, &mut StdRng::seed_from_u64(seed));
+        let sub = selfheal_graph::subgraph::largest_component_subgraph(&g);
+        prop_assert!(selfheal_graph::components::is_connected(&sub.graph));
+        let cc = connected_components(&g);
+        let biggest = cc.sizes().into_iter().max().unwrap_or(0);
+        prop_assert_eq!(sub.graph.live_node_count(), biggest);
+    }
+
+    /// CSR snapshots preserve BFS distances from the dynamic graph.
+    #[test]
+    fn csr_distances_match_graph(n in 2usize..40, p in 0.05f64..0.4, seed in 0u64..500) {
+        let g = generators::erdos_renyi_gnp(n, p, &mut StdRng::seed_from_u64(seed));
+        let csr = Csr::from_graph(&g);
+        let src = NodeId(0);
+        let gd = selfheal_graph::paths::bfs_distances(&g, src);
+        let cd = csr.bfs(csr.dense_index(src).unwrap());
+        for v in g.live_nodes() {
+            let dense = csr.dense_index(v).unwrap();
+            prop_assert_eq!(gd[v.index()], cd[dense]);
+        }
+    }
+}
+
+/// Non-proptest regression: a healer driven manually matches the engine.
+#[test]
+fn manual_rounds_match_engine() {
+    let n = 32;
+    let g = generators::barabasi_albert(n, 3, &mut StdRng::seed_from_u64(4));
+    // Engine path.
+    let mut engine = Engine::new(
+        HealingNetwork::new(g.clone(), 4),
+        selfheal_core::dash::Dash,
+        selfheal_core::attack::MaxNode,
+    );
+    engine.run_to_empty();
+    // Manual path.
+    let mut net = HealingNetwork::new(g, 4);
+    let mut dash = selfheal_core::dash::Dash;
+    while let Some(v) = net.graph().max_degree_node() {
+        let ctx = net.delete_node(v).unwrap();
+        let outcome = dash.heal(&mut net, &ctx);
+        net.propagate_min_id(&outcome.rt_members);
+    }
+    for v in 0..n as u32 {
+        assert_eq!(engine.net.id_changes(NodeId(v)), net.id_changes(NodeId(v)));
+        assert_eq!(engine.net.messages_sent(NodeId(v)), net.messages_sent(NodeId(v)));
+    }
+}
