@@ -1,0 +1,57 @@
+# Task runner for the selfheal workspace. `make ci` is the full gate the
+# repo must keep green: build + every test + lints + docs.
+
+CARGO ?= cargo
+
+.PHONY: all build test test-all bench doc fmt fmt-check clippy examples figures ci clean
+
+all: build
+
+## Release build of every workspace crate.
+build:
+	$(CARGO) build --release --workspace
+
+## Tier-1 verification: the exact command the roadmap pins.
+test:
+	$(CARGO) build --release && $(CARGO) test -q
+
+## Every test in every crate (units, integration, doctests).
+test-all:
+	$(CARGO) test --workspace -q
+
+## Benchmark suite (offline criterion stand-in: indicative numbers, fast).
+bench:
+	$(CARGO) bench -p selfheal-bench
+
+## API docs for the workspace crates only.
+doc:
+	$(CARGO) doc --no-deps --workspace
+
+fmt:
+	$(CARGO) fmt
+
+fmt-check:
+	$(CARGO) fmt --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+## Build and run every example (quickstart last so its output is on screen).
+examples:
+	$(CARGO) run -q --release --example attack_matrix
+	$(CARGO) run -q --release --example batch_failures
+	$(CARGO) run -q --release --example distributed_dash
+	$(CARGO) run -q --release --example lower_bound
+	$(CARGO) run -q --release --example overlay_churn
+	$(CARGO) run -q --release --example quickstart
+
+## Regenerate the paper's figures (quick scale) with CSV dumps under out/.
+figures:
+	$(CARGO) run -q --release -p selfheal-experiments -- all --quick --csv out
+
+## The full CI gate.
+ci: fmt-check clippy build test-all doc
+	@echo "ci green"
+
+clean:
+	$(CARGO) clean

@@ -23,7 +23,10 @@ const SEED: u64 = 20080124;
 
 fn bench_design_ablation(c: &mut Criterion) {
     println!("\nA1 ablation @ n = {N} (NeighborOfMax attack):");
-    println!("  {:>14}  {:>10}  {:>12}  design point", "healer", "max dδ", "heal edges");
+    println!(
+        "  {:>14}  {:>10}  {:>12}  design point",
+        "healer", "max dδ", "heal edges"
+    );
     let points = [
         (HealerKind::Dash, "components + δ-ordering"),
         (HealerKind::BinaryTreeHeal, "components only"),

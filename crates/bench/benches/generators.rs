@@ -31,7 +31,11 @@ fn bench_generators(c: &mut Criterion) {
     });
     group.bench_function("powerlaw_config_1024", |b| {
         let mut rng = StdRng::seed_from_u64(4);
-        b.iter(|| black_box(generators::powerlaw_configuration(1024, 2.5, 1, 64, &mut rng)));
+        b.iter(|| {
+            black_box(generators::powerlaw_configuration(
+                1024, 2.5, 1, 64, &mut rng,
+            ))
+        });
     });
     group.finish();
 }

@@ -13,10 +13,16 @@ const SEED: u64 = 20080124;
 
 fn bench_lower_bound(c: &mut Criterion) {
     println!("\nTheorem 2 rows (DASH, M = 2, 4-ary trees):");
-    println!("  {:>6}  {:>6}  {:>9}  {:>8}", "depth", "n", "forced dδ", "floor D");
+    println!(
+        "  {:>6}  {:>6}  {:>9}  {:>8}",
+        "depth", "n", "forced dδ", "floor D"
+    );
     for depth in 2..=5u32 {
         let r = run_level_attack(Dash, 2, depth, SEED);
-        println!("  {:>6}  {:>6}  {:>9}  {:>8}", depth, r.n, r.max_delta_ever, depth);
+        println!(
+            "  {:>6}  {:>6}  {:>9}  {:>8}",
+            depth, r.n, r.max_delta_ever, depth
+        );
     }
     println!();
 

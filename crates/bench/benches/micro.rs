@@ -111,5 +111,10 @@ fn bench_full_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rt_machinery, bench_graph_ops, bench_full_round);
+criterion_group!(
+    benches,
+    bench_rt_machinery,
+    bench_graph_ops,
+    bench_full_round
+);
 criterion_main!(benches);

@@ -59,7 +59,9 @@ pub struct NeighborOfMax {
 impl NeighborOfMax {
     /// Seeded adversary (deterministic victim sequence per seed).
     pub fn new(seed: u64) -> Self {
-        NeighborOfMax { rng: SplitMix64::new(seed) }
+        NeighborOfMax {
+            rng: SplitMix64::new(seed),
+        }
     }
 }
 
@@ -88,7 +90,9 @@ pub struct RandomAttack {
 impl RandomAttack {
     /// Seeded adversary.
     pub fn new(seed: u64) -> Self {
-        RandomAttack { rng: SplitMix64::new(seed) }
+        RandomAttack {
+            rng: SplitMix64::new(seed),
+        }
     }
 }
 
@@ -158,7 +162,9 @@ pub struct Scripted {
 impl Scripted {
     /// Script the given victim order.
     pub fn new<I: IntoIterator<Item = NodeId>>(victims: I) -> Self {
-        Scripted { queue: victims.into_iter().collect() }
+        Scripted {
+            queue: victims.into_iter().collect(),
+        }
     }
 
     /// Append another victim.
@@ -208,7 +214,11 @@ mod tests {
         let mut a = NeighborOfMax::new(5);
         for _ in 0..10 {
             let v = a.pick(&net).unwrap();
-            assert_ne!(v, NodeId(0), "NMS must not pick the hub while it has neighbors");
+            assert_ne!(
+                v,
+                NodeId(0),
+                "NMS must not pick the hub while it has neighbors"
+            );
         }
     }
 

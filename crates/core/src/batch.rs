@@ -36,7 +36,10 @@ impl fmt::Display for BatchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BatchError::NotIndependent(u, v) => {
-                write!(f, "victims {u} and {v} are adjacent; batch must be independent")
+                write!(
+                    f,
+                    "victims {u} and {v} are adjacent; batch must be independent"
+                )
             }
             BatchError::Duplicate(v) => write!(f, "victim {v} appears twice in the batch"),
             BatchError::Graph(e) => write!(f, "{e}"),
@@ -110,7 +113,10 @@ pub fn heal_batch<H: Healer>(
         propagation.latency = propagation.latency.max(p.latency);
         outcomes.push(outcome);
     }
-    BatchOutcome { outcomes, propagation }
+    BatchOutcome {
+        outcomes,
+        propagation,
+    }
 }
 
 /// Greedily pick up to `k` independent victims from the live graph using
@@ -139,11 +145,11 @@ pub fn independent_victims<F: FnMut(NodeId) -> i64>(
 mod tests {
     use super::*;
     use crate::dash::Dash;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use selfheal_graph::components::is_connected;
     use selfheal_graph::forest::is_forest;
     use selfheal_graph::generators::{barabasi_albert, cycle_graph, path_graph};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn rejects_adjacent_victims() {

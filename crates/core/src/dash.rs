@@ -34,19 +34,23 @@ impl Healer for Dash {
         let members = rt::reconstruction_set(net, ctx);
         let ordered = rt::order_by_delta(net, &members);
         let edges_added = rt::connect_binary_tree(net, &ordered);
-        HealOutcome { rt_members: members, edges_added, surrogate: None }
+        HealOutcome {
+            rt_members: members,
+            edges_added,
+            surrogate: None,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use selfheal_graph::components::is_connected;
     use selfheal_graph::forest::is_forest;
     use selfheal_graph::generators::{barabasi_albert, star_graph};
     use selfheal_graph::NodeId;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// Drive one DASH round: delete, heal, propagate.
     fn round(net: &mut HealingNetwork, v: NodeId) {
@@ -139,6 +143,10 @@ mod tests {
         // the hub, so reps have δ = 0, node 5 has δ = -1: node 5 is root.
         assert_eq!(outcome.rt_members.len(), 3);
         let root = NodeId(5);
-        assert_eq!(net.healing_graph().degree(root), 2, "node 5 should parent both reps");
+        assert_eq!(
+            net.healing_graph().degree(root),
+            2,
+            "node 5 should parent both reps"
+        );
     }
 }

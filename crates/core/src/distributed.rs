@@ -203,7 +203,11 @@ impl Protocol for DistributedDash {
         }
         // Algorithm 1 step 5: every RT member with a larger component ID
         // adopts the minimum and starts the broadcast.
-        let min_id = members.iter().map(|&u| self.comp_id[u as usize]).min().unwrap();
+        let min_id = members
+            .iter()
+            .map(|&u| self.comp_id[u as usize])
+            .min()
+            .unwrap();
         for &u in &members {
             if self.comp_id[u as usize] > min_id {
                 self.adopt_and_announce(ctx, u, min_id);
@@ -229,7 +233,9 @@ mod tests {
     fn star_sim(n: usize) -> Simulator<DistributedDash> {
         let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (0, i)).collect();
         let topo = Topology::from_edges(n, &edges);
-        let degrees: Vec<u32> = (0..n as u32).map(|v| topo.neighbors(v).len() as u32).collect();
+        let degrees: Vec<u32> = (0..n as u32)
+            .map(|v| topo.neighbors(v).len() as u32)
+            .collect();
         Simulator::new(topo, DistributedDash::new(degrees, 42))
     }
 

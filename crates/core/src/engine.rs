@@ -92,7 +92,13 @@ pub struct Engine<H: Healer, A: Adversary> {
 impl<H: Healer, A: Adversary> Engine<H, A> {
     /// New engine with auditing off.
     pub fn new(net: HealingNetwork, healer: H, adversary: A) -> Self {
-        Engine { net, healer, adversary, audit: AuditLevel::Off, report: EngineReport::default() }
+        Engine {
+            net,
+            healer,
+            adversary,
+            audit: AuditLevel::Off,
+            report: EngineReport::default(),
+        }
     }
 
     /// Enable invariant auditing.
@@ -207,9 +213,9 @@ mod tests {
     use crate::dash::Dash;
     use crate::naive::NoHeal;
     use crate::sdash::Sdash;
-    use selfheal_graph::generators::barabasi_albert;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use selfheal_graph::generators::barabasi_albert;
 
     fn ba_net(n: usize, seed: u64) -> HealingNetwork {
         let g = barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
@@ -236,10 +242,12 @@ mod tests {
 
     #[test]
     fn no_heal_audit_detects_disconnection() {
-        let mut engine =
-            Engine::new(ba_net(32, 3), NoHeal, MaxNode).with_audit(AuditLevel::Cheap);
+        let mut engine = Engine::new(ba_net(32, 3), NoHeal, MaxNode).with_audit(AuditLevel::Cheap);
         let report = engine.run_to_empty();
-        assert!(!report.violations.is_empty(), "NoHeal must break connectivity");
+        assert!(
+            !report.violations.is_empty(),
+            "NoHeal must break connectivity"
+        );
     }
 
     #[test]
@@ -266,20 +274,25 @@ mod tests {
     #[test]
     fn scripted_run_is_reproducible() {
         let run = || {
-            let mut engine = Engine::new(
-                ba_net(24, 9),
-                Dash,
-                Scripted::new((0..24u32).map(NodeId)),
-            );
+            let mut engine =
+                Engine::new(ba_net(24, 9), Dash, Scripted::new((0..24u32).map(NodeId)));
             let r = engine.run_to_empty();
-            (r.rounds, r.max_delta_ever, r.total_messages, r.total_edges_added)
+            (
+                r.rounds,
+                r.max_delta_ever,
+                r.total_messages,
+                r.total_edges_added,
+            )
         };
         assert_eq!(run(), run());
     }
 
     #[test]
     fn report_amortized_latency() {
-        let mut engine = Engine::new(ba_net(40, 11), Dash, MaxNode);
+        // Seed chosen (against the vendored RNG) so at least one round
+        // propagates an ID change beyond depth 0; many seeds heal every
+        // round entirely within the reconstruction set and report 0.
+        let mut engine = Engine::new(ba_net(40, 13), Dash, MaxNode);
         let report = engine.run_to_empty();
         assert!(report.amortized_latency() >= 0.0);
         assert!(report.max_propagation_latency >= 1);

@@ -45,7 +45,11 @@ pub fn delta_bound(net: &HealingNetwork) -> DeltaBound {
     let n = net.total_created().max(1) as f64;
     let bound = 2.0 * n.log2();
     let max_delta = net.max_delta_alive();
-    DeltaBound { max_delta, bound, ok: (max_delta as f64) <= bound + 1e-9 }
+    DeltaBound {
+        max_delta,
+        bound,
+        ok: (max_delta as f64) <= bound + 1e-9,
+    }
 }
 
 /// Total weight of the `G'` tree containing `u` when `v` is removed:
@@ -137,7 +141,10 @@ pub fn check_all(net: &HealingNetwork, expect_forest: bool, check_rem: bool) -> 
     }
     let db = delta_bound(net);
     if !db.ok {
-        violations.push(format!("max delta {} exceeds 2 log2 n = {:.2}", db.max_delta, db.bound));
+        violations.push(format!(
+            "max delta {} exceeds 2 log2 n = {:.2}",
+            db.max_delta, db.bound
+        ));
     }
     if !weight_conservation_ok(net) {
         violations.push("weight not conserved".to_string());

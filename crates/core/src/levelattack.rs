@@ -57,7 +57,10 @@ struct Driver<H: Healer> {
 
 impl<H: Healer> Driver<H> {
     fn round(&mut self, v: NodeId) {
-        let ctx = self.net.delete_node(v).expect("attack deletes live nodes only");
+        let ctx = self
+            .net
+            .delete_node(v)
+            .expect("attack deletes live nodes only");
         let outcome = self.healer.heal(&mut self.net, &ctx);
         self.net.propagate_min_id(&outcome.rt_members);
         self.rounds += 1;

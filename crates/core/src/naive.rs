@@ -44,7 +44,11 @@ impl Healer for GraphHeal {
                 edges_added.push((a, b));
             }
         }
-        HealOutcome { rt_members: ctx.g_neighbors.clone(), edges_added, surrogate: None }
+        HealOutcome {
+            rt_members: ctx.g_neighbors.clone(),
+            edges_added,
+            surrogate: None,
+        }
     }
 
     fn preserves_forest(&self) -> bool {
@@ -65,7 +69,11 @@ impl Healer for BinaryTreeHeal {
         let members = rt::reconstruction_set(net, ctx);
         let ordered = order_by_initial_id(net, &members);
         let edges_added = rt::connect_binary_tree(net, &ordered);
-        HealOutcome { rt_members: members, edges_added, surrogate: None }
+        HealOutcome {
+            rt_members: members,
+            edges_added,
+            surrogate: None,
+        }
     }
 }
 
@@ -88,7 +96,11 @@ impl Healer for LineHeal {
                 edges_added.push((a, b));
             }
         }
-        HealOutcome { rt_members: members, edges_added, surrogate: None }
+        HealOutcome {
+            rt_members: members,
+            edges_added,
+            surrogate: None,
+        }
     }
 }
 
@@ -109,11 +121,11 @@ impl Healer for NoHeal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use selfheal_graph::components::is_connected;
     use selfheal_graph::forest::is_forest;
     use selfheal_graph::generators::{barabasi_albert, star_graph};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn round<H: Healer>(healer: &mut H, net: &mut HealingNetwork, v: NodeId) -> HealOutcome {
         let ctx = net.delete_node(v).unwrap();
@@ -130,9 +142,17 @@ mod tests {
         for v in 0..n as u32 {
             total_edges += round(&mut healer, &mut net, NodeId(v)).edges_added.len();
             if healer.preserves_forest() {
-                assert!(is_forest(net.healing_graph()), "{} broke forest at {v}", healer.name());
+                assert!(
+                    is_forest(net.healing_graph()),
+                    "{} broke forest at {v}",
+                    healer.name()
+                );
             }
-            assert!(is_connected(net.graph()), "{} broke connectivity at {v}", healer.name());
+            assert!(
+                is_connected(net.graph()),
+                "{} broke connectivity at {v}",
+                healer.name()
+            );
         }
         total_edges
     }

@@ -31,7 +31,9 @@ impl OracleDash {
     /// Build for a network of `n` node slots (all singleton components,
     /// matching the empty initial healing graph).
     pub fn new(n: usize) -> Self {
-        OracleDash { uf: UnionFind::new(n) }
+        OracleDash {
+            uf: UnionFind::new(n),
+        }
     }
 
     /// Current component representative of `v` in the healing graph.
@@ -85,7 +87,11 @@ impl Healer for OracleDash {
         for &(a, b) in &edges_added {
             self.uf.union(a.index(), b.index());
         }
-        HealOutcome { rt_members: members, edges_added, surrogate: None }
+        HealOutcome {
+            rt_members: members,
+            edges_added,
+            surrogate: None,
+        }
     }
 
     fn needs_id_propagation(&self) -> bool {
@@ -99,9 +105,9 @@ mod tests {
     use crate::attack::{MaxNode, NeighborOfMax};
     use crate::dash::Dash;
     use crate::engine::Engine;
-    use selfheal_graph::generators::barabasi_albert;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use selfheal_graph::generators::barabasi_albert;
 
     /// The headline property: oracle components and broadcast IDs induce
     /// identical healing decisions.
@@ -123,8 +129,14 @@ mod tests {
                 let o_out = oracle.heal(&mut oracle_net, &octx);
                 dash_net.propagate_min_id(&d_out.rt_members);
                 // No propagation on the oracle side — that's the point.
-                assert_eq!(d_out.rt_members, o_out.rt_members, "seed {seed}, victim {v}");
-                assert_eq!(d_out.edges_added, o_out.edges_added, "seed {seed}, victim {v}");
+                assert_eq!(
+                    d_out.rt_members, o_out.rt_members,
+                    "seed {seed}, victim {v}"
+                );
+                assert_eq!(
+                    d_out.edges_added, o_out.edges_added,
+                    "seed {seed}, victim {v}"
+                );
             }
             assert_eq!(oracle_net.graph().live_node_count(), 0);
         }

@@ -68,16 +68,11 @@ pub fn order_by_delta(net: &HealingNetwork, members: &[NodeId]) -> Vec<NodeId> {
 
 /// Wire `ordered` into a complete binary tree, adding each edge to both
 /// `G` and `G'`. Returns the edges added to `G'`.
-pub fn connect_binary_tree(
-    net: &mut HealingNetwork,
-    ordered: &[NodeId],
-) -> Vec<(NodeId, NodeId)> {
+pub fn connect_binary_tree(net: &mut HealingNetwork, ordered: &[NodeId]) -> Vec<(NodeId, NodeId)> {
     let edges = selfheal_graph::forest::complete_binary_tree_edges(ordered);
     let mut added = Vec::with_capacity(edges.len());
     for &(a, b) in &edges {
-        let (_, new_gp) = net
-            .add_heal_edge(a, b)
-            .expect("RT endpoints must be alive");
+        let (_, new_gp) = net.add_heal_edge(a, b).expect("RT endpoints must be alive");
         if new_gp {
             added.push((a, b));
         }
@@ -135,7 +130,10 @@ mod tests {
         let ctx = net.delete_node(NodeId(0)).unwrap();
         assert_eq!(ctx.gprime_neighbors, vec![NodeId(1)]);
         let un = unique_neighbors(&net, &ctx);
-        assert!(!un.contains(&NodeId(1)), "node 1 shares the deleted node's comp id");
+        assert!(
+            !un.contains(&NodeId(1)),
+            "node 1 shares the deleted node's comp id"
+        );
         let rt = reconstruction_set(&net, &ctx);
         assert!(rt.contains(&NodeId(1)));
         assert_eq!(rt.len(), 4);

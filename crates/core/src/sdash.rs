@@ -47,7 +47,11 @@ impl Healer for Sdash {
     fn heal(&mut self, net: &mut HealingNetwork, ctx: &DeletionContext) -> HealOutcome {
         let members = rt::reconstruction_set(net, ctx);
         if members.len() < 2 {
-            return HealOutcome { rt_members: members, edges_added: vec![], surrogate: None };
+            return HealOutcome {
+                rt_members: members,
+                edges_added: vec![],
+                surrogate: None,
+            };
         }
         if let Some(w) = surrogate_candidate(net, &members) {
             let mut edges_added = Vec::with_capacity(members.len() - 1);
@@ -60,22 +64,30 @@ impl Healer for Sdash {
                     edges_added.push((w, u));
                 }
             }
-            return HealOutcome { rt_members: members, edges_added, surrogate: Some(w) };
+            return HealOutcome {
+                rt_members: members,
+                edges_added,
+                surrogate: Some(w),
+            };
         }
         let ordered = rt::order_by_delta(net, &members);
         let edges_added = rt::connect_binary_tree(net, &ordered);
-        HealOutcome { rt_members: members, edges_added, surrogate: None }
+        HealOutcome {
+            rt_members: members,
+            edges_added,
+            surrogate: None,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use selfheal_graph::components::is_connected;
     use selfheal_graph::forest::is_forest;
     use selfheal_graph::generators::{barabasi_albert, star_graph};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn round(net: &mut HealingNetwork, v: NodeId) -> HealOutcome {
         let ctx = net.delete_node(v).unwrap();
@@ -121,7 +133,10 @@ mod tests {
         // coincide for 2 nodes, distances must not grow beyond 1 hop.
         let mut net = HealingNetwork::new(selfheal_graph::generators::path_graph(3), 3);
         round(&mut net, NodeId(1));
-        assert_eq!(selfheal_graph::paths::distance(net.graph(), NodeId(0), NodeId(2)), Some(1));
+        assert_eq!(
+            selfheal_graph::paths::distance(net.graph(), NodeId(0), NodeId(2)),
+            Some(1)
+        );
     }
 
     #[test]

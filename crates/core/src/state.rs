@@ -77,10 +77,16 @@ impl HealingNetwork {
     /// Panics if `graph` contains tombstoned nodes.
     pub fn new(graph: Graph, seed: u64) -> Self {
         let n = graph.node_bound();
-        assert_eq!(graph.live_node_count(), n, "initial graph must have all nodes alive");
+        assert_eq!(
+            graph.live_node_count(),
+            n,
+            "initial graph must have all nodes alive"
+        );
         let mut ids: Vec<u64> = (0..n as u64).collect();
         SplitMix64::new(seed).shuffle(&mut ids);
-        let initial_degree = (0..n).map(|i| graph.degree(NodeId::from_index(i)) as u32).collect();
+        let initial_degree = (0..n)
+            .map(|i| graph.degree(NodeId::from_index(i)) as u32)
+            .collect();
         HealingNetwork {
             gp: Graph::new(n),
             g: graph,
@@ -226,7 +232,11 @@ impl HealingNetwork {
 
     /// Maximum `δ(v)` over live nodes (0 for an empty network).
     pub fn max_delta_alive(&self) -> i64 {
-        self.g.live_nodes().map(|v| self.delta(v)).max().unwrap_or(0)
+        self.g
+            .live_nodes()
+            .map(|v| self.delta(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Delete `v` from both `G` and `G'`, transfer its weight, and report
@@ -243,14 +253,22 @@ impl HealingNetwork {
         let deleted_comp_id = self.comp_id[v.index()];
         let gprime_neighbors = self.gp.remove_node(v)?;
         let g_neighbors = self.g.remove_node(v)?;
-        let heir = gprime_neighbors.first().or_else(|| g_neighbors.first()).copied();
+        let heir = gprime_neighbors
+            .first()
+            .or_else(|| g_neighbors.first())
+            .copied();
         let w = std::mem::take(&mut self.weight[v.index()]);
         match heir {
             Some(h) => self.weight[h.index()] += w,
             None => self.weight_lost += w,
         }
         self.deletions += 1;
-        Ok(DeletionContext { deleted: v, deleted_comp_id, g_neighbors, gprime_neighbors })
+        Ok(DeletionContext {
+            deleted: v,
+            deleted_comp_id,
+            g_neighbors,
+            gprime_neighbors,
+        })
     }
 
     /// Add a healing edge: ensure it exists in `G` and record it in `G'`.
@@ -275,8 +293,11 @@ impl HealingNetwork {
     /// change occurred.
     pub fn propagate_min_id(&mut self, seeds: &[NodeId]) -> PropagationReport {
         let mut report = PropagationReport::default();
-        let live_seeds: Vec<NodeId> =
-            seeds.iter().copied().filter(|&s| self.gp.is_alive(s)).collect();
+        let live_seeds: Vec<NodeId> = seeds
+            .iter()
+            .copied()
+            .filter(|&s| self.gp.is_alive(s))
+            .collect();
         if live_seeds.is_empty() {
             return report;
         }
@@ -299,7 +320,11 @@ impl HealingNetwork {
                 }
             }
         }
-        let min_id = reached.iter().map(|&v| self.comp_id[v.index()]).min().unwrap();
+        let min_id = reached
+            .iter()
+            .map(|&v| self.comp_id[v.index()])
+            .min()
+            .unwrap();
         for &v in &reached {
             if self.comp_id[v.index()] > min_id {
                 self.comp_id[v.index()] = min_id;
@@ -409,11 +434,20 @@ mod tests {
     fn heal_edge_flags_report_novelty() {
         let mut net = net_on_path(3);
         // (0,1) already exists in G, so only G' is new.
-        assert_eq!(net.add_heal_edge(NodeId(0), NodeId(1)).unwrap(), (false, true));
+        assert_eq!(
+            net.add_heal_edge(NodeId(0), NodeId(1)).unwrap(),
+            (false, true)
+        );
         // (0,2) is new in both.
-        assert_eq!(net.add_heal_edge(NodeId(0), NodeId(2)).unwrap(), (true, true));
+        assert_eq!(
+            net.add_heal_edge(NodeId(0), NodeId(2)).unwrap(),
+            (true, true)
+        );
         // Re-adding is tolerated and reported.
-        assert_eq!(net.add_heal_edge(NodeId(0), NodeId(2)).unwrap(), (false, false));
+        assert_eq!(
+            net.add_heal_edge(NodeId(0), NodeId(2)).unwrap(),
+            (false, false)
+        );
     }
 
     #[test]

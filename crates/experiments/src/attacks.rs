@@ -13,14 +13,12 @@ use crate::runner::{extract, run_trials};
 use selfheal_metrics::{Figure, Series, SeriesPoint};
 
 /// Degree-increase comparison across all attacks, for a fixed healer.
-pub fn run_degree(
-    scale: Scale,
-    healer: HealerKind,
-    base_seed: u64,
-    threads: usize,
-) -> Figure {
+pub fn run_degree(scale: Scale, healer: HealerKind, base_seed: u64, threads: usize) -> Figure {
     let mut fig = Figure::new(
-        format!("E7: max degree increase per attack strategy (healer: {})", healer.name()),
+        format!(
+            "E7: max degree increase per attack strategy (healer: {})",
+            healer.name()
+        ),
         "n",
         "max degree increase",
     );

@@ -103,7 +103,11 @@ pub fn render(rows: &[BatchRow]) -> String {
             format!("{:.1}", r.max_delta),
             format!("{:.1}", r.bound),
             format!("{:.1}", r.batches),
-            if r.connected_throughout { "yes".into() } else { "NO".into() },
+            if r.connected_throughout {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     t.render()
@@ -118,8 +122,19 @@ mod tests {
         let rows = run(Scale::Quick, 55);
         assert!(!rows.is_empty());
         for r in &rows {
-            assert!(r.connected_throughout, "k={} n={} broke connectivity", r.k, r.n);
-            assert!(r.max_delta <= r.bound, "k={} n={}: {} > {}", r.k, r.n, r.max_delta, r.bound);
+            assert!(
+                r.connected_throughout,
+                "k={} n={} broke connectivity",
+                r.k, r.n
+            );
+            assert!(
+                r.max_delta <= r.bound,
+                "k={} n={}: {} > {}",
+                r.k,
+                r.n,
+                r.max_delta,
+                r.bound
+            );
         }
     }
 
@@ -127,6 +142,9 @@ mod tests {
     fn bigger_batches_use_fewer_rounds() {
         let (_, b1, _) = run_batch_trial(128, 1, 3);
         let (_, b8, _) = run_batch_trial(128, 8, 3);
-        assert!(b8 < b1, "batched sweep should need fewer rounds: {b8} vs {b1}");
+        assert!(
+            b8 < b1,
+            "batched sweep should need fewer rounds: {b8} vs {b1}"
+        );
     }
 }

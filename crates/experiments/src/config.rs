@@ -1,6 +1,8 @@
 //! Experiment configuration: scales, strategy/attack enumerations, seeds.
 
-use selfheal_core::attack::{Adversary, CutVertex, MaxNode, MinDegree, NeighborOfMax, RandomAttack};
+use selfheal_core::attack::{
+    Adversary, CutVertex, MaxNode, MinDegree, NeighborOfMax, RandomAttack,
+};
 use selfheal_core::dash::Dash;
 use selfheal_core::naive::{BinaryTreeHeal, GraphHeal, LineHeal, NoHeal};
 use selfheal_core::sdash::Sdash;

@@ -41,7 +41,10 @@ pub fn run(scale: Scale, base_seed: u64, threads: usize) -> Figure {
     // Reference curve: the proven DASH bound.
     let mut bound = Series::new("2*log2(n) bound");
     for &n in &scale.degree_sizes() {
-        bound.push(SeriesPoint::from_trials(n as f64, &[2.0 * (n as f64).log2()]));
+        bound.push(SeriesPoint::from_trials(
+            n as f64,
+            &[2.0 * (n as f64).log2()],
+        ));
     }
     fig.push(bound);
     fig

@@ -32,7 +32,10 @@ fn run_metric(
                 scale.trials(),
                 threads,
             );
-            series.push(SeriesPoint::from_trials(n as f64, &extract(&stats, &metric)));
+            series.push(SeriesPoint::from_trials(
+                n as f64,
+                &extract(&stats, &metric),
+            ));
         }
         fig.push(series);
     }

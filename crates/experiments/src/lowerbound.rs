@@ -83,7 +83,16 @@ fn run_level_attack_boxed(
 /// Render the results table.
 pub fn render(results: &[LevelAttackResult]) -> String {
     let mut t = Table::new([
-        "healer", "M", "depth D", "n", "rounds", "max dδ", "leaf dδ", "floor D", "2log2 n", "floor met",
+        "healer",
+        "M",
+        "depth D",
+        "n",
+        "rounds",
+        "max dδ",
+        "leaf dδ",
+        "floor D",
+        "2log2 n",
+        "floor met",
     ]);
     for r in results {
         t.row([
@@ -96,7 +105,11 @@ pub fn render(results: &[LevelAttackResult]) -> String {
             r.max_leaf_delta_ever.to_string(),
             r.depth.to_string(),
             format!("{:.1}", 2.0 * (r.n as f64).log2()),
-            if r.meets_lower_bound() { "yes".into() } else { "no".into() },
+            if r.meets_lower_bound() {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     t.render()

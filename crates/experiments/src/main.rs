@@ -47,11 +47,16 @@ fn parse_args() -> Options {
             "--full" => opts.scale = Scale::Full,
             "--chart" => opts.chart = true,
             "--seed" => {
-                opts.seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                opts.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--threads" => {
-                opts.threads =
-                    args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                opts.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--csv" => opts.csv_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--help" | "-h" => usage(),
@@ -65,7 +70,15 @@ fn parse_args() -> Options {
         opts.command = "all".to_string();
     }
     let known = [
-        "fig8", "fig9a", "fig9b", "fig10", "theorem1", "lowerbound", "attacks", "batch", "all",
+        "fig8",
+        "fig9a",
+        "fig9b",
+        "fig10",
+        "theorem1",
+        "lowerbound",
+        "attacks",
+        "batch",
+        "all",
     ];
     if !known.contains(&opts.command.as_str()) {
         usage();
@@ -117,13 +130,19 @@ fn main() {
     }
     if run("theorem1") {
         let rows = theorem1::run(opts.scale, opts.seed, opts.threads);
-        println!("Theorem 1 validation (DASH, all attacks)\n{}", theorem1::render(&rows));
+        println!(
+            "Theorem 1 validation (DASH, all attacks)\n{}",
+            theorem1::render(&rows)
+        );
         let violations = rows.iter().filter(|r| !r.all_ok).count();
         println!("bound violations: {violations}\n");
     }
     if run("lowerbound") {
         let results = lowerbound::run(opts.scale, opts.seed);
-        println!("Theorem 2 LEVELATTACK lower bound\n{}", lowerbound::render(&results));
+        println!(
+            "Theorem 2 LEVELATTACK lower bound\n{}",
+            lowerbound::render(&results)
+        );
     }
     if run("attacks") {
         for healer in [HealerKind::Dash, HealerKind::GraphHeal] {
@@ -133,7 +152,10 @@ fn main() {
     }
     if run("batch") {
         let rows = batchexp::run(opts.scale, opts.seed);
-        println!("E8: simultaneous (batch) deletions with DASH\n{}", batchexp::render(&rows));
+        println!(
+            "E8: simultaneous (batch) deletions with DASH\n{}",
+            batchexp::render(&rows)
+        );
     }
 
     println!("done in {:.1?}", t0.elapsed());

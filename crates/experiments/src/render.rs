@@ -24,7 +24,13 @@ pub fn figure_table(fig: &Figure) -> String {
         }
         t.row(row);
     }
-    format!("{}\n({} -> {})\n{}", fig.title, fig.x_label, fig.y_label, t.render())
+    format!(
+        "{}\n({} -> {})\n{}",
+        fig.title,
+        fig.x_label,
+        fig.y_label,
+        t.render()
+    )
 }
 
 #[cfg(test)]

@@ -47,7 +47,12 @@ impl Csr {
             }
             offsets.push(targets.len() as u32);
         }
-        Csr { offsets, targets, original, dense }
+        Csr {
+            offsets,
+            targets,
+            original,
+            dense,
+        }
     }
 
     /// Number of (live) nodes in the snapshot.
@@ -139,7 +144,8 @@ mod tests {
     fn path(n: usize) -> Graph {
         let mut g = Graph::new(n);
         for i in 1..n {
-            g.add_edge(NodeId::from_index(i - 1), NodeId::from_index(i)).unwrap();
+            g.add_edge(NodeId::from_index(i - 1), NodeId::from_index(i))
+                .unwrap();
         }
         g
     }

@@ -93,7 +93,10 @@ pub fn cut_analysis(g: &Graph) -> CutAnalysis {
         .map(NodeId::from_index)
         .collect();
     bridges.sort_unstable();
-    CutAnalysis { articulation_points, bridges }
+    CutAnalysis {
+        articulation_points,
+        bridges,
+    }
 }
 
 /// Just the articulation points (sorted by id).
@@ -181,7 +184,16 @@ mod tests {
     fn removal_of_cut_point_disconnects() {
         // Cross-check the definition on a random-ish structure.
         let mut g = Graph::new(7);
-        for (a, b) in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)] {
+        for (a, b) in [
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (5, 6),
+        ] {
             g.add_edge(NodeId(a), NodeId(b)).unwrap();
         }
         for v in articulation_points(&g) {
@@ -197,7 +209,10 @@ mod tests {
         for v in g.live_nodes().filter(|v| !aps.contains(v)) {
             let mut h = g.clone();
             h.remove_node(v).unwrap();
-            assert!(crate::components::is_connected(&h), "removing non-AP {v} disconnected");
+            assert!(
+                crate::components::is_connected(&h),
+                "removing non-AP {v} disconnected"
+            );
         }
     }
 }

@@ -44,11 +44,17 @@ mod tests {
 
     #[test]
     fn display_messages_mention_the_node() {
-        assert!(GraphError::NodeOutOfRange(NodeId(7)).to_string().contains('7'));
+        assert!(GraphError::NodeOutOfRange(NodeId(7))
+            .to_string()
+            .contains('7'));
         assert!(GraphError::NodeDead(NodeId(3)).to_string().contains('3'));
         assert!(GraphError::SelfLoop(NodeId(1)).to_string().contains('1'));
-        assert!(GraphError::EdgeExists(NodeId(1), NodeId(2)).to_string().contains("(1, 2)"));
-        assert!(GraphError::EdgeMissing(NodeId(4), NodeId(5)).to_string().contains("(4, 5)"));
+        assert!(GraphError::EdgeExists(NodeId(1), NodeId(2))
+            .to_string()
+            .contains("(1, 2)"));
+        assert!(GraphError::EdgeMissing(NodeId(4), NodeId(5))
+            .to_string()
+            .contains("(4, 5)"));
         assert!(!GraphError::EmptyGraph.to_string().is_empty());
     }
 }

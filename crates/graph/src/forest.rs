@@ -179,7 +179,10 @@ mod tests {
     fn binary_tree_of_trivial_sizes() {
         assert!(complete_binary_tree_edges(&[]).is_empty());
         assert!(complete_binary_tree_edges(&ids(&[1])).is_empty());
-        assert_eq!(complete_binary_tree_edges(&ids(&[1, 2])), vec![(NodeId(1), NodeId(2))]);
+        assert_eq!(
+            complete_binary_tree_edges(&ids(&[1, 2])),
+            vec![(NodeId(1), NodeId(2))]
+        );
     }
 
     #[test]
@@ -200,11 +203,19 @@ mod tests {
         let nodes = ids(&[1, 2, 3, 4]);
         assert_eq!(
             line_edges(&nodes),
-            vec![(NodeId(1), NodeId(2)), (NodeId(2), NodeId(3)), (NodeId(3), NodeId(4))]
+            vec![
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(3)),
+                (NodeId(3), NodeId(4))
+            ]
         );
         assert_eq!(
             star_edges(NodeId(2), &nodes),
-            vec![(NodeId(2), NodeId(1)), (NodeId(2), NodeId(3)), (NodeId(2), NodeId(4))]
+            vec![
+                (NodeId(2), NodeId(1)),
+                (NodeId(2), NodeId(3)),
+                (NodeId(2), NodeId(4))
+            ]
         );
         assert!(line_edges(&ids(&[7])).is_empty());
         assert!(star_edges(NodeId(7), &ids(&[7])).is_empty());

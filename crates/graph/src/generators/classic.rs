@@ -7,7 +7,8 @@ use crate::ids::NodeId;
 pub fn path_graph(n: usize) -> Graph {
     let mut g = Graph::new(n);
     for i in 1..n {
-        g.add_edge(NodeId::from_index(i - 1), NodeId::from_index(i)).unwrap();
+        g.add_edge(NodeId::from_index(i - 1), NodeId::from_index(i))
+            .unwrap();
     }
     g
 }
@@ -35,7 +36,8 @@ pub fn complete_graph(n: usize) -> Graph {
     let mut g = Graph::new(n);
     for i in 0..n {
         for j in (i + 1)..n {
-            g.add_edge(NodeId::from_index(i), NodeId::from_index(j)).unwrap();
+            g.add_edge(NodeId::from_index(i), NodeId::from_index(j))
+                .unwrap();
         }
     }
     g
@@ -51,7 +53,8 @@ pub fn grid_graph(rows: usize, cols: usize) -> Graph {
                 g.add_edge(v, NodeId::from_index(r * cols + c + 1)).unwrap();
             }
             if r + 1 < rows {
-                g.add_edge(v, NodeId::from_index((r + 1) * cols + c)).unwrap();
+                g.add_edge(v, NodeId::from_index((r + 1) * cols + c))
+                    .unwrap();
             }
         }
     }

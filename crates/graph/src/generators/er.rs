@@ -18,7 +18,8 @@ pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph 
     for i in 0..n {
         for j in (i + 1)..n {
             if p >= 1.0 || rng.gen_bool(p) {
-                g.add_edge(NodeId::from_index(i), NodeId::from_index(j)).unwrap();
+                g.add_edge(NodeId::from_index(i), NodeId::from_index(j))
+                    .unwrap();
             }
         }
     }
@@ -31,7 +32,10 @@ pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph 
 /// Panics if `m` exceeds the number of possible edges `n (n-1) / 2`.
 pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
     let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= possible, "m = {m} exceeds the {possible} possible edges");
+    assert!(
+        m <= possible,
+        "m = {m} exceeds the {possible} possible edges"
+    );
     let mut g = Graph::new(n);
     // Rejection sampling is fine for the sparse graphs used here; switch
     // to dense enumeration when more than half the edges are requested.
@@ -44,7 +48,8 @@ pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Grap
             let pick = rng.gen_range(k..all.len());
             all.swap(k, pick);
             let (i, j) = all[k];
-            g.add_edge(NodeId::from_index(i), NodeId::from_index(j)).unwrap();
+            g.add_edge(NodeId::from_index(i), NodeId::from_index(j))
+                .unwrap();
         }
         return g;
     }
@@ -55,7 +60,9 @@ pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Grap
         if i == j {
             continue;
         }
-        if g.ensure_edge(NodeId::from_index(i), NodeId::from_index(j)).unwrap() {
+        if g.ensure_edge(NodeId::from_index(i), NodeId::from_index(j))
+            .unwrap()
+        {
             added += 1;
         }
     }
@@ -85,7 +92,10 @@ mod tests {
         let g = erdos_renyi_gnp(n, p, &mut rng);
         let expected = (n * (n - 1) / 2) as f64 * p;
         let got = g.edge_count() as f64;
-        assert!((got - expected).abs() < 0.3 * expected, "got {got}, expected ~{expected}");
+        assert!(
+            (got - expected).abs() < 0.3 * expected,
+            "got {got}, expected ~{expected}"
+        );
     }
 
     #[test]

@@ -41,7 +41,12 @@ impl KaryTree {
                 .unwrap();
             levels[i] = levels[parent] + 1;
         }
-        KaryTree { graph, arity, depth, levels }
+        KaryTree {
+            graph,
+            arity,
+            depth,
+            levels,
+        }
     }
 
     /// Number of nodes in a complete `k`-ary tree of depth `d`.

@@ -39,7 +39,9 @@ pub fn powerlaw_configuration<R: Rng + ?Sized>(
     assert!(d_min <= d_max, "d_min must be <= d_max");
     assert!(d_max < n, "d_max must be < n");
     let weights: Vec<f64> = (d_min..=d_max).map(|d| (d as f64).powf(-gamma)).collect();
-    let mut degrees: Vec<usize> = (0..n).map(|_| sample_degree(&weights, d_min, rng)).collect();
+    let mut degrees: Vec<usize> = (0..n)
+        .map(|_| sample_degree(&weights, d_min, rng))
+        .collect();
     // The stub count must be even; bump an arbitrary node if not.
     if degrees.iter().sum::<usize>() % 2 == 1 {
         degrees[0] += 1;
@@ -86,7 +88,10 @@ mod tests {
         let g_light = powerlaw_configuration(2000, 3.5, 1, 100, &mut StdRng::seed_from_u64(1));
         let mh = degree_stats(&g_heavy).unwrap().mean;
         let ml = degree_stats(&g_light).unwrap().mean;
-        assert!(mh > ml, "gamma=2.0 mean {mh} should exceed gamma=3.5 mean {ml}");
+        assert!(
+            mh > ml,
+            "gamma=2.0 mean {mh} should exceed gamma=3.5 mean {ml}"
+        );
     }
 
     #[test]

@@ -10,7 +10,8 @@ pub fn random_recursive_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
     let mut g = Graph::new(n);
     for i in 1..n {
         let parent = rng.gen_range(0..i);
-        g.add_edge(NodeId::from_index(parent), NodeId::from_index(i)).unwrap();
+        g.add_edge(NodeId::from_index(parent), NodeId::from_index(i))
+            .unwrap();
     }
     g
 }

@@ -19,7 +19,8 @@ pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut 
     for i in 0..n {
         for d in 1..=(k / 2) {
             let j = (i + d) % n;
-            g.ensure_edge(NodeId::from_index(i), NodeId::from_index(j)).unwrap();
+            g.ensure_edge(NodeId::from_index(i), NodeId::from_index(j))
+                .unwrap();
         }
     }
     if beta == 0.0 {

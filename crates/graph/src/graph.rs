@@ -331,7 +331,8 @@ mod tests {
     fn path(n: usize) -> Graph {
         let mut g = Graph::new(n);
         for i in 1..n {
-            g.add_edge(NodeId::from_index(i - 1), NodeId::from_index(i)).unwrap();
+            g.add_edge(NodeId::from_index(i - 1), NodeId::from_index(i))
+                .unwrap();
         }
         g
     }
@@ -374,7 +375,10 @@ mod tests {
     #[test]
     fn self_loop_rejected() {
         let mut g = Graph::new(2);
-        assert_eq!(g.add_edge(NodeId(1), NodeId(1)), Err(GraphError::SelfLoop(NodeId(1))));
+        assert_eq!(
+            g.add_edge(NodeId(1), NodeId(1)),
+            Err(GraphError::SelfLoop(NodeId(1)))
+        );
     }
 
     #[test]
@@ -410,7 +414,10 @@ mod tests {
         assert_eq!(g.live_node_count(), 3);
         assert_eq!(g.edge_count(), 1); // only (2,3) remains
         assert_eq!(g.degree(NodeId(0)), 0);
-        assert_eq!(g.check_alive(NodeId(1)), Err(GraphError::NodeDead(NodeId(1))));
+        assert_eq!(
+            g.check_alive(NodeId(1)),
+            Err(GraphError::NodeDead(NodeId(1)))
+        );
         g.validate().unwrap();
     }
 
@@ -418,7 +425,10 @@ mod tests {
     fn removing_dead_node_errors() {
         let mut g = path(3);
         g.remove_node(NodeId(0)).unwrap();
-        assert_eq!(g.remove_node(NodeId(0)), Err(GraphError::NodeDead(NodeId(0))));
+        assert_eq!(
+            g.remove_node(NodeId(0)),
+            Err(GraphError::NodeDead(NodeId(0)))
+        );
     }
 
     #[test]
@@ -449,7 +459,10 @@ mod tests {
             vec![NodeId(0), NodeId(1), NodeId(3), NodeId(4)]
         );
         // NoN of an endpoint
-        assert_eq!(g.neighbors_of_neighbors(NodeId(0)), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(
+            g.neighbors_of_neighbors(NodeId(0)),
+            vec![NodeId(1), NodeId(2)]
+        );
     }
 
     #[test]

@@ -30,7 +30,11 @@ impl GraphData {
             .filter(|&v| !g.is_alive(v))
             .collect();
         let edges = g.edges().map(|e| e.endpoints()).collect();
-        GraphData { node_count: g.node_bound(), dead, edges }
+        GraphData {
+            node_count: g.node_bound(),
+            dead,
+            edges,
+        }
     }
 
     /// Rebuild a [`Graph`] from the snapshot.

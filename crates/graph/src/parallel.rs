@@ -157,7 +157,8 @@ mod tests {
     fn ring(n: usize) -> Graph {
         let mut g = Graph::new(n);
         for i in 0..n {
-            g.add_edge(NodeId::from_index(i), NodeId::from_index((i + 1) % n)).unwrap();
+            g.add_edge(NodeId::from_index(i), NodeId::from_index((i + 1) % n))
+                .unwrap();
         }
         g
     }

@@ -121,7 +121,8 @@ mod tests {
     fn path_graph(n: usize) -> Graph {
         let mut g = Graph::new(n);
         for i in 1..n {
-            g.add_edge(NodeId::from_index(i - 1), NodeId::from_index(i)).unwrap();
+            g.add_edge(NodeId::from_index(i - 1), NodeId::from_index(i))
+                .unwrap();
         }
         g
     }
@@ -154,7 +155,8 @@ mod tests {
     fn shortest_path_is_shortest_on_cycle() {
         let mut g = Graph::new(5);
         for i in 0..5 {
-            g.add_edge(NodeId::from_index(i), NodeId::from_index((i + 1) % 5)).unwrap();
+            g.add_edge(NodeId::from_index(i), NodeId::from_index((i + 1) % 5))
+                .unwrap();
         }
         let p = shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
         assert_eq!(p.len(), 3); // 0-4-3

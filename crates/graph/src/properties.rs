@@ -31,7 +31,12 @@ pub fn degree_stats(g: &Graph) -> Option<DegreeStats> {
     if nodes == 0 {
         None
     } else {
-        Some(DegreeStats { min, max, mean: sum as f64 / nodes as f64, nodes })
+        Some(DegreeStats {
+            min,
+            max,
+            mean: sum as f64 / nodes as f64,
+            nodes,
+        })
     }
 }
 
@@ -220,7 +225,8 @@ mod tests {
         // Cycle: every degree is 2 -> zero variance.
         let mut cyc = Graph::new(4);
         for i in 0..4 {
-            cyc.add_edge(NodeId::from_index(i), NodeId::from_index((i + 1) % 4)).unwrap();
+            cyc.add_edge(NodeId::from_index(i), NodeId::from_index((i + 1) % 4))
+                .unwrap();
         }
         assert!(degree_assortativity(&cyc).is_none());
     }

@@ -23,8 +23,7 @@ impl Subgraph {
 /// Extract the subgraph induced by `nodes` (dead and out-of-range ids are
 /// ignored; duplicates collapsed).
 pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> Subgraph {
-    let mut selected: Vec<NodeId> =
-        nodes.iter().copied().filter(|&v| g.is_alive(v)).collect();
+    let mut selected: Vec<NodeId> = nodes.iter().copied().filter(|&v| g.is_alive(v)).collect();
     selected.sort_unstable();
     selected.dedup();
     let mut dense = vec![u32::MAX; g.node_bound()];
@@ -40,7 +39,10 @@ pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> Subgraph {
             }
         }
     }
-    Subgraph { graph: sub, original: selected }
+    Subgraph {
+        graph: sub,
+        original: selected,
+    }
 }
 
 /// The node set of the largest connected component (ties broken toward
@@ -52,8 +54,12 @@ pub fn largest_component(g: &Graph) -> Vec<NodeId> {
         return Vec::new();
     }
     let sizes = cc.sizes();
-    let best = (0..cc.count).max_by_key(|&c| (sizes[c], std::cmp::Reverse(c))).unwrap();
-    g.live_nodes().filter(|&v| cc.component_of(v) == Some(best)).collect()
+    let best = (0..cc.count)
+        .max_by_key(|&c| (sizes[c], std::cmp::Reverse(c)))
+        .unwrap();
+    g.live_nodes()
+        .filter(|&v| cc.component_of(v) == Some(best))
+        .collect()
 }
 
 /// Extract the largest connected component as its own graph.

@@ -94,7 +94,8 @@ mod tests {
     fn cycle(n: usize) -> Graph {
         let mut g = Graph::new(n);
         for i in 0..n {
-            g.add_edge(NodeId::from_index(i), NodeId::from_index((i + 1) % n)).unwrap();
+            g.add_edge(NodeId::from_index(i), NodeId::from_index((i + 1) % n))
+                .unwrap();
         }
         g
     }
@@ -134,7 +135,10 @@ mod tests {
         g.add_edge(NodeId(2), NodeId(4)).unwrap();
         let mut order = Vec::new();
         dfs(&g, NodeId(0), |v| order.push(v));
-        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(3), NodeId(2), NodeId(4)]);
+        assert_eq!(
+            order,
+            vec![NodeId(0), NodeId(1), NodeId(3), NodeId(2), NodeId(4)]
+        );
     }
 
     #[test]

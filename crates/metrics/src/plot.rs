@@ -32,7 +32,12 @@ pub struct PlotConfig {
 
 impl Default for PlotConfig {
     fn default() -> Self {
-        PlotConfig { width: 60, height: 16, x_scale: AxisScale::Log, y_scale: AxisScale::Linear }
+        PlotConfig {
+            width: 60,
+            height: 16,
+            x_scale: AxisScale::Log,
+            y_scale: AxisScale::Linear,
+        }
     }
 }
 
@@ -86,7 +91,11 @@ pub fn render(fig: &Figure, cfg: PlotConfig) -> String {
             let col = scale(p.x, x_min, x_max, cfg.width, cfg.x_scale);
             let row = scale(p.mean, y_min, y_max, cfg.height, cfg.y_scale);
             let cell = &mut grid[cfg.height - 1 - row][col];
-            *cell = if *cell == ' ' || *cell == glyph { glyph } else { '*' };
+            *cell = if *cell == ' ' || *cell == glyph {
+                glyph
+            } else {
+                '*'
+            };
         }
     }
 
@@ -110,7 +119,12 @@ pub fn render(fig: &Figure, cfg: PlotConfig) -> String {
         };
         let _ = writeln!(out, "{label}|{}", row.iter().collect::<String>());
     }
-    let _ = writeln!(out, "{}+{}", " ".repeat(y_label_width), "-".repeat(cfg.width));
+    let _ = writeln!(
+        out,
+        "{}+{}",
+        " ".repeat(y_label_width),
+        "-".repeat(cfg.width)
+    );
     let _ = writeln!(
         out,
         "{}{:<w$}{:>w2$}",
@@ -173,7 +187,14 @@ mod tests {
         a.push(SeriesPoint::from_trials(1.0, &[5.0]));
         a.push(SeriesPoint::from_trials(2.0, &[5.0]));
         f.push(a);
-        let s = render(&f, PlotConfig { width: 20, height: 5, ..Default::default() });
+        let s = render(
+            &f,
+            PlotConfig {
+                width: 20,
+                height: 5,
+                ..Default::default()
+            },
+        );
         assert!(s.contains('o'));
     }
 

@@ -24,8 +24,21 @@ pub struct SeriesPoint {
 impl SeriesPoint {
     /// Aggregate raw per-trial observations at `x`.
     pub fn from_trials(x: f64, values: &[f64]) -> Self {
-        let Summary { count, mean, std_dev, min, max } = summarize(values.iter().copied());
-        SeriesPoint { x, mean, std_dev, min, max, trials: count }
+        let Summary {
+            count,
+            mean,
+            std_dev,
+            min,
+            max,
+        } = summarize(values.iter().copied());
+        SeriesPoint {
+            x,
+            mean,
+            std_dev,
+            min,
+            max,
+            trials: count,
+        }
     }
 }
 
@@ -41,7 +54,10 @@ pub struct Series {
 impl Series {
     /// Empty series.
     pub fn new(name: impl Into<String>) -> Self {
-        Series { name: name.into(), points: Vec::new() }
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Append an aggregated point.
@@ -56,7 +72,10 @@ impl Series {
 
     /// Largest mean over the curve.
     pub fn max_mean(&self) -> f64 {
-        self.points.iter().map(|p| p.mean).fold(f64::NEG_INFINITY, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.mean)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Whether this curve lies (weakly) below `other` at every shared x —

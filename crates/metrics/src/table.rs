@@ -16,7 +16,10 @@ impl Table {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (shorter rows are padded with empty cells).
@@ -120,7 +123,8 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(fmt_f64(0.0), "0");
-        assert_eq!(fmt_f64(2.71828), "2.72");
+        // Not 2.71828: clippy's approx_constant denies near-e literals.
+        assert_eq!(fmt_f64(2.716), "2.72");
         assert_eq!(fmt_f64(42.5), "42.5");
         assert_eq!(fmt_f64(12345.6), "12346");
     }

@@ -32,9 +32,27 @@ mod tests {
 
     #[test]
     fn key_orders_by_time_then_seq() {
-        let a = Envelope { seq: 5, deliver_at: SimTime(1), from: 0, to: 1, payload: () };
-        let b = Envelope { seq: 2, deliver_at: SimTime(2), from: 0, to: 1, payload: () };
-        let c = Envelope { seq: 9, deliver_at: SimTime(1), from: 0, to: 1, payload: () };
+        let a = Envelope {
+            seq: 5,
+            deliver_at: SimTime(1),
+            from: 0,
+            to: 1,
+            payload: (),
+        };
+        let b = Envelope {
+            seq: 2,
+            deliver_at: SimTime(2),
+            from: 0,
+            to: 1,
+            payload: (),
+        };
+        let c = Envelope {
+            seq: 9,
+            deliver_at: SimTime(1),
+            from: 0,
+            to: 1,
+            payload: (),
+        };
         assert!(a.key() < b.key());
         assert!(a.key() < c.key());
         assert!(c.key() < b.key());

@@ -15,7 +15,11 @@ pub struct SimMetrics {
 impl SimMetrics {
     /// Counters for `n` nodes, all zero.
     pub fn new(n: usize) -> Self {
-        SimMetrics { sent: vec![0; n], received: vec![0; n], dropped: 0 }
+        SimMetrics {
+            sent: vec![0; n],
+            received: vec![0; n],
+            dropped: 0,
+        }
     }
 
     /// Record a send by node `v`.
@@ -57,7 +61,10 @@ impl SimMetrics {
 
     /// Maximum per-node traffic (sent + received).
     pub fn max_traffic(&self) -> u64 {
-        (0..self.sent.len() as u32).map(|v| self.traffic(v)).max().unwrap_or(0)
+        (0..self.sent.len() as u32)
+            .map(|v| self.traffic(v))
+            .max()
+            .unwrap_or(0)
     }
 }
 

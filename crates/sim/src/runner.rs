@@ -102,7 +102,10 @@ impl<P: Protocol> Simulator<P> {
     /// Switch to adversarial asynchronous delivery: each message takes
     /// `1 + uniform(0..=max_extra)` hops, deterministically per seed.
     pub fn set_latency_jitter(&mut self, seed: u64, max_extra: u64) {
-        self.latency = LatencyModel::Jitter { rng: crate::rng::SplitMix64::new(seed), max_extra };
+        self.latency = LatencyModel::Jitter {
+            rng: crate::rng::SplitMix64::new(seed),
+            max_extra,
+        };
     }
 
     /// Current simulation time.
@@ -131,7 +134,10 @@ impl<P: Protocol> Simulator<P> {
         if let Some(tr) = self.trace.as_mut() {
             tr.record(TraceKind::Kill, self.now, v, 0);
         }
-        let info = DeletionInfo { deleted: v, former_neighbors: former.clone() };
+        let info = DeletionInfo {
+            deleted: v,
+            former_neighbors: former.clone(),
+        };
         for &u in &former {
             let mut ctx = Ctx {
                 topology: &mut self.topology,
@@ -178,9 +184,14 @@ impl<P: Protocol> Simulator<P> {
                 latency: &mut self.latency,
                 now: self.now,
             };
-            self.protocol.on_message(&mut ctx, env.to, env.from, env.payload);
+            self.protocol
+                .on_message(&mut ctx, env.to, env.from, env.payload);
         }
-        QuiescenceReport { delivered, dropped, latency: self.now.since(start) }
+        QuiescenceReport {
+            delivered,
+            dropped,
+            latency: self.now.since(start),
+        }
     }
 }
 
@@ -218,7 +229,10 @@ mod tests {
     fn flood_distances_match_bfs() {
         let mut sim = Simulator::new(
             path_topology(6),
-            DistFlood { dist: vec![None; 6], origin: SimTime::ZERO },
+            DistFlood {
+                dist: vec![None; 6],
+                origin: SimTime::ZERO,
+            },
         );
         sim.inject(0, 0, ());
         let report = sim.run_to_quiescence();
@@ -239,7 +253,10 @@ mod tests {
     fn messages_to_dead_nodes_are_dropped() {
         let mut sim = Simulator::new(
             path_topology(3),
-            DistFlood { dist: vec![None; 3], origin: SimTime::ZERO },
+            DistFlood {
+                dist: vec![None; 3],
+                origin: SimTime::ZERO,
+            },
         );
         sim.inject(0, 0, ());
         sim.inject(0, 2, ());
@@ -299,7 +316,10 @@ mod tests {
     fn jitter_delays_but_still_floods_everyone() {
         let mut sim = Simulator::new(
             path_topology(6),
-            DistFlood { dist: vec![None; 6], origin: SimTime::ZERO },
+            DistFlood {
+                dist: vec![None; 6],
+                origin: SimTime::ZERO,
+            },
         );
         sim.set_latency_jitter(42, 3);
         sim.inject(0, 0, ());
@@ -315,7 +335,10 @@ mod tests {
         let run = |seed: u64| {
             let mut sim = Simulator::new(
                 path_topology(8),
-                DistFlood { dist: vec![None; 8], origin: SimTime::ZERO },
+                DistFlood {
+                    dist: vec![None; 8],
+                    origin: SimTime::ZERO,
+                },
             );
             sim.set_latency_jitter(seed, 4);
             sim.inject(0, 0, ());
@@ -331,7 +354,10 @@ mod tests {
         let run = || {
             let mut sim = Simulator::new(
                 path_topology(8),
-                DistFlood { dist: vec![None; 8], origin: SimTime::ZERO },
+                DistFlood {
+                    dist: vec![None; 8],
+                    origin: SimTime::ZERO,
+                },
             );
             sim.inject(3, 3, ());
             sim.run_to_quiescence();

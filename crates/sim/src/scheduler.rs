@@ -37,7 +37,10 @@ impl<M> Ord for Entry<M> {
 impl<M> EventQueue<M> {
     /// Empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Enqueue a payload from `from` to `to` delivered at `deliver_at`.
@@ -45,7 +48,13 @@ impl<M> EventQueue<M> {
     pub fn push(&mut self, from: u32, to: u32, deliver_at: SimTime, payload: M) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry(Envelope { seq, deliver_at, from, to, payload }));
+        self.heap.push(Entry(Envelope {
+            seq,
+            deliver_at,
+            from,
+            to,
+            payload,
+        }));
         seq
     }
 

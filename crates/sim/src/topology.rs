@@ -16,7 +16,11 @@ pub struct Topology {
 impl Topology {
     /// `n` isolated live nodes.
     pub fn new(n: usize) -> Self {
-        Topology { adj: vec![Vec::new(); n], alive: vec![true; n], live: n }
+        Topology {
+            adj: vec![Vec::new(); n],
+            alive: vec![true; n],
+            live: n,
+        }
     }
 
     /// Build from an undirected edge list over `n` nodes.
@@ -87,7 +91,9 @@ impl Topology {
         assert!(self.is_alive(v), "kill of dead or invalid node {v}");
         let nbrs = std::mem::take(&mut self.adj[v as usize]);
         for &u in &nbrs {
-            let pos = self.adj[u as usize].binary_search(&v).expect("asymmetric adjacency");
+            let pos = self.adj[u as usize]
+                .binary_search(&v)
+                .expect("asymmetric adjacency");
             self.adj[u as usize].remove(pos);
         }
         self.alive[v as usize] = false;

@@ -115,7 +115,15 @@ mod tests {
         t.record(TraceKind::Drop, SimTime(4), 1, 5);
         let ev = t.events();
         assert_eq!(ev.len(), 4);
-        assert_eq!(ev[0], TraceEvent { kind: TraceKind::Kill, time: SimTime(1), a: 5, b: 0 });
+        assert_eq!(
+            ev[0],
+            TraceEvent {
+                kind: TraceKind::Kill,
+                time: SimTime(1),
+                a: 5,
+                b: 0
+            }
+        );
         assert_eq!(ev[1].kind, TraceKind::Link);
         assert_eq!(ev[3].kind, TraceKind::Drop);
     }

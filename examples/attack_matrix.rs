@@ -14,7 +14,10 @@ use selfheal::experiments::runner::run_trial;
 use selfheal::metrics::Table;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
     let seed = 77;
     let attacks = [
         AttackKind::MaxNode,
@@ -43,7 +46,10 @@ fn main() {
         messages.row(mrow);
     }
 
-    println!("maximum degree increase (bound for DASH: {:.1})", 2.0 * (n as f64).log2());
+    println!(
+        "maximum degree increase (bound for DASH: {:.1})",
+        2.0 * (n as f64).log2()
+    );
     println!("{}", degree.render());
     println!("maximum ID-maintenance messages sent by one node");
     println!("{}", messages.render());

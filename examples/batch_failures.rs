@@ -25,7 +25,10 @@ fn main() {
     let bound = 2.0 * (n as f64).log2();
 
     println!("network: {n} nodes; killing in growing batches (independent victims)\n");
-    println!("{:>7} {:>9} {:>10} {:>10} {:>10}", "batch#", "killed", "survivors", "max dδ", "messages");
+    println!(
+        "{:>7} {:>9} {:>10} {:>10} {:>10}",
+        "batch#", "killed", "survivors", "max dδ", "messages"
+    );
 
     let mut batch_no = 0;
     let mut killed_total = 0;

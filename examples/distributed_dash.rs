@@ -21,7 +21,9 @@ fn main() {
     let g = generators::barabasi_albert(n, 3, &mut rng);
     let edges: Vec<(u32, u32)> = g.edges().map(|e| (e.lo().0, e.hi().0)).collect();
     let topo = Topology::from_edges(n, &edges);
-    let degrees: Vec<u32> = (0..n as u32).map(|v| topo.neighbors(v).len() as u32).collect();
+    let degrees: Vec<u32> = (0..n as u32)
+        .map(|v| topo.neighbors(v).len() as u32)
+        .collect();
 
     let mut sim = Simulator::new(topo, DistributedDash::new(degrees, seed));
     sim.enable_trace(4096);
@@ -41,17 +43,27 @@ fn main() {
         };
         sim.delete_node(victim);
         let report = sim.run_to_quiescence();
-        assert_eq!(report.dropped, 0, "no message should chase a dead node here");
+        assert_eq!(
+            report.dropped, 0,
+            "no message should chase a dead node here"
+        );
     }
 
     // What did the distributed run cost?
     let live: Vec<u32> = sim.topology.live_nodes().collect();
     let max_traffic = live.iter().map(|&v| sim.metrics.traffic(v)).max().unwrap();
-    let max_changes = live.iter().map(|&v| sim.protocol.id_changes(v)).max().unwrap();
+    let max_changes = live
+        .iter()
+        .map(|&v| sim.protocol.id_changes(v))
+        .max()
+        .unwrap();
     println!("killed {kills} of {n} nodes; {} survive", live.len());
     println!("total messages delivered: {}", sim.metrics.total_received());
     println!("max per-node traffic:     {max_traffic}");
-    println!("max per-node ID changes:  {max_changes} (2 ln n = {:.1})", 2.0 * f64::from(n as u32).ln());
+    println!(
+        "max per-node ID changes:  {max_changes} (2 ln n = {:.1})",
+        2.0 * f64::from(n as u32).ln()
+    );
     println!("simulated time:           {} hops", sim.now());
     println!("trace events recorded:    {}", sim.trace().unwrap().len());
 
@@ -70,6 +82,10 @@ fn main() {
             }
         }
     }
-    assert_eq!(reached, live.len(), "distributed healing failed to keep the overlay connected");
+    assert_eq!(
+        reached,
+        live.len(),
+        "distributed healing failed to keep the overlay connected"
+    );
     println!("\nsurvivors are fully connected — distributed DASH healed every cut.");
 }

@@ -16,7 +16,14 @@ use selfheal::metrics::Table;
 
 fn main() {
     println!("LEVELATTACK (Algorithm 2) against DASH: M = 2, so 4-ary trees\n");
-    let mut t = Table::new(["depth D", "n", "deletions", "forced dδ", "floor D", "upper 2log2 n"]);
+    let mut t = Table::new([
+        "depth D",
+        "n",
+        "deletions",
+        "forced dδ",
+        "floor D",
+        "upper 2log2 n",
+    ]);
     for depth in 2..=6 {
         let r = run_level_attack(Dash, 2, depth, 42);
         assert!(
@@ -25,7 +32,10 @@ fn main() {
             r.max_delta_ever
         );
         let upper = 2.0 * (r.n as f64).log2();
-        assert!((r.max_delta_ever as f64) <= upper, "DASH exceeded its upper bound");
+        assert!(
+            (r.max_delta_ever as f64) <= upper,
+            "DASH exceeded its upper bound"
+        );
         t.row([
             depth.to_string(),
             r.n.to_string(),

@@ -53,7 +53,9 @@ fn main() {
         "overlay up: {} peers, {} links, max peer degree {}",
         overlay.live_node_count(),
         overlay.edge_count(),
-        selfheal::graph::properties::degree_stats(&overlay).unwrap().max
+        selfheal::graph::properties::degree_stats(&overlay)
+            .unwrap()
+            .max
     );
 
     let baseline = StretchBaseline::new(&overlay, 2);
@@ -67,7 +69,10 @@ fn main() {
 
     // Drive five waves of churn, each removing 10% of the original peers.
     let wave = n / 10;
-    println!("\n{:>5} {:>10} {:>10} {:>12} {:>10}", "wave", "peers", "max load", "max d-incr", "stretch");
+    println!(
+        "\n{:>5} {:>10} {:>10} {:>12} {:>10}",
+        "wave", "peers", "max load", "max d-incr", "stretch"
+    );
     for w in 1..=5 {
         for _ in 0..wave {
             if engine.step().is_none() {

@@ -17,13 +17,16 @@ fn main() {
     // 1. A Barabási–Albert power-law network, like the paper's testbed.
     let mut rng = StdRng::seed_from_u64(seed);
     let graph = generators::barabasi_albert(n, 3, &mut rng);
-    println!("built BA graph: {} nodes, {} edges", graph.live_node_count(), graph.edge_count());
+    println!(
+        "built BA graph: {} nodes, {} edges",
+        graph.live_node_count(),
+        graph.edge_count()
+    );
 
     // 2. Wrap it in healing state and pit DASH against the strongest
     //    attack the paper found (delete a random neighbor of the hub).
     let net = HealingNetwork::new(graph, seed);
-    let mut engine =
-        Engine::new(net, Dash, NeighborOfMax::new(seed)).with_audit(AuditLevel::Cheap);
+    let mut engine = Engine::new(net, Dash, NeighborOfMax::new(seed)).with_audit(AuditLevel::Cheap);
 
     // 3. Let the adversary delete every single node.
     let report = engine.run_to_empty();
@@ -31,14 +34,31 @@ fn main() {
     // 4. The paper's Theorem 1, observed.
     let bound = 2.0 * (n as f64).log2();
     println!("rounds:                 {}", report.rounds);
-    println!("max degree increase:    {} (bound 2 log2 n = {bound:.1})", report.max_delta_ever);
-    println!("max ID changes/node:    {} (2 ln n = {:.1})", report.max_id_changes, 2.0 * (n as f64).ln());
+    println!(
+        "max degree increase:    {} (bound 2 log2 n = {bound:.1})",
+        report.max_delta_ever
+    );
+    println!(
+        "max ID changes/node:    {} (2 ln n = {:.1})",
+        report.max_id_changes,
+        2.0 * (n as f64).ln()
+    );
     println!("max messages/node:      {}", report.max_traffic);
     println!("healing edges added:    {}", report.total_edges_added);
-    println!("amortized broadcast:    {:.2} hops (log2 n = {:.1})", report.amortized_latency(), (n as f64).log2());
+    println!(
+        "amortized broadcast:    {:.2} hops (log2 n = {:.1})",
+        report.amortized_latency(),
+        (n as f64).log2()
+    );
     println!("invariant violations:   {}", report.violations.len());
 
-    assert!(report.violations.is_empty(), "connectivity or forest invariant broke!");
-    assert!((report.max_delta_ever as f64) <= bound, "degree bound exceeded!");
+    assert!(
+        report.violations.is_empty(),
+        "connectivity or forest invariant broke!"
+    );
+    assert!(
+        (report.max_delta_ever as f64) <= bound,
+        "degree bound exceeded!"
+    );
     println!("\nall Theorem 1 guarantees held while deleting the entire network.");
 }

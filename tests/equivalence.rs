@@ -32,7 +32,9 @@ fn assert_equivalent_run(g: Graph, seed: u64, kills: usize) {
 fn assert_equivalent_run_with(g: Graph, seed: u64, kills: usize, sdash: bool) {
     let n = g.node_bound();
     let topo = mirror_topology(&g);
-    let degrees: Vec<u32> = (0..n as u32).map(|v| topo.neighbors(v).len() as u32).collect();
+    let degrees: Vec<u32> = (0..n as u32)
+        .map(|v| topo.neighbors(v).len() as u32)
+        .collect();
     let mut net = HealingNetwork::new(g, seed);
     let protocol = if sdash {
         DistributedDash::sdash(degrees, seed)
@@ -45,11 +47,17 @@ fn assert_equivalent_run_with(g: Graph, seed: u64, kills: usize, sdash: bool) {
 
     // Sanity: both assigned the same initial IDs.
     for v in 0..n as u32 {
-        assert_eq!(net.initial_id(NodeId(v)), sim.protocol.initial_id(v), "initial id of {v}");
+        assert_eq!(
+            net.initial_id(NodeId(v)),
+            sim.protocol.initial_id(v),
+            "initial id of {v}"
+        );
     }
 
     for round in 0..kills {
-        let Some(victim) = net.graph().max_degree_node() else { break };
+        let Some(victim) = net.graph().max_degree_node() else {
+            break;
+        };
         // Both sides see the same topology, so the same victim.
         let sim_victim = sim
             .topology
@@ -81,13 +89,25 @@ fn assert_equivalent_run_with(g: Graph, seed: u64, kills: usize, sdash: bool) {
         for &v in &live {
             let nv = NodeId(v);
             assert_eq!(
-                net.graph().neighbors(nv).iter().map(|u| u.0).collect::<Vec<_>>(),
+                net.graph()
+                    .neighbors(nv)
+                    .iter()
+                    .map(|u| u.0)
+                    .collect::<Vec<_>>(),
                 sim.topology.neighbors(v),
                 "round {round}: G adjacency of {v}"
             );
             assert_eq!(
-                net.healing_graph().neighbors(nv).iter().map(|u| u.0).collect::<Vec<_>>(),
-                sim.protocol.gprime_neighbors(v).iter().copied().collect::<Vec<_>>(),
+                net.healing_graph()
+                    .neighbors(nv)
+                    .iter()
+                    .map(|u| u.0)
+                    .collect::<Vec<_>>(),
+                sim.protocol
+                    .gprime_neighbors(v)
+                    .iter()
+                    .copied()
+                    .collect::<Vec<_>>(),
                 "round {round}: G' adjacency of {v}"
             );
             assert_eq!(
@@ -168,8 +188,9 @@ fn async_delivery_reaches_the_same_fixed_point() {
     let seed = 17u64;
     let g = barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
     let topo_sync = mirror_topology(&g);
-    let degrees: Vec<u32> =
-        (0..n as u32).map(|v| topo_sync.neighbors(v).len() as u32).collect();
+    let degrees: Vec<u32> = (0..n as u32)
+        .map(|v| topo_sync.neighbors(v).len() as u32)
+        .collect();
 
     let mut sync = Simulator::new(topo_sync, DistributedDash::new(degrees.clone(), seed));
     let mut jittered = Simulator::new(mirror_topology(&g), DistributedDash::new(degrees, seed));

@@ -4,6 +4,12 @@
 //! healing logic, ID propagation, RNG streams or tie-breaking shows up
 //! here first. If a change is *intentional* (e.g. a different ordering
 //! rule), update the constants and note it in the commit.
+//!
+//! Current constants are captured against the vendored deterministic
+//! `StdRng` (xoshiro256++; see `vendor/rand`) — the offline build cannot
+//! use upstream rand's ChaCha12 stream, so the seed-era values were
+//! re-pinned when the workspace first built. Structural assertions
+//! (round counts, edge counts, violation-free reports) are unchanged.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,8 +28,13 @@ fn golden_dash_maxnode_sweep() {
     let r = engine.run_to_empty();
     assert_eq!(r.rounds, 100);
     assert_eq!(
-        (r.max_delta_ever, r.max_id_changes, r.total_edges_added, r.total_messages),
-        (2, 2, 272, 904),
+        (
+            r.max_delta_ever,
+            r.max_id_changes,
+            r.total_edges_added,
+            r.total_messages
+        ),
+        (2, 3, 270, 1206),
         "DASH/MaxNode golden values changed: {r:?}"
     );
 }
@@ -31,25 +42,37 @@ fn golden_dash_maxnode_sweep() {
 #[test]
 fn golden_sdash_nms_sweep() {
     let g = barabasi_albert(100, 3, &mut StdRng::seed_from_u64(2008));
-    let mut engine = Engine::new(HealingNetwork::new(g, 2008), Sdash, NeighborOfMax::new(2008));
+    let mut engine = Engine::new(
+        HealingNetwork::new(g, 2008),
+        Sdash,
+        NeighborOfMax::new(2008),
+    );
     let r = engine.run_to_empty();
     assert_eq!(r.rounds, 100);
     assert_eq!(
-        (r.max_delta_ever, r.max_id_changes, r.total_edges_added, r.total_messages),
+        (
+            r.max_delta_ever,
+            r.max_id_changes,
+            r.total_edges_added,
+            r.total_messages
+        ),
         golden_sdash_expected(),
         "SDASH/NMS golden values changed: {r:?}"
     );
 }
 
 fn golden_sdash_expected() -> (i64, u32, u64, u64) {
-    // Captured from the initial verified implementation.
-    (2, 6, 128, 1455)
+    // Captured from the initial verified implementation (vendored RNG).
+    (2, 3, 163, 1205)
 }
 
 #[test]
 fn golden_levelattack() {
     let r = run_level_attack(Dash, 2, 4, 2008);
-    assert_eq!((r.n, r.rounds, r.max_delta_ever, r.max_leaf_delta_ever), (341, 118, 5, 5));
+    assert_eq!(
+        (r.n, r.rounds, r.max_delta_ever, r.max_leaf_delta_ever),
+        (341, 118, 5, 5)
+    );
 }
 
 #[test]
@@ -65,5 +88,5 @@ fn golden_graph_generation() {
 }
 
 fn golden_ba_fingerprint() -> u64 {
-    76_507
+    79_390
 }

@@ -22,13 +22,17 @@ fn build_sim(n: usize, seed: u64) -> Simulator<DistributedDash> {
     let g = barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
     let edges: Vec<(u32, u32)> = g.edges().map(|e| (e.lo().0, e.hi().0)).collect();
     let topo = Topology::from_edges(n, &edges);
-    let degrees: Vec<u32> = (0..n as u32).map(|v| topo.neighbors(v).len() as u32).collect();
+    let degrees: Vec<u32> = (0..n as u32)
+        .map(|v| topo.neighbors(v).len() as u32)
+        .collect();
     Simulator::new(topo, DistributedDash::new(degrees, seed))
 }
 
 fn survivors_connected(sim: &Simulator<DistributedDash>) -> bool {
     let live: Vec<u32> = sim.topology.live_nodes().collect();
-    let Some(&start) = live.first() else { return true };
+    let Some(&start) = live.first() else {
+        return true;
+    };
     let mut seen = vec![false; sim.topology.len()];
     let mut stack = vec![start];
     seen[start as usize] = true;
@@ -116,7 +120,9 @@ fn rapid_fire_degree_growth_stays_bounded() {
     let n = 96;
     let seed = 13u64;
     let mut sim = build_sim(n, seed);
-    let initial: Vec<usize> = (0..n as u32).map(|v| sim.topology.neighbors(v).len()).collect();
+    let initial: Vec<usize> = (0..n as u32)
+        .map(|v| sim.topology.neighbors(v).len())
+        .collect();
     let mut rng = SplitMix64::new(seed);
     let mut max_delta = 0i64;
     for _ in 0..n as u32 - 1 {

@@ -37,8 +37,8 @@ fn every_healer_and_attack_on_every_topology() {
         for healer in HealerKind::figure_set() {
             for attack in attacks {
                 let net = HealingNetwork::new(g.clone(), 42);
-                let mut engine = Engine::new(net, healer.build(), attack.build(7))
-                    .with_audit(AuditLevel::Cheap);
+                let mut engine =
+                    Engine::new(net, healer.build(), attack.build(7)).with_audit(AuditLevel::Cheap);
                 let report = engine.run_to_empty();
                 assert_eq!(
                     report.rounds,
@@ -68,11 +68,14 @@ fn full_audit_including_rem_potential_on_small_graphs() {
             continue;
         }
         let net = HealingNetwork::new(g, 7);
-        let mut engine =
-            Engine::new(net, HealerKind::Dash.build(), AttackKind::MaxNode.build(1))
-                .with_audit(AuditLevel::Full);
+        let mut engine = Engine::new(net, HealerKind::Dash.build(), AttackKind::MaxNode.build(1))
+            .with_audit(AuditLevel::Full);
         let report = engine.run_to_empty();
-        assert!(report.violations.is_empty(), "{name}: {:?}", report.violations);
+        assert!(
+            report.violations.is_empty(),
+            "{name}: {:?}",
+            report.violations
+        );
     }
 }
 
@@ -80,8 +83,12 @@ fn full_audit_including_rem_potential_on_small_graphs() {
 fn dash_rem_potential_on_ba_graph() {
     let g = generators::barabasi_albert(28, 3, &mut StdRng::seed_from_u64(5));
     let net = HealingNetwork::new(g, 5);
-    let mut engine = Engine::new(net, HealerKind::Dash.build(), AttackKind::NeighborOfMax.build(5))
-        .with_audit(AuditLevel::Full);
+    let mut engine = Engine::new(
+        net,
+        HealerKind::Dash.build(),
+        AttackKind::NeighborOfMax.build(5),
+    )
+    .with_audit(AuditLevel::Full);
     let report = engine.run_to_empty();
     assert!(report.violations.is_empty(), "{:?}", report.violations);
 }
@@ -91,8 +98,7 @@ fn isolated_and_tiny_graphs_are_handled() {
     for n in 1..=4 {
         let g = Graph::new(n); // all isolated
         let net = HealingNetwork::new(g, 1);
-        let mut engine =
-            Engine::new(net, HealerKind::Dash.build(), AttackKind::Random.build(3));
+        let mut engine = Engine::new(net, HealerKind::Dash.build(), AttackKind::Random.build(3));
         let report = engine.run_to_empty();
         assert_eq!(report.rounds, n as u64);
         assert_eq!(report.max_delta_ever, 0);
@@ -104,15 +110,17 @@ fn sdash_surrogates_at_least_once_on_big_star_sweep() {
     // A star forces an early binary tree; later deletions leave RT sets
     // with large delta spread, where surrogation should fire.
     let net = HealingNetwork::new(generators::star_graph(64), 9);
-    let mut engine =
-        Engine::new(net, HealerKind::Sdash.build(), AttackKind::MaxNode.build(1));
+    let mut engine = Engine::new(net, HealerKind::Sdash.build(), AttackKind::MaxNode.build(1));
     let mut surrogated = 0;
     while let Some(rec) = engine.step() {
         if rec.surrogate.is_some() {
             surrogated += 1;
         }
     }
-    assert!(surrogated > 0, "SDASH never surrogated over a 64-node star sweep");
+    assert!(
+        surrogated > 0,
+        "SDASH never surrogated over a 64-node star sweep"
+    );
 }
 
 #[test]
@@ -121,8 +129,11 @@ fn healing_edges_are_local_to_deleted_neighborhood() {
     // former neighbors of the deleted node.
     let g = generators::barabasi_albert(40, 3, &mut StdRng::seed_from_u64(21));
     let net = HealingNetwork::new(g, 21);
-    let mut engine =
-        Engine::new(net, HealerKind::Dash.build(), AttackKind::NeighborOfMax.build(2));
+    let mut engine = Engine::new(
+        net,
+        HealerKind::Dash.build(),
+        AttackKind::NeighborOfMax.build(2),
+    );
     // Drive manually so we can see each round's context.
     loop {
         let before = engine.net.clone();

@@ -313,6 +313,9 @@ fn manual_rounds_match_engine() {
     }
     for v in 0..n as u32 {
         assert_eq!(engine.net.id_changes(NodeId(v)), net.id_changes(NodeId(v)));
-        assert_eq!(engine.net.messages_sent(NodeId(v)), net.messages_sent(NodeId(v)));
+        assert_eq!(
+            engine.net.messages_sent(NodeId(v)),
+            net.messages_sent(NodeId(v))
+        );
     }
 }

@@ -61,8 +61,7 @@ fn theorem1_message_bound_per_node() {
     let n = 128;
     for seed in [5u64, 6, 7] {
         let g = generators::barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
-        let initial_degrees: Vec<usize> =
-            (0..n).map(|i| g.degree(NodeId::from_index(i))).collect();
+        let initial_degrees: Vec<usize> = (0..n).map(|i| g.degree(NodeId::from_index(i))).collect();
         let net = HealingNetwork::new(g, seed);
         let mut engine = Engine::new(net, Dash, NeighborOfMax::new(seed));
         engine.run_to_empty();
@@ -72,7 +71,10 @@ fn theorem1_message_bound_per_node() {
             let v = NodeId::from_index(i);
             let bound = 2.0 * (d as f64 + 2.0 * logn) * lnn;
             let sent = engine.net.messages_sent(v) as f64;
-            assert!(sent <= bound, "seed={seed} node={i} (d={d}): sent {sent} > {bound}");
+            assert!(
+                sent <= bound,
+                "seed={seed} node={i} (d={d}): sent {sent} > {bound}"
+            );
             let traffic = engine.net.traffic(v) as f64;
             assert!(
                 traffic <= 2.0 * bound,
@@ -107,7 +109,11 @@ fn theorem1_amortized_latency() {
 fn theorem2_squeeze() {
     for depth in 2..=5u32 {
         let r = run_level_attack(Dash, 2, depth, 99);
-        assert!(r.max_delta_ever >= depth as i64, "depth {depth}: {}", r.max_delta_ever);
+        assert!(
+            r.max_delta_ever >= depth as i64,
+            "depth {depth}: {}",
+            r.max_delta_ever
+        );
         assert!(
             (r.max_delta_ever as f64) <= 2.0 * (r.n as f64).log2(),
             "depth {depth}: exceeded upper bound"
@@ -135,7 +141,11 @@ fn lemma10_degree_sum_on_trees() {
         let ctx = net.delete_node(v).unwrap();
         Dash.heal(&mut net, &ctx);
         let after: usize = neighbors.iter().map(|&u| net.graph().degree(u)).sum();
-        assert_eq!(after as i64 - before as i64, d as i64 - 2, "degree-{d} node");
+        assert_eq!(
+            after as i64 - before as i64,
+            d as i64 - 2,
+            "degree-{d} node"
+        );
     }
 }
 

@@ -1,0 +1,169 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides [`BytesMut`] (a growable byte buffer) and the [`Buf`]/[`BufMut`]
+//! cursor traits, restricted to the fixed-width big-endian accessors the
+//! simulator's trace buffer uses. Byte order matches upstream `bytes`
+//! (network order), so a trace written here decodes identically if the real
+//! crate is ever swapped back in.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable, contiguous byte buffer (a thin wrapper over `Vec<u8>`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// An empty buffer with room for `capacity` bytes before reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Removes all bytes, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+/// Write-side cursor: append fixed-width big-endian values.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Read-side cursor: consume fixed-width big-endian values from the front.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Drops `cnt` bytes from the front.
+    fn advance(&mut self, cnt: usize);
+
+    /// A view of the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Reads one byte.
+    ///
+    /// Panics if empty, matching upstream `bytes`.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(self.chunk()[..4].try_into().expect("4 bytes"));
+        self.advance(4);
+        v
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(self.chunk()[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut, BytesMut};
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let mut b = BytesMut::with_capacity(13);
+        b.put_u8(7);
+        b.put_u64(0x0102_0304_0506_0708);
+        b.put_u32(0xDEAD_BEEF);
+        assert_eq!(b.len(), 13);
+        assert_eq!(b[1], 0x01, "big-endian layout");
+
+        let mut s = &b[..];
+        assert_eq!(s.remaining(), 13);
+        assert_eq!(s.get_u8(), 7);
+        assert_eq!(s.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(s.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u64(1);
+        b.clear();
+        assert!(b.is_empty());
+    }
+}

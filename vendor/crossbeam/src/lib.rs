@@ -1,0 +1,39 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The workspace uses exactly one crossbeam facility: a bounded channel
+//! fanning worker results into a single reducer ([`channel::bounded`]).
+//! `std::sync::mpsc::sync_channel` has the same semantics for that
+//! multi-producer / single-consumer shape (clonable blocking senders, a
+//! receiver whose iterator ends when every sender is dropped), so the
+//! stand-in is a rename.
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    /// Sending half; clonable, blocks when the channel is full.
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+
+    /// Receiving half; `iter()` drains until all senders hang up.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// A channel buffering at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fan_in_and_hang_up() {
+        let (tx, rx) = super::channel::bounded::<u64>(4);
+        std::thread::scope(|s| {
+            for i in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move || tx.send(i).unwrap());
+            }
+            drop(tx);
+            let total: u64 = rx.iter().sum();
+            assert_eq!(total, 6);
+        });
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//!
+//! Only [`Mutex`] is provided (the one primitive the workspace uses). The
+//! API difference that matters is preserved: `lock()` returns the guard
+//! directly instead of a poisoning `Result`. Poisoning is translated to a
+//! panic, which is what every call site here would do with `.unwrap()`
+//! anyway.
+
+use std::sync::PoisonError;
+
+/// A mutual-exclusion lock whose `lock()` never returns a `Result`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`]; releases the lock on drop.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    ///
+    /// Unlike `std`, returns the guard directly; a lock poisoned by a
+    /// panicking holder is still handed out (parking_lot has no poisoning).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (the borrow proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_returns_guard_directly() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = Mutex::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 4000);
+    }
+}

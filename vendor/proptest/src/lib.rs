@@ -1,0 +1,223 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro with `#![proptest_config(...)]` and `ident in
+//! range` argument strategies, plus [`prop_assert!`], [`prop_assert_eq!`]
+//! and [`prop_assume!`]. Each test runs `cases` iterations with inputs
+//! drawn from a deterministic per-test generator (seeded from the test
+//! name, so runs are reproducible and independent of test order).
+//!
+//! Differences from real proptest, deliberately accepted for an offline
+//! build: no shrinking (a failure reports the concrete inputs instead),
+//! and rejected cases (`prop_assume!`) count toward the case budget.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use rand::Rng;
+
+/// Per-test harness configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` iterations per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by [`prop_assume!`]; it is skipped, not failed.
+    Reject,
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A source of random values for one macro argument.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(usize, u64, u32, u16, u8);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// FNV-1a, used to seed each property from its own name.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Builds the deterministic generator for one property.
+pub fn rng_for(test_name: &str) -> StdRng {
+    StdRng::seed_from_u64(seed_for(test_name))
+}
+
+/// Everything a property-test file needs in one import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Defines `#[test]` functions that run their body over many random
+/// inputs. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(
+                    stringify!($name),
+                    &$config,
+                    |__pt_rng| {
+                        $(let $arg = $crate::Strategy::sample(&($strategy), __pt_rng);)*
+                        let __pt_inputs = format!(
+                            concat!($(stringify!($arg), " = {:?}, "),*),
+                            $(&$arg),*
+                        );
+                        // The immediately-called closure gives `prop_assume!`
+                        // an early-return scope; the lint trades that away.
+                        #[allow(clippy::redundant_closure_call)]
+                        let outcome: $crate::TestCaseResult = (|| { $body Ok(()) })();
+                        (outcome, __pt_inputs)
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Runs one property for `config.cases` iterations (macro plumbing).
+pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> (TestCaseResult, String),
+{
+    let mut rng = rng_for(name);
+    for case_no in 0..config.cases {
+        let (outcome, inputs) = case(&mut rng);
+        match outcome {
+            Ok(()) => {}
+            Err(TestCaseError::Reject) => continue,
+            #[allow(unreachable_patterns)]
+            Err(other) => panic!("{name} case {case_no} failed ({inputs}): {other:?}"),
+        }
+    }
+}
+
+/// Asserts inside a property; panics with the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Skips the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(n in 3usize..10, x in 0u64..100, p in 0.0f64..1.0) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!(x < 100);
+            prop_assert!((0.0..1.0).contains(&p));
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0, "assume should have filtered {}", n);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(seed_for("a"), seed_for("b"));
+        assert_eq!(seed_for("a"), seed_for("a"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on snapshot types but
+//! never drives serde's data model (I/O goes through the hand-rolled
+//! edge-list format in `selfheal-graph::io`). This crate supplies marker
+//! traits of the same names plus no-op derive macros so those annotations
+//! compile unchanged; swapping in real serde later is a one-line
+//! `Cargo.toml` change and zero source changes.
+
+/// Marker for types tagged serializable (no methods in the stand-in).
+pub trait Serialize {}
+
+/// Marker for types tagged deserializable (no methods in the stand-in).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_markers!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}

@@ -1,0 +1,51 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The workspace only *tags* types as `Serialize`/`Deserialize`; nothing
+//! serializes through serde's data model yet (graph snapshots use a
+//! hand-rolled edge-list text format). These derives therefore expand to
+//! marker-trait impls and nothing else, keeping every `#[derive(...)]` in
+//! the seed source compiling without the real 60-kLoC dependency.
+
+use proc_macro::TokenStream;
+
+/// Extracts the identifier the derive is attached to (the token right
+/// after `struct`/`enum`, skipping attributes and doc comments).
+fn derived_type_name(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter();
+    while let Some(tok) = tokens.next() {
+        if let proc_macro::TokenTree::Ident(id) = tok {
+            let id = id.to_string();
+            if id == "struct" || id == "enum" {
+                for tok in tokens.by_ref() {
+                    if let proc_macro::TokenTree::Ident(name) = tok {
+                        return Some(name.to_string());
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    match derived_type_name(&input) {
+        // Generic types never appear with these derives in this workspace;
+        // if one does, fail loudly rather than emit an ill-formed impl.
+        Some(name) => format!("impl serde::{trait_name} for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derives the (empty) `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// Derives the (empty) `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
