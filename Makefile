@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test test-all bench doc fmt fmt-check clippy examples figures ci clean
+.PHONY: all build test test-all bench bench-check doc fmt fmt-check clippy examples figures ci clean
 
 all: build
 
@@ -22,6 +22,14 @@ test-all:
 ## Benchmark suite (offline criterion stand-in: indicative numbers, fast).
 bench:
 	$(CARGO) bench -p selfheal-bench
+
+## Smoke-run the scenario throughput bench. The bench asserts its own
+## structure (run-to-empty round counts, steady-state broadcast agreement
+## between the scratch-buffer and allocating baselines), so a panic here
+## means the allocation-free hot loop regressed. Offline-safe: the
+## vendored criterion stand-in hard-caps runtimes.
+bench-check:
+	$(CARGO) bench -p selfheal-bench --bench scenario
 
 ## API docs for the workspace crates only.
 doc:
@@ -50,7 +58,7 @@ figures:
 	$(CARGO) run -q --release -p selfheal-experiments -- all --quick --csv out
 
 ## The full CI gate.
-ci: fmt-check clippy build test-all doc
+ci: fmt-check clippy build test-all doc bench-check
 	@echo "ci green"
 
 clean:

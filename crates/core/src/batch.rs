@@ -80,11 +80,22 @@ pub fn delete_independent_batch(
             }
         }
     }
+    Ok(delete_validated_batch(net, victims))
+}
+
+/// Delete a batch the caller has already proven alive, distinct and
+/// pairwise non-adjacent — [`delete_independent_batch`] after its
+/// validation pass, and the scenario engine after sanitizing (which
+/// establishes exactly the same property without a second O(k²) check).
+pub(crate) fn delete_validated_batch(
+    net: &mut HealingNetwork,
+    victims: &[NodeId],
+) -> Vec<DeletionContext> {
     let mut contexts = Vec::with_capacity(victims.len());
     for &v in victims {
-        contexts.push(net.delete_node(v).expect("validated above"));
+        contexts.push(net.delete_node(v).expect("caller guarantees live victims"));
     }
-    Ok(contexts)
+    contexts
 }
 
 /// Outcome of healing one batch.
@@ -97,7 +108,14 @@ pub struct BatchOutcome {
 }
 
 /// Heal after a batch deletion: run the healer on each context in victim
-/// order, then broadcast IDs once per reconstruction set.
+/// order, then broadcast IDs once per reconstruction set — unless the
+/// healer opts out of ID propagation (oracle strategies), exactly as the
+/// single-deletion path does.
+///
+/// Per-victim broadcasts belong to one healing round, so their accounting
+/// folds via [`PropagationReport::merge`] (changed/messages add, latency
+/// takes the max) — the same rule the scenario engine's `DeleteBatch` arm
+/// uses, so batch and single-round paths can no longer diverge.
 pub fn heal_batch<H: Healer>(
     net: &mut HealingNetwork,
     healer: &mut H,
@@ -105,12 +123,12 @@ pub fn heal_batch<H: Healer>(
 ) -> BatchOutcome {
     let mut outcomes = Vec::with_capacity(contexts.len());
     let mut propagation = PropagationReport::default();
+    let broadcast = healer.needs_id_propagation();
     for ctx in contexts {
         let outcome = healer.heal(net, ctx);
-        let p = net.propagate_min_id(&outcome.rt_members);
-        propagation.changed += p.changed;
-        propagation.messages += p.messages;
-        propagation.latency = propagation.latency.max(p.latency);
+        if broadcast {
+            propagation.merge(net.propagate_min_id(&outcome.rt_members));
+        }
         outcomes.push(outcome);
     }
     BatchOutcome {

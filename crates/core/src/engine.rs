@@ -1,29 +1,24 @@
-//! The attack/heal round loop.
+//! The legacy one-victim-per-round loop, now a thin shim.
 //!
-//! One *round* is the paper's unit of time: the adversary deletes a node,
-//! the healer reconnects, the minimum component ID is broadcast. The
-//! [`Engine`] drives rounds, collects per-round records and aggregate
-//! statistics, and (optionally) audits the theory's invariants after
-//! every round.
+//! **Deprecated entry point** — kept only because golden regression tests
+//! and downstream users pin it. [`Engine`] wraps the unified
+//! [`ScenarioEngine`](crate::scenario::ScenarioEngine) with the blanket
+//! `Adversary → EventSource` adapter: every adversary pick becomes a
+//! `Delete` event, on the same RNG stream and with identical accounting,
+//! so the shim is round-for-round byte-identical to the old engine (see
+//! `tests/golden.rs`). New code should use
+//! [`ScenarioEngine`](crate::scenario::ScenarioEngine) directly — it also
+//! speaks `DeleteBatch` and `Join` events and takes pluggable
+//! [`Observer`](crate::scenario::Observer)s.
 
 use crate::attack::Adversary;
-use crate::invariants;
-use crate::state::{HealingNetwork, PropagationReport};
+use crate::scenario::{EventRecord, ScenarioEngine, ScenarioReport};
+use crate::state::PropagationReport;
 use crate::strategy::Healer;
 use selfheal_graph::NodeId;
+use std::ops::{Deref, DerefMut};
 
-/// Which (increasingly expensive) checks to run after every round.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum AuditLevel {
-    /// No checking (experiment/benchmark mode).
-    #[default]
-    Off,
-    /// Connectivity + forest + delta bound + weight conservation: O(n)
-    /// per round.
-    Cheap,
-    /// Everything, including the O(n²) `rem` potential of Lemma 4.
-    Full,
-}
+pub use crate::scenario::AuditLevel;
 
 /// What happened in a single round.
 #[derive(Clone, Debug)]
@@ -40,9 +35,29 @@ pub struct RoundRecord {
     pub surrogate: Option<NodeId>,
     /// ID broadcast accounting for this round.
     pub propagation: PropagationReport,
-    /// Maximum `δ` among this round's reconstruction-set members
-    /// (only RT members can gain degree in a round).
-    pub round_max_delta: i64,
+    /// Maximum `δ` among this round's reconstruction-set members, `None`
+    /// when the reconstruction set was empty (e.g. NoHeal rounds or
+    /// isolated victims — previously this leaked an `i64::MIN` sentinel).
+    pub round_max_delta: Option<i64>,
+}
+
+impl RoundRecord {
+    fn from_event(rec: EventRecord) -> Self {
+        assert!(
+            rec.victims == 1,
+            "adversary picked a dead node (event {})",
+            rec.event
+        );
+        RoundRecord {
+            round: rec.round,
+            deleted: rec.deleted.expect("delete events carry their victim"),
+            rt_size: rec.rt_size,
+            edges_added: rec.edges_added,
+            surrogate: rec.surrogate,
+            propagation: rec.propagation,
+            round_max_delta: rec.round_max_delta,
+        }
+    }
 }
 
 /// Aggregate statistics over a run.
@@ -68,6 +83,22 @@ pub struct EngineReport {
     pub violations: Vec<String>,
 }
 
+impl From<ScenarioReport> for EngineReport {
+    fn from(r: ScenarioReport) -> Self {
+        EngineReport {
+            rounds: r.rounds,
+            max_delta_ever: r.max_delta_ever,
+            max_id_changes: r.max_id_changes,
+            max_traffic: r.max_traffic,
+            total_messages: r.total_messages,
+            total_edges_added: r.total_edges_added,
+            total_propagation_latency: r.total_propagation_latency,
+            max_propagation_latency: r.max_propagation_latency,
+            violations: r.violations,
+        }
+    }
+}
+
 impl EngineReport {
     /// Amortized ID-propagation latency per round (Lemma 9's quantity).
     pub fn amortized_latency(&self) -> f64 {
@@ -79,130 +110,72 @@ impl EngineReport {
     }
 }
 
-/// Drives `adversary` against `healer` on `net`.
+/// Drives `adversary` against `healer` on `net`, one deletion per round.
+///
+/// Deprecated shim over [`ScenarioEngine`]; see the module docs. Derefs
+/// to the inner scenario engine, so `engine.net` and every scenario
+/// method remain available.
 pub struct Engine<H: Healer, A: Adversary> {
-    /// The evolving network state (public for metric hooks).
-    pub net: HealingNetwork,
-    healer: H,
-    adversary: A,
-    audit: AuditLevel,
-    report: EngineReport,
+    inner: ScenarioEngine<H, A>,
+}
+
+impl<H: Healer, A: Adversary> Deref for Engine<H, A> {
+    type Target = ScenarioEngine<H, A>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.inner
+    }
+}
+
+impl<H: Healer, A: Adversary> DerefMut for Engine<H, A> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.inner
+    }
 }
 
 impl<H: Healer, A: Adversary> Engine<H, A> {
     /// New engine with auditing off.
-    pub fn new(net: HealingNetwork, healer: H, adversary: A) -> Self {
+    pub fn new(net: crate::state::HealingNetwork, healer: H, adversary: A) -> Self {
         Engine {
-            net,
-            healer,
-            adversary,
-            audit: AuditLevel::Off,
-            report: EngineReport::default(),
+            inner: ScenarioEngine::new(net, healer, adversary),
         }
     }
 
     /// Enable invariant auditing.
     pub fn with_audit(mut self, level: AuditLevel) -> Self {
-        self.audit = level;
+        self.inner = self.inner.with_audit(level);
         self
-    }
-
-    /// The healer's name.
-    pub fn healer_name(&self) -> &'static str {
-        self.healer.name()
     }
 
     /// The adversary's name.
     pub fn adversary_name(&self) -> &'static str {
-        self.adversary.name()
+        self.inner.source_name()
     }
 
     /// Execute one round; `None` when the adversary has no victim left.
     pub fn step(&mut self) -> Option<RoundRecord> {
-        let victim = self.adversary.pick(&self.net)?;
-        let ctx = self
-            .net
-            .delete_node(victim)
-            .expect("adversary picked a dead node");
-        let outcome = self.healer.heal(&mut self.net, &ctx);
-        let propagation = if self.healer.needs_id_propagation() {
-            self.net.propagate_min_id(&outcome.rt_members)
-        } else {
-            crate::state::PropagationReport::default()
-        };
-
-        self.report.rounds += 1;
-        self.report.total_messages += propagation.messages;
-        self.report.total_edges_added += outcome.edges_added.len() as u64;
-        self.report.total_propagation_latency += propagation.latency;
-        self.report.max_propagation_latency =
-            self.report.max_propagation_latency.max(propagation.latency);
-
-        // Only RT members can have gained degree this round, so the
-        // running max over rounds of the RT max equals the global max.
-        let round_max_delta = outcome
-            .rt_members
-            .iter()
-            .map(|&v| self.net.delta(v))
-            .max()
-            .unwrap_or(i64::MIN);
-        self.report.max_delta_ever = self.report.max_delta_ever.max(round_max_delta);
-        for &v in &outcome.rt_members {
-            self.report.max_id_changes = self.report.max_id_changes.max(self.net.id_changes(v));
-            self.report.max_traffic = self.report.max_traffic.max(self.net.traffic(v));
-        }
-
-        match self.audit {
-            AuditLevel::Off => {}
-            AuditLevel::Cheap | AuditLevel::Full => {
-                let check_rem = self.audit == AuditLevel::Full;
-                let rep =
-                    invariants::check_all(&self.net, self.healer.preserves_forest(), check_rem);
-                for v in rep.violations {
-                    self.report
-                        .violations
-                        .push(format!("round {}: {v}", self.report.rounds));
-                }
-            }
-        }
-
-        Some(RoundRecord {
-            round: self.report.rounds,
-            deleted: victim,
-            rt_size: outcome.rt_members.len(),
-            edges_added: outcome.edges_added.len(),
-            surrogate: outcome.surrogate,
-            propagation,
-            round_max_delta,
-        })
+        self.inner.step().map(RoundRecord::from_event)
     }
 
     /// Run until the adversary stops (normally: the network is empty).
+    ///
+    /// Drives the shim's own [`Engine::step`] so the legacy contract is
+    /// preserved: an adversary that returns a dead node panics loudly
+    /// instead of looping as a sanitized no-op.
     pub fn run_to_empty(&mut self) -> EngineReport {
         while self.step().is_some() {}
-        self.finalize()
+        self.inner.finish().into()
     }
 
-    /// Run at most `k` further rounds.
+    /// Run at most `k` further rounds (every round is a real deletion;
+    /// see [`Engine::run_to_empty`] for the dead-pick contract).
     pub fn run_rounds(&mut self, k: u64) -> EngineReport {
         for _ in 0..k {
             if self.step().is_none() {
                 break;
             }
         }
-        self.finalize()
-    }
-
-    /// Final report. Per-node maxima (id changes / traffic) are refreshed
-    /// with a full scan over all node slots so nodes that were never RT
-    /// members are included.
-    fn finalize(&mut self) -> EngineReport {
-        for i in 0..self.net.graph().node_bound() {
-            let v = NodeId::from_index(i);
-            self.report.max_id_changes = self.report.max_id_changes.max(self.net.id_changes(v));
-            self.report.max_traffic = self.report.max_traffic.max(self.net.traffic(v));
-        }
-        self.report.clone()
+        self.inner.finish().into()
     }
 }
 
@@ -213,6 +186,7 @@ mod tests {
     use crate::dash::Dash;
     use crate::naive::NoHeal;
     use crate::sdash::Sdash;
+    use crate::state::HealingNetwork;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use selfheal_graph::generators::barabasi_albert;
@@ -298,5 +272,32 @@ mod tests {
         assert!(report.max_propagation_latency >= 1);
         // Empty report guards division by zero.
         assert_eq!(EngineReport::default().amortized_latency(), 0.0);
+    }
+
+    /// The legacy contract: a buggy adversary handing back a dead node
+    /// must panic loudly, not spin as sanitized no-op events.
+    #[test]
+    #[should_panic(expected = "adversary picked a dead node")]
+    fn run_to_empty_panics_on_dead_adversary_pick() {
+        struct StuckOnDead;
+        impl crate::attack::Adversary for StuckOnDead {
+            fn name(&self) -> &'static str {
+                "stuck-on-dead"
+            }
+            fn pick(&mut self, _net: &HealingNetwork) -> Option<NodeId> {
+                Some(NodeId(0)) // keeps returning the first victim forever
+            }
+        }
+        let mut engine = Engine::new(ba_net(8, 4), Dash, StuckOnDead);
+        engine.run_to_empty();
+    }
+
+    #[test]
+    fn shim_derefs_to_scenario_engine() {
+        let engine = Engine::new(ba_net(8, 2), Dash, MaxNode);
+        assert_eq!(engine.healer_name(), "dash");
+        assert_eq!(engine.source_name(), "max-node");
+        assert_eq!(engine.adversary_name(), "max-node");
+        assert_eq!(engine.report().rounds, 0);
     }
 }

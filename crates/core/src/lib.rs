@@ -12,14 +12,16 @@
 //! ## Quick start
 //! ```
 //! use rand::SeedableRng;
-//! use selfheal_core::{attack::NeighborOfMax, dash::Dash, engine::{AuditLevel, Engine},
+//! use selfheal_core::{attack::NeighborOfMax, dash::Dash,
+//!                     scenario::{AuditLevel, ScenarioEngine},
 //!                     state::HealingNetwork};
 //! use selfheal_graph::generators::barabasi_albert;
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 //! let g = barabasi_albert(100, 3, &mut rng);
 //! let net = HealingNetwork::new(g, 1);
-//! let mut engine = Engine::new(net, Dash, NeighborOfMax::new(1))
+//! // Any Adversary is an EventSource: its picks become Delete events.
+//! let mut engine = ScenarioEngine::new(net, Dash, NeighborOfMax::new(1))
 //!     .with_audit(AuditLevel::Cheap);
 //! let report = engine.run_to_empty();
 //! assert!(report.violations.is_empty());
@@ -39,12 +41,16 @@ pub mod levelattack;
 pub mod naive;
 pub mod oracle;
 pub mod rt;
+pub mod scenario;
 pub mod sdash;
 pub mod state;
 pub mod strategy;
 
 pub use dash::Dash;
 pub use engine::{AuditLevel, Engine, EngineReport};
+pub use scenario::{
+    EventRecord, EventSource, NetworkEvent, Observer, ScenarioEngine, ScenarioReport,
+};
 pub use sdash::Sdash;
 pub use state::HealingNetwork;
 pub use strategy::{HealOutcome, Healer};

@@ -104,7 +104,7 @@ mod tests {
     use super::*;
     use crate::attack::{MaxNode, NeighborOfMax};
     use crate::dash::Dash;
-    use crate::engine::Engine;
+    use crate::scenario::ScenarioEngine;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use selfheal_graph::generators::barabasi_albert;
@@ -147,11 +147,30 @@ mod tests {
         let n = 48;
         let g = barabasi_albert(n, 3, &mut StdRng::seed_from_u64(2));
         let net = HealingNetwork::new(g, 2);
-        let mut engine = Engine::new(net, OracleDash::new(n), NeighborOfMax::new(2));
+        let mut engine = ScenarioEngine::new(net, OracleDash::new(n), NeighborOfMax::new(2));
         let report = engine.run_to_empty();
         assert_eq!(report.total_messages, 0, "oracle must not broadcast");
         assert_eq!(report.max_traffic, 0);
         assert!(report.rounds == n as u64);
+    }
+
+    /// The opt-out must hold for every event kind: batch deletions route
+    /// through `heal_batch`, which gates broadcasting on the same
+    /// `needs_id_propagation` flag as the single-deletion arm.
+    #[test]
+    fn oracle_dash_sends_zero_messages_under_batches() {
+        let n = 48;
+        let g = barabasi_albert(n, 3, &mut StdRng::seed_from_u64(2));
+        let net = HealingNetwork::new(g, 2);
+        let mut engine = ScenarioEngine::new(
+            net,
+            OracleDash::new(n),
+            crate::scenario::DegreeBatches::new(4),
+        );
+        let report = engine.run_to_empty();
+        assert_eq!(report.total_messages, 0, "oracle must not broadcast");
+        assert_eq!(report.max_traffic, 0);
+        assert_eq!(report.deletions, n as u64);
     }
 
     #[test]
@@ -159,7 +178,7 @@ mod tests {
         let n = 48;
         let g = barabasi_albert(n, 3, &mut StdRng::seed_from_u64(2));
         let net = HealingNetwork::new(g, 2);
-        let mut engine = Engine::new(net, Dash, NeighborOfMax::new(2));
+        let mut engine = ScenarioEngine::new(net, Dash, NeighborOfMax::new(2));
         let report = engine.run_to_empty();
         assert!(report.total_messages > 0);
     }
@@ -169,8 +188,8 @@ mod tests {
         let n = 96;
         let g = barabasi_albert(n, 3, &mut StdRng::seed_from_u64(4));
         let net = HealingNetwork::new(g, 4);
-        let mut engine = Engine::new(net, OracleDash::new(n), MaxNode)
-            .with_audit(crate::engine::AuditLevel::Cheap);
+        let mut engine = ScenarioEngine::new(net, OracleDash::new(n), MaxNode)
+            .with_audit(crate::scenario::AuditLevel::Cheap);
         let report = engine.run_to_empty();
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         assert!((report.max_delta_ever as f64) <= 2.0 * (n as f64).log2());

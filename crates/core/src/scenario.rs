@@ -1,0 +1,938 @@
+//! The unified, event-driven healing engine.
+//!
+//! The paper's model is a *sequence of reconfiguration events*: an
+//! omniscient adversary deletes nodes (one at a time, or simultaneously
+//! per footnote 1), new nodes join, and after every event the healer
+//! reconnects and the minimum component ID is broadcast. Earlier
+//! revisions of this repo drove those three shapes through three disjoint
+//! code paths (`engine::Engine` for one victim per round, free functions
+//! in [`crate::batch`] for independent-set batches, and hand-rolled churn
+//! loops in tests). This module unifies them:
+//!
+//! - [`NetworkEvent`] — the vocabulary: `Delete`, `DeleteBatch`, `Join`;
+//! - [`EventSource`] — anything that emits events against the evolving
+//!   network; every [`Adversary`](crate::attack::Adversary) is one via a
+//!   blanket adapter (its picks become `Delete` events);
+//! - [`Observer`] — a pluggable per-event hook (invariant auditing,
+//!   metric-series collection and record logging all plug in here);
+//! - [`ScenarioEngine`] — the one loop that consumes any event stream.
+//!
+//! The per-round bookkeeping is allocation-free at steady state: the
+//! engine reuses one [`DeletionContext`] across rounds
+//! (`delete_node_into`) and `propagate_min_id` runs on epoch-stamped
+//! scratch buffers owned by [`HealingNetwork`]; records handed to
+//! observers are plain `Copy` data. (Healing strategies still build
+//! their [`HealOutcome`](crate::strategy::HealOutcome) vectors per
+//! round — those are proportional to the reconstruction set, not to
+//! `n`.)
+//!
+//! For a pure `Delete` stream the engine is round-for-round identical to
+//! the legacy [`Engine`](crate::engine::Engine) shim — `tests/golden.rs`
+//! pins that equivalence to exact message/edge counts.
+
+use crate::attack::Adversary;
+use crate::batch::{delete_validated_batch, heal_batch, independent_victims};
+use crate::invariants;
+use crate::state::{DeletionContext, HealingNetwork, PropagationReport};
+use crate::strategy::Healer;
+use selfheal_graph::NodeId;
+use selfheal_sim::SplitMix64;
+use std::collections::VecDeque;
+
+/// Which (increasingly expensive) checks to run after every event.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AuditLevel {
+    /// No checking (experiment/benchmark mode).
+    #[default]
+    Off,
+    /// Connectivity + forest + delta bound + weight conservation: O(n)
+    /// per event.
+    Cheap,
+    /// Everything, including the O(n²) `rem` potential of Lemma 4.
+    Full,
+}
+
+/// One reconfiguration event presented to the network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetworkEvent {
+    /// The adversary deletes a single node.
+    Delete(NodeId),
+    /// Simultaneous deletion of several nodes (paper footnote 1). The
+    /// engine enforces independence: dead, duplicate, or pairwise
+    /// adjacent victims are dropped (in input order, keeping the earlier
+    /// victim) before the batch is applied atomically.
+    DeleteBatch(Vec<NodeId>),
+    /// A new node joins, attaching to the given live nodes. Dead or
+    /// duplicate targets are dropped; a join whose (originally non-empty)
+    /// target list sanitizes to nothing is skipped entirely, while an
+    /// explicitly empty list creates an isolated node.
+    Join {
+        /// Attachment targets for the joining node.
+        neighbors: Vec<NodeId>,
+    },
+}
+
+/// A stream of [`NetworkEvent`]s generated against the evolving network.
+///
+/// Every [`Adversary`] is an `EventSource` via the blanket adapter below:
+/// its per-round victim picks become `Delete` events, so any existing
+/// attack strategy drives the unified engine unchanged (and on the same
+/// RNG stream).
+pub trait EventSource {
+    /// Short stable name used in tables and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// The next event, or `None` to end the scenario.
+    fn next_event(&mut self, net: &HealingNetwork) -> Option<NetworkEvent>;
+}
+
+impl<A: Adversary> EventSource for A {
+    fn name(&self) -> &'static str {
+        Adversary::name(self)
+    }
+
+    fn next_event(&mut self, net: &HealingNetwork) -> Option<NetworkEvent> {
+        self.pick(net).map(NetworkEvent::Delete)
+    }
+}
+
+/// Replay a fixed event schedule. Unlike `attack::Scripted` (which skips
+/// dead victims at pick time) the schedule is replayed verbatim; the
+/// engine's sanitization makes stale references harmless no-ops, so
+/// schedules can be written (or generated) without tracking liveness.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedEvents {
+    queue: VecDeque<NetworkEvent>,
+}
+
+impl ScriptedEvents {
+    /// Script the given event order.
+    pub fn new<I: IntoIterator<Item = NetworkEvent>>(events: I) -> Self {
+        ScriptedEvents {
+            queue: events.into_iter().collect(),
+        }
+    }
+
+    /// Append another event.
+    pub fn push(&mut self, event: NetworkEvent) {
+        self.queue.push_back(event);
+    }
+
+    /// Events not yet replayed.
+    pub fn remaining(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl EventSource for ScriptedEvents {
+    fn name(&self) -> &'static str {
+        "scripted-events"
+    }
+
+    fn next_event(&mut self, _net: &HealingNetwork) -> Option<NetworkEvent> {
+        self.queue.pop_front()
+    }
+}
+
+/// Emit `DeleteBatch` events of up to `k` independent victims, ranked by
+/// current degree (highest first) — the batch adversary the E8 experiment
+/// and the `batch_failures` example sweep. Ends when no victim remains.
+#[derive(Clone, Copy, Debug)]
+pub struct DegreeBatches {
+    k: usize,
+}
+
+impl DegreeBatches {
+    /// Batches of up to `k` victims.
+    pub fn new(k: usize) -> Self {
+        DegreeBatches { k }
+    }
+}
+
+impl EventSource for DegreeBatches {
+    fn name(&self) -> &'static str {
+        "degree-batches"
+    }
+
+    fn next_event(&mut self, net: &HealingNetwork) -> Option<NetworkEvent> {
+        let victims = independent_victims(net, self.k, |v| net.graph().degree(v) as i64);
+        if victims.is_empty() {
+            None
+        } else {
+            Some(NetworkEvent::DeleteBatch(victims))
+        }
+    }
+}
+
+/// Mixed churn: with probability 1/3 a join attaching to 1–3 random live
+/// nodes, otherwise a targeted deletion of a random neighbor of the
+/// current maximum-degree node (the hub itself when isolated). This is
+/// the workload the churn test-suite drives; seeded, so deterministic.
+#[derive(Clone, Debug)]
+pub struct RandomChurn {
+    rng: SplitMix64,
+}
+
+impl RandomChurn {
+    /// Seeded churn stream.
+    pub fn new(seed: u64) -> Self {
+        RandomChurn {
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+impl EventSource for RandomChurn {
+    fn name(&self) -> &'static str {
+        "random-churn"
+    }
+
+    fn next_event(&mut self, net: &HealingNetwork) -> Option<NetworkEvent> {
+        if net.graph().live_node_count() == 0 {
+            return None;
+        }
+        if self.rng.gen_range(3) == 0 {
+            // Only the join branch needs the O(n) live-node list; the
+            // 2-in-3 deletion branch works off the max-degree hub alone.
+            let live: Vec<NodeId> = net.graph().live_nodes().collect();
+            let k = 1 + self.rng.gen_range(3) as usize;
+            let mut targets: Vec<NodeId> = Vec::with_capacity(k);
+            for _ in 0..k.min(live.len()) {
+                let cand = *self.rng.choose(&live);
+                if !targets.contains(&cand) {
+                    targets.push(cand);
+                }
+            }
+            Some(NetworkEvent::Join { neighbors: targets })
+        } else {
+            let hub = net.graph().max_degree_node()?;
+            let victim = match net.graph().neighbors(hub) {
+                [] => hub,
+                nbrs => *self.rng.choose(nbrs),
+            };
+            Some(NetworkEvent::Delete(victim))
+        }
+    }
+}
+
+/// What kind of event an [`EventRecord`] describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Single deletion.
+    Delete,
+    /// Simultaneous batch deletion.
+    DeleteBatch,
+    /// Node join.
+    Join,
+}
+
+/// What happened in a single event. Plain `Copy` data — handing one to an
+/// observer never allocates.
+#[derive(Clone, Copy, Debug)]
+pub struct EventRecord {
+    /// 1-based event number (all kinds).
+    pub event: u64,
+    /// Healing rounds completed so far (delete-kind events only).
+    pub round: u64,
+    /// The event's kind.
+    pub kind: EventKind,
+    /// The victim of a single deletion (its id even if it was already
+    /// dead and the event became a no-op).
+    pub deleted: Option<NodeId>,
+    /// Nodes actually deleted by this event (0 for no-ops and joins).
+    pub victims: usize,
+    /// The node created by a join.
+    pub joined: Option<NodeId>,
+    /// Total reconstruction-set size across this event's heals.
+    pub rt_size: usize,
+    /// Healing edges added by this event.
+    pub edges_added: usize,
+    /// Surrogate used (SDASH, single deletions only).
+    pub surrogate: Option<NodeId>,
+    /// Merged ID-broadcast accounting for this event (see
+    /// [`PropagationReport::merge`]).
+    pub propagation: PropagationReport,
+    /// Maximum `δ` among this event's reconstruction-set members, `None`
+    /// when nothing healed (empty RT, no-op events, joins).
+    pub round_max_delta: Option<i64>,
+}
+
+impl EventRecord {
+    fn empty(event: u64, round: u64, kind: EventKind) -> Self {
+        EventRecord {
+            event,
+            round,
+            kind,
+            deleted: None,
+            victims: 0,
+            joined: None,
+            rt_size: 0,
+            edges_added: 0,
+            surrogate: None,
+            propagation: PropagationReport::default(),
+            round_max_delta: None,
+        }
+    }
+}
+
+/// Per-event hook into a running scenario. All methods default to no-ops;
+/// implement what you need. Closures work too: any
+/// `FnMut(&HealingNetwork, &EventRecord)` is an observer.
+pub trait Observer {
+    /// Called after every applied event, with the post-event network.
+    fn on_event(&mut self, net: &HealingNetwork, record: &EventRecord) {
+        let _ = (net, record);
+    }
+}
+
+/// The do-nothing observer (benchmark mode).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+impl<F: FnMut(&HealingNetwork, &EventRecord)> Observer for F {
+    fn on_event(&mut self, net: &HealingNetwork, record: &EventRecord) {
+        self(net, record)
+    }
+}
+
+/// Collect every [`EventRecord`] of a run.
+#[derive(Clone, Debug, Default)]
+pub struct RecordLog {
+    /// Records in event order.
+    pub records: Vec<EventRecord>,
+}
+
+impl Observer for RecordLog {
+    fn on_event(&mut self, _net: &HealingNetwork, record: &EventRecord) {
+        self.records.push(*record);
+    }
+}
+
+/// Invariant auditing as an observer: after every event, run the lemma
+/// checks of [`crate::invariants`] at the configured level and collect
+/// violations. The engine embeds one (see [`ScenarioEngine::with_audit`])
+/// and drains its findings into the run report.
+#[derive(Clone, Debug)]
+pub struct AuditObserver {
+    level: AuditLevel,
+    preserves_forest: bool,
+    /// Violations found so far, prefixed with their round number.
+    pub violations: Vec<String>,
+}
+
+impl AuditObserver {
+    /// Audit at `level`; `preserves_forest` mirrors
+    /// [`Healer::preserves_forest`] for the strategy under test.
+    pub fn new(level: AuditLevel, preserves_forest: bool) -> Self {
+        AuditObserver {
+            level,
+            preserves_forest,
+            violations: Vec::new(),
+        }
+    }
+}
+
+impl Observer for AuditObserver {
+    fn on_event(&mut self, net: &HealingNetwork, record: &EventRecord) {
+        if self.level == AuditLevel::Off {
+            return;
+        }
+        let check_rem = self.level == AuditLevel::Full;
+        let rep = invariants::check_all(net, self.preserves_forest, check_rem);
+        for v in rep.violations {
+            // Healing rounds keep the legacy "round N" label; joins and
+            // sanitized no-ops carry no round, so attribute those to
+            // their (always unique) event number instead.
+            let label = if record.kind != EventKind::Join && record.victims > 0 {
+                format!("round {}", record.round)
+            } else {
+                format!("event {}", record.event)
+            };
+            self.violations.push(format!("{label}: {v}"));
+        }
+    }
+}
+
+/// Aggregate statistics over a scenario run. A superset of the legacy
+/// `EngineReport`: for pure `Delete` streams `rounds`/`deletions`/totals
+/// coincide with the old per-round accounting exactly.
+#[derive(Clone, Debug, Default)]
+pub struct ScenarioReport {
+    /// Events consumed (all kinds, including sanitized no-ops).
+    pub events: u64,
+    /// Healing rounds executed (each `Delete` or non-empty `DeleteBatch`
+    /// is one round; joins are not rounds).
+    pub rounds: u64,
+    /// Individual nodes deleted (a batch of `k` counts `k`).
+    pub deletions: u64,
+    /// Nodes joined.
+    pub joins: u64,
+    /// Maximum `δ(v)` ever observed for any node at any time.
+    pub max_delta_ever: i64,
+    /// Maximum number of ID changes suffered by one node.
+    pub max_id_changes: u32,
+    /// Maximum per-node traffic (ID messages sent + received).
+    pub max_traffic: u64,
+    /// Total ID-maintenance messages sent.
+    pub total_messages: u64,
+    /// Total healing edges added to `G'`.
+    pub total_edges_added: u64,
+    /// Sum of per-round broadcast latencies (for the amortized bound;
+    /// within a round latencies merge by max, across rounds they add).
+    pub total_propagation_latency: u64,
+    /// Maximum single-round broadcast latency.
+    pub max_propagation_latency: u64,
+    /// Invariant violations found (empty when auditing is off or clean).
+    pub violations: Vec<String>,
+}
+
+impl ScenarioReport {
+    /// Amortized ID-propagation latency per healing round (Lemma 9's
+    /// quantity).
+    pub fn amortized_latency(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.total_propagation_latency as f64 / self.rounds as f64
+        }
+    }
+}
+
+/// Drives a [`Healer`] against any [`EventSource`] on `net` — the one
+/// engine behind single-round sweeps, batch disasters, and churn.
+pub struct ScenarioEngine<H: Healer, S: EventSource> {
+    /// The evolving network state (public for metric hooks).
+    pub net: HealingNetwork,
+    healer: H,
+    source: S,
+    audit: AuditObserver,
+    report: ScenarioReport,
+    /// Reused across rounds; steady-state deletions allocate nothing.
+    ctx: DeletionContext,
+    /// Sanitized-batch scratch, reused across batch events.
+    batch: Vec<NodeId>,
+    /// Events in a row that changed nothing (see [`NO_PROGRESS_LIMIT`]).
+    consecutive_noops: u64,
+}
+
+/// How many consecutive sanitized no-op events (dead victims, skipped
+/// joins) the engine tolerates before panicking. Finite scripted
+/// schedules with stale references stay well under this; only an event
+/// source stuck in a loop — e.g. an adversary with the classic
+/// pick-a-dead-node bug, which the legacy engine caught with a panic —
+/// can reach it, and a loud failure beats a silent infinite
+/// `run_to_empty`.
+pub const NO_PROGRESS_LIMIT: u64 = 4096;
+
+impl<H: Healer, S: EventSource> ScenarioEngine<H, S> {
+    /// New engine with auditing off.
+    pub fn new(net: HealingNetwork, healer: H, source: S) -> Self {
+        let preserves_forest = healer.preserves_forest();
+        ScenarioEngine {
+            net,
+            healer,
+            source,
+            audit: AuditObserver::new(AuditLevel::Off, preserves_forest),
+            report: ScenarioReport::default(),
+            ctx: DeletionContext::default(),
+            batch: Vec::new(),
+            consecutive_noops: 0,
+        }
+    }
+
+    /// Enable invariant auditing (implemented as an embedded
+    /// [`AuditObserver`] whose findings drain into the report).
+    pub fn with_audit(mut self, level: AuditLevel) -> Self {
+        self.audit = AuditObserver::new(level, self.healer.preserves_forest());
+        self
+    }
+
+    /// The healer's name.
+    pub fn healer_name(&self) -> &'static str {
+        self.healer.name()
+    }
+
+    /// The event source's name.
+    pub fn source_name(&self) -> &'static str {
+        self.source.name()
+    }
+
+    /// The report accumulated so far (per-node maxima are only refreshed
+    /// by the run methods' final scan).
+    pub fn report(&self) -> &ScenarioReport {
+        &self.report
+    }
+
+    /// Consume and apply one event; `None` when the source is exhausted.
+    pub fn step(&mut self) -> Option<EventRecord> {
+        self.step_with(&mut NullObserver)
+    }
+
+    /// [`ScenarioEngine::step`] with an external observer.
+    pub fn step_with(&mut self, observer: &mut dyn Observer) -> Option<EventRecord> {
+        let event = self.source.next_event(&self.net)?;
+        Some(self.apply_with(event, observer))
+    }
+
+    /// Apply one externally supplied event (bypassing the source).
+    pub fn apply(&mut self, event: NetworkEvent) -> EventRecord {
+        self.apply_with(event, &mut NullObserver)
+    }
+
+    /// [`ScenarioEngine::apply`] with an external observer.
+    ///
+    /// # Panics
+    /// Panics after [`NO_PROGRESS_LIMIT`] consecutive no-op events — the
+    /// signature of an event source stuck on dead nodes (the bug the
+    /// legacy engine's "adversary picked a dead node" panic caught).
+    pub fn apply_with(&mut self, event: NetworkEvent, observer: &mut dyn Observer) -> EventRecord {
+        self.report.events += 1;
+        let record = match event {
+            NetworkEvent::Delete(v) => self.apply_delete(v),
+            NetworkEvent::DeleteBatch(victims) => self.apply_batch(&victims),
+            NetworkEvent::Join { neighbors } => self.apply_join(&neighbors),
+        };
+        if record.victims == 0 && record.joined.is_none() {
+            self.consecutive_noops += 1;
+            assert!(
+                self.consecutive_noops < NO_PROGRESS_LIMIT,
+                "event source '{}' made no progress for {NO_PROGRESS_LIMIT} \
+                 consecutive events — adversary picked a dead node?",
+                self.source.name()
+            );
+        } else {
+            self.consecutive_noops = 0;
+        }
+        observer.on_event(&self.net, &record);
+        self.audit.on_event(&self.net, &record);
+        self.report.violations.append(&mut self.audit.violations);
+        record
+    }
+
+    /// Run until the source stops (for kill-sweeps: the network is empty).
+    pub fn run_to_empty(&mut self) -> ScenarioReport {
+        self.run_to_empty_with(&mut NullObserver)
+    }
+
+    /// [`ScenarioEngine::run_to_empty`] with an external observer.
+    pub fn run_to_empty_with(&mut self, observer: &mut dyn Observer) -> ScenarioReport {
+        while self.step_with(observer).is_some() {}
+        self.finalize()
+    }
+
+    /// Run at most `k` further events.
+    pub fn run_events(&mut self, k: u64) -> ScenarioReport {
+        self.run_events_with(k, &mut NullObserver)
+    }
+
+    /// [`ScenarioEngine::run_events`] with an external observer.
+    pub fn run_events_with(&mut self, k: u64, observer: &mut dyn Observer) -> ScenarioReport {
+        for _ in 0..k {
+            if self.step_with(observer).is_none() {
+                break;
+            }
+        }
+        self.finalize()
+    }
+
+    /// Finalize and return the report: per-node maxima (id changes /
+    /// traffic) are refreshed with a full scan over all node slots so
+    /// nodes that were never RT members are included. The run methods
+    /// call this automatically; callers driving [`ScenarioEngine::step`]
+    /// manually call it once at the end.
+    pub fn finish(&mut self) -> ScenarioReport {
+        self.finalize()
+    }
+
+    /// Final report. Per-node maxima (id changes / traffic) are refreshed
+    /// with a full scan over all node slots so nodes that were never RT
+    /// members are included.
+    fn finalize(&mut self) -> ScenarioReport {
+        for i in 0..self.net.graph().node_bound() {
+            let v = NodeId::from_index(i);
+            self.report.max_id_changes = self.report.max_id_changes.max(self.net.id_changes(v));
+            self.report.max_traffic = self.report.max_traffic.max(self.net.traffic(v));
+        }
+        self.report.clone()
+    }
+
+    /// Accounting shared by every heal: totals, RT-member maxima, and the
+    /// running `max_delta_ever` (only RT members can gain degree in a
+    /// round, so the running max over rounds equals the global max).
+    fn account_heal(
+        &mut self,
+        rt_members: &[NodeId],
+        propagation: PropagationReport,
+        edges_added: usize,
+        round_max_delta: Option<i64>,
+    ) {
+        self.report.total_messages += propagation.messages;
+        self.report.total_edges_added += edges_added as u64;
+        self.report.total_propagation_latency += propagation.latency;
+        self.report.max_propagation_latency =
+            self.report.max_propagation_latency.max(propagation.latency);
+        if let Some(d) = round_max_delta {
+            self.report.max_delta_ever = self.report.max_delta_ever.max(d);
+        }
+        for &v in rt_members {
+            self.report.max_id_changes = self.report.max_id_changes.max(self.net.id_changes(v));
+            self.report.max_traffic = self.report.max_traffic.max(self.net.traffic(v));
+        }
+    }
+
+    fn apply_delete(&mut self, v: NodeId) -> EventRecord {
+        let mut record =
+            EventRecord::empty(self.report.events, self.report.rounds, EventKind::Delete);
+        record.deleted = Some(v);
+        if !self.net.is_alive(v) {
+            return record;
+        }
+        self.report.rounds += 1;
+        self.report.deletions += 1;
+        record.round = self.report.rounds;
+        record.victims = 1;
+        self.net
+            .delete_node_into(v, &mut self.ctx)
+            .expect("liveness checked above");
+        let outcome = self.healer.heal(&mut self.net, &self.ctx);
+        let propagation = if self.healer.needs_id_propagation() {
+            self.net.propagate_min_id(&outcome.rt_members)
+        } else {
+            PropagationReport::default()
+        };
+        let round_max_delta = outcome.rt_members.iter().map(|&m| self.net.delta(m)).max();
+        self.account_heal(
+            &outcome.rt_members,
+            propagation,
+            outcome.edges_added.len(),
+            round_max_delta,
+        );
+        record.rt_size = outcome.rt_members.len();
+        record.edges_added = outcome.edges_added.len();
+        record.surrogate = outcome.surrogate;
+        record.propagation = propagation;
+        record.round_max_delta = round_max_delta;
+        record
+    }
+
+    fn apply_batch(&mut self, victims: &[NodeId]) -> EventRecord {
+        let mut record = EventRecord::empty(
+            self.report.events,
+            self.report.rounds,
+            EventKind::DeleteBatch,
+        );
+        // Sanitize into an independent set: keep each victim only if it is
+        // alive and neither a duplicate of nor adjacent to an earlier kept
+        // victim (paper footnote 1's NoN-knowledge condition).
+        self.batch.clear();
+        for &v in victims {
+            if self.net.is_alive(v)
+                && !self.batch.contains(&v)
+                && self.batch.iter().all(|&u| !self.net.graph().has_edge(u, v))
+            {
+                self.batch.push(v);
+            }
+        }
+        if self.batch.is_empty() {
+            return record;
+        }
+        self.report.rounds += 1;
+        self.report.deletions += self.batch.len() as u64;
+        record.round = self.report.rounds;
+        record.victims = self.batch.len();
+        // Simultaneous semantics: capture every victim's context before
+        // any healing, then heal per victim in order (exactly the folded
+        // batch::heal_batch path, so there is one accounting rule). The
+        // sanitize pass above already proved independence, so skip
+        // delete_independent_batch's second O(k²) validation.
+        let contexts = delete_validated_batch(&mut self.net, &self.batch);
+        let outcome = heal_batch(&mut self.net, &mut self.healer, &contexts);
+        // Per-member maxima fold into this single pass (account_heal gets
+        // an empty member slice) so batch events allocate nothing extra.
+        let mut round_max_delta: Option<i64> = None;
+        let mut rt_size = 0;
+        let mut edges_added = 0;
+        for o in &outcome.outcomes {
+            rt_size += o.rt_members.len();
+            edges_added += o.edges_added.len();
+            for &m in &o.rt_members {
+                let d = self.net.delta(m);
+                round_max_delta = Some(round_max_delta.map_or(d, |cur: i64| cur.max(d)));
+                self.report.max_id_changes = self.report.max_id_changes.max(self.net.id_changes(m));
+                self.report.max_traffic = self.report.max_traffic.max(self.net.traffic(m));
+            }
+        }
+        self.account_heal(&[], outcome.propagation, edges_added, round_max_delta);
+        record.rt_size = rt_size;
+        record.edges_added = edges_added;
+        record.propagation = outcome.propagation;
+        record.round_max_delta = round_max_delta;
+        record
+    }
+
+    fn apply_join(&mut self, neighbors: &[NodeId]) -> EventRecord {
+        let mut record =
+            EventRecord::empty(self.report.events, self.report.rounds, EventKind::Join);
+        // Sanitize: drop dead targets and duplicates, preserving order.
+        self.batch.clear();
+        for &u in neighbors {
+            if self.net.is_alive(u) && !self.batch.contains(&u) {
+                self.batch.push(u);
+            }
+        }
+        if self.batch.is_empty() && !neighbors.is_empty() {
+            // Every requested attachment died: skip rather than create an
+            // accidental isolated component.
+            return record;
+        }
+        let joined = self
+            .net
+            .join_node(&self.batch)
+            .expect("sanitized join targets are alive and distinct");
+        self.report.joins += 1;
+        record.joined = Some(joined);
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{MaxNode, NeighborOfMax, Scripted};
+    use crate::dash::Dash;
+    use crate::engine::Engine;
+    use crate::naive::NoHeal;
+    use crate::sdash::Sdash;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selfheal_graph::components::is_connected;
+    use selfheal_graph::forest::is_forest;
+    use selfheal_graph::generators::{barabasi_albert, cycle_graph, path_graph};
+
+    fn ba_net(n: usize, seed: u64) -> HealingNetwork {
+        let g = barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
+        HealingNetwork::new(g, seed)
+    }
+
+    #[test]
+    fn adversary_adapter_matches_legacy_engine_exactly() {
+        let mut legacy = Engine::new(ba_net(48, 5), Dash, NeighborOfMax::new(5));
+        let mut unified = ScenarioEngine::new(ba_net(48, 5), Dash, NeighborOfMax::new(5));
+        let old = legacy.run_to_empty();
+        let new = unified.run_to_empty();
+        assert_eq!(new.rounds, old.rounds);
+        assert_eq!(new.deletions, old.rounds);
+        assert_eq!(new.max_delta_ever, old.max_delta_ever);
+        assert_eq!(new.max_id_changes, old.max_id_changes);
+        assert_eq!(new.max_traffic, old.max_traffic);
+        assert_eq!(new.total_messages, old.total_messages);
+        assert_eq!(new.total_edges_added, old.total_edges_added);
+        assert_eq!(new.total_propagation_latency, old.total_propagation_latency);
+        assert_eq!(new.max_propagation_latency, old.max_propagation_latency);
+    }
+
+    #[test]
+    fn dash_survives_full_audit_to_empty() {
+        let engine = ScenarioEngine::new(ba_net(48, 5), Dash, MaxNode).with_audit(AuditLevel::Full);
+        let report = { engine }.run_to_empty();
+        assert_eq!(report.rounds, 48);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.max_delta_ever as f64 <= 2.0 * 48f64.log2());
+    }
+
+    #[test]
+    fn no_heal_audit_detects_disconnection() {
+        let mut engine =
+            ScenarioEngine::new(ba_net(32, 3), NoHeal, MaxNode).with_audit(AuditLevel::Cheap);
+        let report = engine.run_to_empty();
+        assert!(
+            !report.violations.is_empty(),
+            "NoHeal must break connectivity"
+        );
+    }
+
+    #[test]
+    fn dead_delete_events_are_noops() {
+        let mut engine = ScenarioEngine::new(
+            HealingNetwork::new(path_graph(3), 1),
+            Dash,
+            ScriptedEvents::new(vec![
+                NetworkEvent::Delete(NodeId(1)),
+                NetworkEvent::Delete(NodeId(1)), // already dead
+                NetworkEvent::Delete(NodeId(9)), // out of range... NodeId(9) is out of bounds
+            ]),
+        );
+        let rec = engine.step().unwrap();
+        assert_eq!(rec.victims, 1);
+        let rec = engine.step().unwrap();
+        assert_eq!(rec.victims, 0);
+        assert_eq!(rec.round_max_delta, None);
+        let rec = engine.step().unwrap();
+        assert_eq!(rec.victims, 0);
+        let report = engine.run_to_empty();
+        assert_eq!(report.events, 3);
+        assert_eq!(report.rounds, 1);
+        assert_eq!(report.deletions, 1);
+    }
+
+    #[test]
+    fn batch_events_fold_the_batch_path() {
+        // Alternating cycle deletions: a maximal independent set.
+        let victims: Vec<NodeId> = (0..10).step_by(2).map(NodeId).collect();
+        let mut engine = ScenarioEngine::new(
+            HealingNetwork::new(cycle_graph(10), 2),
+            Dash,
+            ScriptedEvents::new(vec![NetworkEvent::DeleteBatch(victims)]),
+        );
+        let rec = engine.step().unwrap();
+        assert_eq!(rec.kind, EventKind::DeleteBatch);
+        assert_eq!(rec.victims, 5);
+        assert!(rec.round_max_delta.is_some());
+        assert!(is_connected(engine.net.graph()));
+        assert!(is_forest(engine.net.healing_graph()));
+        let report = engine.run_to_empty();
+        assert_eq!(report.rounds, 1);
+        assert_eq!(report.deletions, 5);
+    }
+
+    #[test]
+    fn batch_sanitization_drops_adjacent_dead_and_duplicate_victims() {
+        let mut engine = ScenarioEngine::new(
+            HealingNetwork::new(path_graph(6), 3),
+            Dash,
+            ScriptedEvents::new(vec![
+                NetworkEvent::Delete(NodeId(5)),
+                // 5 is dead, 1 duplicates, 2 is adjacent to kept 1.
+                NetworkEvent::DeleteBatch(vec![
+                    NodeId(5),
+                    NodeId(1),
+                    NodeId(1),
+                    NodeId(2),
+                    NodeId(3),
+                ]),
+            ]),
+        );
+        engine.step().unwrap();
+        let rec = engine.step().unwrap();
+        assert_eq!(rec.victims, 2); // 1 and 3 survive sanitization
+        assert!(!engine.net.is_alive(NodeId(1)));
+        assert!(engine.net.is_alive(NodeId(2)));
+        assert!(!engine.net.is_alive(NodeId(3)));
+    }
+
+    #[test]
+    fn join_events_create_and_skip_correctly() {
+        let mut engine = ScenarioEngine::new(
+            HealingNetwork::new(path_graph(3), 1),
+            Dash,
+            ScriptedEvents::new(vec![
+                NetworkEvent::Join {
+                    neighbors: vec![NodeId(0), NodeId(0), NodeId(2)],
+                },
+                NetworkEvent::Delete(NodeId(3)),
+                NetworkEvent::Join {
+                    neighbors: vec![NodeId(3)], // now dead: join skipped
+                },
+            ]),
+        );
+        let rec = engine.step().unwrap();
+        assert_eq!(rec.kind, EventKind::Join);
+        let joined = rec.joined.unwrap();
+        assert_eq!(engine.net.graph().degree(joined), 2);
+        let rec = engine.step().unwrap();
+        assert_eq!(rec.victims, 1);
+        let rec = engine.step().unwrap();
+        assert_eq!(rec.joined, None);
+        let report = engine.run_to_empty();
+        assert_eq!(report.joins, 1);
+        assert_eq!(report.rounds, 1);
+    }
+
+    /// A source stuck on dead nodes must fail loudly, not hang
+    /// `run_to_empty` — the unified-engine version of the legacy
+    /// "adversary picked a dead node" panic.
+    #[test]
+    #[should_panic(expected = "made no progress")]
+    fn run_to_empty_panics_on_a_no_progress_source() {
+        struct StuckOnDead;
+        impl Adversary for StuckOnDead {
+            fn name(&self) -> &'static str {
+                "stuck-on-dead"
+            }
+            fn pick(&mut self, _net: &HealingNetwork) -> Option<NodeId> {
+                Some(NodeId(0))
+            }
+        }
+        let mut engine = ScenarioEngine::new(ba_net(8, 4), Dash, StuckOnDead);
+        engine.run_to_empty();
+    }
+
+    #[test]
+    fn observers_see_every_event() {
+        let mut log = RecordLog::default();
+        let mut engine = ScenarioEngine::new(ba_net(12, 7), Dash, MaxNode);
+        let report = engine.run_to_empty_with(&mut log);
+        assert_eq!(log.records.len(), report.events as usize);
+        assert_eq!(report.rounds, 12);
+        for (i, rec) in log.records.iter().enumerate() {
+            assert_eq!(rec.event, i as u64 + 1);
+            assert_eq!(rec.kind, EventKind::Delete);
+        }
+    }
+
+    #[test]
+    fn closure_observers_work() {
+        let mut seen = 0u64;
+        let mut engine = ScenarioEngine::new(ba_net(8, 1), Dash, MaxNode);
+        engine.run_to_empty_with(&mut |_net: &HealingNetwork, _rec: &EventRecord| seen += 1);
+        assert_eq!(seen, 8);
+    }
+
+    #[test]
+    fn run_events_stops_early() {
+        let mut engine = ScenarioEngine::new(ba_net(20, 2), Dash, MaxNode);
+        let report = engine.run_events(5);
+        assert_eq!(report.rounds, 5);
+        assert_eq!(engine.net.graph().live_node_count(), 15);
+    }
+
+    #[test]
+    fn churn_source_keeps_sdash_invariants() {
+        let mut engine = ScenarioEngine::new(ba_net(48, 9), Sdash, RandomChurn::new(9))
+            .with_audit(AuditLevel::Cheap);
+        // Deletions outpace joins 2:1, so the run may drain the network
+        // slightly before the event budget; both endings are valid.
+        let report = engine.run_events(60);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.joins > 0, "churn should have produced joins");
+        assert!(report.deletions > 0);
+        assert!(report.events <= 60);
+    }
+
+    #[test]
+    fn scripted_run_is_reproducible() {
+        let run = || {
+            let mut engine =
+                ScenarioEngine::new(ba_net(24, 9), Dash, Scripted::new((0..24u32).map(NodeId)));
+            let r = engine.run_to_empty();
+            (
+                r.rounds,
+                r.max_delta_ever,
+                r.total_messages,
+                r.total_edges_added,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn report_amortized_latency() {
+        let mut engine = ScenarioEngine::new(ba_net(40, 13), Dash, MaxNode);
+        let report = engine.run_to_empty();
+        assert!(report.amortized_latency() >= 0.0);
+        assert!(report.max_propagation_latency >= 1);
+        assert_eq!(ScenarioReport::default().amortized_latency(), 0.0);
+    }
+}

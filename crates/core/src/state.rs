@@ -33,6 +33,20 @@ pub struct DeletionContext {
     pub gprime_neighbors: Vec<NodeId>,
 }
 
+impl Default for DeletionContext {
+    /// An empty context suitable as a reusable buffer for
+    /// [`HealingNetwork::delete_node_into`]; fields are meaningless until
+    /// a deletion fills them.
+    fn default() -> Self {
+        DeletionContext {
+            deleted: NodeId(u32::MAX),
+            deleted_comp_id: u64::MAX,
+            g_neighbors: Vec::new(),
+            gprime_neighbors: Vec::new(),
+        }
+    }
+}
+
 /// Outcome of one ID-propagation broadcast (Algorithm 1, step 5).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PropagationReport {
@@ -43,6 +57,58 @@ pub struct PropagationReport {
     /// Hops of broadcast latency (max `G'` BFS depth at which a change
     /// happened; 0 when nothing changed).
     pub latency: u64,
+}
+
+impl PropagationReport {
+    /// Fold another broadcast of the **same healing round** into this one.
+    ///
+    /// Semantics (shared by the engine's batch arm and
+    /// [`crate::batch::heal_batch`]): broadcasts triggered by one round
+    /// proceed in parallel, so `changed` and `messages` add while
+    /// `latency` takes the maximum. Latencies of *different* rounds are
+    /// sequential and are summed by the run report
+    /// (`total_propagation_latency`), never merged here.
+    pub fn merge(&mut self, other: PropagationReport) {
+        self.changed += other.changed;
+        self.messages += other.messages;
+        self.latency = self.latency.max(other.latency);
+    }
+}
+
+/// Reusable buffers for [`HealingNetwork::propagate_min_id`]'s multi-source
+/// BFS. `stamp[v] == epoch` marks `v` as visited in the current broadcast,
+/// so nothing is cleared between rounds — a fresh epoch invalidates every
+/// old entry in O(1), and the vectors/queue keep their capacity. This is
+/// what makes steady-state broadcast rounds allocation-free.
+#[derive(Clone, Debug, Default)]
+struct PropagationScratch {
+    epoch: u32,
+    stamp: Vec<u32>,
+    depth: Vec<u32>,
+    queue: std::collections::VecDeque<NodeId>,
+    reached: Vec<NodeId>,
+}
+
+impl PropagationScratch {
+    /// Start a new broadcast: grow to `n` slots if the network gained
+    /// nodes, advance the epoch (recycling stamps on the rare wrap), and
+    /// clear the queue/reached buffers without releasing capacity.
+    fn begin(&mut self, n: usize) -> u32 {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.depth.resize(n, 0);
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.stamp.fill(0);
+                1
+            }
+        };
+        self.queue.clear();
+        self.reached.clear();
+        self.epoch
+    }
 }
 
 /// The mutable state of a self-healing simulation.
@@ -67,6 +133,7 @@ pub struct HealingNetwork {
     msgs_sent: Vec<u64>,
     msgs_recv: Vec<u64>,
     prop_latency_total: u64,
+    scratch: PropagationScratch,
 }
 
 impl HealingNetwork {
@@ -102,6 +169,7 @@ impl HealingNetwork {
             msgs_sent: vec![0; n],
             msgs_recv: vec![0; n],
             prop_latency_total: 0,
+            scratch: PropagationScratch::default(),
         }
     }
 
@@ -249,13 +317,33 @@ impl HealingNetwork {
     /// # Errors
     /// Fails if `v` is dead or out of range.
     pub fn delete_node(&mut self, v: NodeId) -> Result<DeletionContext, GraphError> {
+        let mut ctx = DeletionContext::default();
+        self.delete_node_into(v, &mut ctx)?;
+        Ok(ctx)
+    }
+
+    /// [`HealingNetwork::delete_node`] writing into a caller-owned
+    /// [`DeletionContext`], reusing its neighbor buffers. The scenario
+    /// engine keeps one context alive across rounds so steady-state
+    /// deletions allocate nothing here.
+    ///
+    /// # Errors
+    /// Fails (leaving the network untouched) if `v` is dead or out of
+    /// range.
+    pub fn delete_node_into(
+        &mut self,
+        v: NodeId,
+        ctx: &mut DeletionContext,
+    ) -> Result<(), GraphError> {
         self.g.check_alive(v)?;
-        let deleted_comp_id = self.comp_id[v.index()];
-        let gprime_neighbors = self.gp.remove_node(v)?;
-        let g_neighbors = self.g.remove_node(v)?;
-        let heir = gprime_neighbors
+        ctx.deleted = v;
+        ctx.deleted_comp_id = self.comp_id[v.index()];
+        self.gp.remove_node_into(v, &mut ctx.gprime_neighbors)?;
+        self.g.remove_node_into(v, &mut ctx.g_neighbors)?;
+        let heir = ctx
+            .gprime_neighbors
             .first()
-            .or_else(|| g_neighbors.first())
+            .or_else(|| ctx.g_neighbors.first())
             .copied();
         let w = std::mem::take(&mut self.weight[v.index()]);
         match heir {
@@ -263,12 +351,7 @@ impl HealingNetwork {
             None => self.weight_lost += w,
         }
         self.deletions += 1;
-        Ok(DeletionContext {
-            deleted: v,
-            deleted_comp_id,
-            g_neighbors,
-            gprime_neighbors,
-        })
+        Ok(())
     }
 
     /// Add a healing edge: ensure it exists in `G` and record it in `G'`.
@@ -293,44 +376,43 @@ impl HealingNetwork {
     /// change occurred.
     pub fn propagate_min_id(&mut self, seeds: &[NodeId]) -> PropagationReport {
         let mut report = PropagationReport::default();
-        let live_seeds: Vec<NodeId> = seeds
-            .iter()
-            .copied()
-            .filter(|&s| self.gp.is_alive(s))
-            .collect();
-        if live_seeds.is_empty() {
-            return report;
-        }
-        // Multi-source BFS over G' from the reconstruction tree.
-        let mut depth = vec![u32::MAX; self.gp.node_bound()];
-        let mut queue = std::collections::VecDeque::new();
-        let mut reached: Vec<NodeId> = Vec::new();
-        for &s in &live_seeds {
-            if depth[s.index()] == u32::MAX {
-                depth[s.index()] = 0;
-                queue.push_back(s);
+        // Multi-source BFS over G' from the reconstruction tree, on
+        // epoch-stamped scratch buffers: zero heap allocation at steady
+        // state (the buffers only grow when the network does).
+        let scratch = &mut self.scratch;
+        let epoch = scratch.begin(self.gp.node_bound());
+        for &s in seeds {
+            if self.gp.is_alive(s) && scratch.stamp[s.index()] != epoch {
+                scratch.stamp[s.index()] = epoch;
+                scratch.depth[s.index()] = 0;
+                scratch.queue.push_back(s);
             }
         }
-        while let Some(v) = queue.pop_front() {
-            reached.push(v);
+        if scratch.queue.is_empty() {
+            return report;
+        }
+        while let Some(v) = scratch.queue.pop_front() {
+            scratch.reached.push(v);
             for &u in self.gp.neighbors(v) {
-                if depth[u.index()] == u32::MAX {
-                    depth[u.index()] = depth[v.index()] + 1;
-                    queue.push_back(u);
+                if scratch.stamp[u.index()] != epoch {
+                    scratch.stamp[u.index()] = epoch;
+                    scratch.depth[u.index()] = scratch.depth[v.index()] + 1;
+                    scratch.queue.push_back(u);
                 }
             }
         }
-        let min_id = reached
+        let min_id = scratch
+            .reached
             .iter()
             .map(|&v| self.comp_id[v.index()])
             .min()
             .unwrap();
-        for &v in &reached {
+        for &v in &scratch.reached {
             if self.comp_id[v.index()] > min_id {
                 self.comp_id[v.index()] = min_id;
                 self.id_changes[v.index()] += 1;
                 report.changed += 1;
-                report.latency = report.latency.max(depth[v.index()] as u64);
+                report.latency = report.latency.max(scratch.depth[v.index()] as u64);
                 let deg = self.g.degree(v) as u64;
                 self.msgs_sent[v.index()] += deg;
                 report.messages += deg;

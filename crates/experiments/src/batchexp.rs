@@ -8,8 +8,8 @@
 use crate::config::{trial_seed, Scale, BA_ATTACHMENT};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use selfheal_core::batch::{delete_independent_batch, heal_batch, independent_victims};
 use selfheal_core::dash::Dash;
+use selfheal_core::scenario::{DegreeBatches, ScenarioEngine};
 use selfheal_core::state::HealingNetwork;
 use selfheal_graph::components::is_connected;
 use selfheal_graph::generators::barabasi_albert;
@@ -33,28 +33,20 @@ pub struct BatchRow {
 }
 
 /// Run one batched kill-sweep; returns (max delta ever, batch count,
-/// stayed connected).
+/// stayed connected). Driven by the unified [`ScenarioEngine`]: the
+/// [`DegreeBatches`] source emits `DeleteBatch` events of up to `k`
+/// independent victims until the network drains.
 pub fn run_batch_trial(n: usize, k: usize, seed: u64) -> (i64, u64, bool) {
     let g = barabasi_albert(n, BA_ATTACHMENT, &mut StdRng::seed_from_u64(seed));
-    let mut net = HealingNetwork::new(g, seed);
-    let mut dash = Dash;
+    let net = HealingNetwork::new(g, seed);
+    let mut engine = ScenarioEngine::new(net, Dash, DegreeBatches::new(k));
     let mut max_delta = 0i64;
     let mut batches = 0u64;
     let mut connected = true;
-    loop {
-        let victims = independent_victims(&net, k, |v| net.graph().degree(v) as i64);
-        if victims.is_empty() {
-            break;
-        }
-        let contexts = delete_independent_batch(&mut net, &victims).expect("independent set");
-        let outcome = heal_batch(&mut net, &mut dash, &contexts);
+    while let Some(rec) = engine.step() {
         batches += 1;
-        for o in &outcome.outcomes {
-            for &v in &o.rt_members {
-                max_delta = max_delta.max(net.delta(v));
-            }
-        }
-        if !is_connected(net.graph()) {
+        max_delta = max_delta.max(rec.round_max_delta.unwrap_or(0));
+        if !is_connected(engine.net.graph()) {
             connected = false;
             break;
         }

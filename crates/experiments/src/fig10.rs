@@ -19,7 +19,7 @@ use crate::config::{trial_seed, AttackKind, HealerKind, Scale, BA_ATTACHMENT};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use selfheal_core::engine::Engine;
+use selfheal_core::scenario::ScenarioEngine;
 use selfheal_core::state::HealingNetwork;
 use selfheal_graph::generators::barabasi_albert;
 use selfheal_metrics::{Figure, Series, SeriesPoint, StretchBaseline};
@@ -29,7 +29,7 @@ pub fn run_stretch_trial(n: usize, healer: HealerKind, seed: u64) -> f64 {
     let g = barabasi_albert(n, BA_ATTACHMENT, &mut StdRng::seed_from_u64(seed));
     let baseline = StretchBaseline::new(&g, 1);
     let net = HealingNetwork::new(g, seed);
-    let mut engine = Engine::new(net, healer.build(), AttackKind::MaxNode.build(seed));
+    let mut engine = ScenarioEngine::new(net, healer.build(), AttackKind::MaxNode.build(seed));
     let sample_every = (n / 16).max(1) as u64;
     let mut max_stretch = 1.0f64;
     let mut rounds = 0u64;

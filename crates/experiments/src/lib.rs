@@ -31,6 +31,7 @@ pub mod fig10;
 pub mod fig8;
 pub mod fig9;
 pub mod lowerbound;
+pub mod observe;
 pub mod render;
 pub mod runner;
 pub mod theorem1;

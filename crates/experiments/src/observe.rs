@@ -1,0 +1,95 @@
+//! Observer-fed metric collection: plug a [`TimelineObserver`] into a
+//! [`ScenarioEngine`](selfheal_core::scenario::ScenarioEngine) run and get
+//! per-event [`Series`] out — the bridge between the core `Observer` hook
+//! and the metrics layer's figure containers.
+
+use selfheal_core::scenario::{EventRecord, Observer};
+use selfheal_core::state::HealingNetwork;
+use selfheal_metrics::{Figure, Series, SeriesPoint};
+
+/// Collects one point per event for the quantities the paper's analysis
+/// tracks round by round: reconstruction-set size, broadcast messages,
+/// broadcast latency, and the RT max `δ` (when the event healed anything).
+#[derive(Clone, Debug)]
+pub struct TimelineObserver {
+    /// RT size per event.
+    pub rt_size: Series,
+    /// ID-broadcast messages per event.
+    pub messages: Series,
+    /// ID-broadcast latency per event.
+    pub latency: Series,
+    /// Max `δ` over the event's RT members (skips no-op events/joins).
+    pub max_delta: Series,
+}
+
+impl Default for TimelineObserver {
+    fn default() -> Self {
+        TimelineObserver {
+            rt_size: Series::new("rt-size"),
+            messages: Series::new("messages"),
+            latency: Series::new("latency"),
+            max_delta: Series::new("rt-max-delta"),
+        }
+    }
+}
+
+impl TimelineObserver {
+    /// Fresh, empty timelines.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Package the timelines as one figure (x = event number).
+    pub fn into_figure(self, title: impl Into<String>) -> Figure {
+        let mut fig = Figure::new(title, "event", "per-event value");
+        fig.push(self.rt_size);
+        fig.push(self.messages);
+        fig.push(self.latency);
+        fig.push(self.max_delta);
+        fig
+    }
+}
+
+impl Observer for TimelineObserver {
+    fn on_event(&mut self, _net: &HealingNetwork, rec: &EventRecord) {
+        let x = rec.event as f64;
+        self.rt_size
+            .push(SeriesPoint::single(x, rec.rt_size as f64));
+        self.messages
+            .push(SeriesPoint::single(x, rec.propagation.messages as f64));
+        self.latency
+            .push(SeriesPoint::single(x, rec.propagation.latency as f64));
+        if let Some(d) = rec.round_max_delta {
+            self.max_delta.push(SeriesPoint::single(x, d as f64));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selfheal_core::attack::MaxNode;
+    use selfheal_core::dash::Dash;
+    use selfheal_core::scenario::ScenarioEngine;
+    use selfheal_graph::generators::barabasi_albert;
+
+    #[test]
+    fn timeline_tracks_every_event() {
+        let n = 32;
+        let g = barabasi_albert(n, 3, &mut StdRng::seed_from_u64(8));
+        let net = HealingNetwork::new(g, 8);
+        let mut engine = ScenarioEngine::new(net, Dash, MaxNode);
+        let mut timeline = TimelineObserver::new();
+        let report = engine.run_to_empty_with(&mut timeline);
+        assert_eq!(timeline.rt_size.points.len(), report.events as usize);
+        assert_eq!(timeline.messages.points.len(), report.events as usize);
+        // Total messages across the timeline equals the report total.
+        let sum: f64 = timeline.messages.points.iter().map(|p| p.mean).sum();
+        assert_eq!(sum as u64, report.total_messages);
+        let fig = timeline.into_figure("timeline");
+        assert!(fig.series_named("rt-size").is_some());
+        assert!(fig.series_named("rt-max-delta").is_some());
+    }
+}

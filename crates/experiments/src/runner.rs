@@ -6,7 +6,7 @@ use crate::config::{trial_seed, AttackKind, HealerKind, BA_ATTACHMENT};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use selfheal_core::engine::Engine;
+use selfheal_core::scenario::ScenarioEngine;
 use selfheal_core::state::HealingNetwork;
 use selfheal_graph::generators::barabasi_albert;
 use selfheal_graph::NodeId;
@@ -45,7 +45,7 @@ pub fn run_trial(n: usize, healer: HealerKind, attack: AttackKind, seed: u64) ->
         .map(|s| s.max)
         .unwrap_or(0);
     let net = HealingNetwork::new(g, seed);
-    let mut engine = Engine::new(net, healer.build(), attack.build(seed ^ 0xA5A5));
+    let mut engine = ScenarioEngine::new(net, healer.build(), attack.build(seed ^ 0xA5A5));
     let report = engine.run_to_empty();
     let net = &engine.net;
     let mut max_msgs_sent = 0u64;

@@ -200,9 +200,24 @@ impl Graph {
     /// Returns the (sorted) list of former neighbors, which is exactly the
     /// set a locality-aware healing algorithm is allowed to rewire.
     pub fn remove_node(&mut self, v: NodeId) -> Result<Vec<NodeId>> {
+        let mut neighbors = Vec::new();
+        self.remove_node_into(v, &mut neighbors)?;
+        Ok(neighbors)
+    }
+
+    /// [`Graph::remove_node`] writing the former neighbors into a
+    /// caller-owned buffer (cleared first), so steady-state deletion loops
+    /// can reuse one allocation across rounds. On error the buffer is left
+    /// cleared and the graph untouched.
+    pub fn remove_node_into(&mut self, v: NodeId, neighbors: &mut Vec<NodeId>) -> Result<()> {
+        neighbors.clear();
         self.check_alive(v)?;
-        let neighbors = std::mem::take(&mut self.adj[v.index()]);
-        for &u in &neighbors {
+        neighbors.extend_from_slice(&self.adj[v.index()]);
+        // Release the dead slot's buffer: tombstoned nodes never come
+        // back, so retaining capacity there would pin O(m) memory over a
+        // run-to-empty sweep.
+        self.adj[v.index()] = Vec::new();
+        for &u in neighbors.iter() {
             let pos = self.adj[u.index()]
                 .binary_search(&v)
                 .expect("asymmetric adjacency detected");
@@ -211,7 +226,7 @@ impl Graph {
         self.edge_count -= neighbors.len();
         self.alive[v.index()] = false;
         self.live_count -= 1;
-        Ok(neighbors)
+        Ok(())
     }
 
     /// Iterator over the ids of all live nodes, in increasing order.

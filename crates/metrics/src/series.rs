@@ -22,6 +22,19 @@ pub struct SeriesPoint {
 }
 
 impl SeriesPoint {
+    /// A single observation at `x` (no spread): the shape observer-fed
+    /// per-event timelines use, where each event contributes one value.
+    pub fn single(x: f64, value: f64) -> Self {
+        SeriesPoint {
+            x,
+            mean: value,
+            std_dev: 0.0,
+            min: value,
+            max: value,
+            trials: 1,
+        }
+    }
+
     /// Aggregate raw per-trial observations at `x`.
     pub fn from_trials(x: f64, values: &[f64]) -> Self {
         let Summary {

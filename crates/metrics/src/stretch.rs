@@ -51,9 +51,13 @@ impl StretchBaseline {
     /// Evaluate the stretch of `healed` (a later state of the same node
     /// universe) using `threads` workers.
     ///
-    /// Returns `None` when some surviving pair is disconnected in the
-    /// healed graph (stretch is undefined/infinite — happens only for
-    /// non-healing strategies) or when fewer than two nodes survive.
+    /// Nodes absent from the baseline (joined after the snapshot, under
+    /// churn) have no original distance and are skipped — stretch is the
+    /// paper's metric over surviving *original* pairs.
+    ///
+    /// Returns `None` when some surviving original pair is disconnected
+    /// in the healed graph (stretch is undefined/infinite — happens only
+    /// for non-healing strategies) or when fewer than two nodes survive.
     pub fn stretch_of(&self, healed: &Graph, threads: usize) -> Option<StretchResult> {
         let hcsr = Csr::from_graph(healed);
         let n = hcsr.len();
@@ -66,12 +70,11 @@ impl StretchBaseline {
             threads,
             (0.0f64, (0usize, 0usize), false),
             |src| {
-                let hdist = hcsr.bfs(src);
                 let orig_src = hcsr.original_id(src);
-                let bsrc = self
-                    .csr
-                    .dense_index(orig_src)
-                    .expect("healed node missing from baseline");
+                let Some(bsrc) = self.csr.dense_index(orig_src) else {
+                    return (0.0, (src, src), false); // joined after baseline
+                };
+                let hdist = hcsr.bfs(src);
                 let bdist = &self.dist[bsrc];
                 let mut best = 0.0f64;
                 let mut witness = (src, src);
@@ -79,14 +82,13 @@ impl StretchBaseline {
                     if j == src {
                         continue;
                     }
+                    let orig_j = hcsr.original_id(j);
+                    let Some(bj) = self.csr.dense_index(orig_j) else {
+                        continue; // joined after baseline
+                    };
                     if dh == UNREACHABLE {
                         return (f64::INFINITY, (src, j), true);
                     }
-                    let orig_j = hcsr.original_id(j);
-                    let bj = self
-                        .csr
-                        .dense_index(orig_j)
-                        .expect("healed node missing from baseline");
                     let d0 = bdist[bj];
                     debug_assert!(d0 != UNREACHABLE && d0 > 0);
                     let ratio = dh as f64 / d0 as f64;
@@ -181,6 +183,21 @@ mod tests {
         let base = StretchBaseline::new(&g, 1);
         assert_eq!(base.original_distance(NodeId(0), NodeId(4)), Some(4));
         assert_eq!(base.original_distance(NodeId(2), NodeId(2)), Some(0));
+    }
+
+    #[test]
+    fn joined_nodes_are_skipped() {
+        // A node added after the baseline snapshot has no original
+        // distances; pairs involving it are excluded from the metric.
+        let g = path_graph(4);
+        let base = StretchBaseline::new(&g, 1);
+        let mut healed = g.clone();
+        let joiner = healed.add_node();
+        healed.add_edge(joiner, NodeId(0)).unwrap();
+        let r = base.stretch_of(&healed, 1).unwrap();
+        assert!((r.stretch - 1.0).abs() < 1e-12);
+        assert_ne!(r.witness.0, joiner);
+        assert_ne!(r.witness.1, joiner);
     }
 
     #[test]

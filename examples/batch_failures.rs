@@ -3,9 +3,10 @@
 //! The paper's exposition deletes one node per round but notes (in its
 //! first footnote) that DASH handles simultaneous deletions as long as
 //! neighbor-of-neighbor knowledge still covers them — i.e. no two
-//! adjacent nodes die together. This example batches independent victim
-//! sets of growing size and shows connectivity and the degree bound
-//! surviving mass failures.
+//! adjacent nodes die together. This example drives `DeleteBatch` events
+//! of growing size through the unified `ScenarioEngine` (a custom
+//! `EventSource` escalates the batch size each wave) and shows
+//! connectivity and the degree bound surviving mass failures.
 //!
 //! ```text
 //! cargo run --release --example batch_failures
@@ -13,15 +14,38 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use selfheal::core::batch::{delete_independent_batch, heal_batch, independent_victims};
+use selfheal::core::batch::independent_victims;
 use selfheal::prelude::*;
+
+/// Escalating disaster: wave `b` kills up to `2^min(b, 6)` independent
+/// victims, ranked by degree (the best-connected racks fail first).
+struct EscalatingFailures {
+    wave: u32,
+}
+
+impl EventSource for EscalatingFailures {
+    fn name(&self) -> &'static str {
+        "escalating-failures"
+    }
+
+    fn next_event(&mut self, net: &HealingNetwork) -> Option<NetworkEvent> {
+        self.wave += 1;
+        let k = 1usize << self.wave.min(6);
+        let victims = independent_victims(net, k, |v| net.graph().degree(v) as i64);
+        if victims.is_empty() {
+            None
+        } else {
+            Some(NetworkEvent::DeleteBatch(victims))
+        }
+    }
+}
 
 fn main() {
     let n = 512;
     let seed = 404;
     let g = generators::barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
-    let mut net = HealingNetwork::new(g, seed);
-    let mut dash = Dash;
+    let net = HealingNetwork::new(g, seed);
+    let mut engine = ScenarioEngine::new(net, Dash, EscalatingFailures { wave: 0 });
     let bound = 2.0 * (n as f64).log2();
 
     println!("network: {n} nodes; killing in growing batches (independent victims)\n");
@@ -30,39 +54,29 @@ fn main() {
         "batch#", "killed", "survivors", "max dδ", "messages"
     );
 
-    let mut batch_no = 0;
-    let mut killed_total = 0;
-    while net.graph().live_node_count() > 0 {
-        batch_no += 1;
-        // Escalating severity: batch b kills up to 2^min(b,6) nodes.
-        let k = 1usize << batch_no.min(6);
-        let victims = independent_victims(&net, k, |v| net.graph().degree(v) as i64);
-        if victims.is_empty() {
-            break;
-        }
-        killed_total += victims.len();
-        let contexts = delete_independent_batch(&mut net, &victims).expect("victims independent");
-        let outcome = heal_batch(&mut net, &mut dash, &contexts);
-
+    while let Some(rec) = engine.step() {
         assert!(
-            selfheal::graph::components::is_connected(net.graph()),
-            "batch {batch_no} disconnected the network"
+            selfheal::graph::components::is_connected(engine.net.graph()),
+            "batch {} disconnected the network",
+            rec.event
         );
-        let max_delta = net.max_delta_alive();
+        let max_delta = engine.net.max_delta_alive();
         assert!((max_delta as f64) <= bound, "degree bound violated");
         println!(
             "{:>7} {:>9} {:>10} {:>10} {:>10}",
-            batch_no,
-            victims.len(),
-            net.graph().live_node_count(),
+            rec.event,
+            rec.victims,
+            engine.net.graph().live_node_count(),
             max_delta,
-            outcome.propagation.messages
+            rec.propagation.messages
         );
     }
 
+    let report = engine.report();
     println!(
-        "\nkilled all {killed_total} nodes across {batch_no} batches; \
-         the network stayed connected after every batch and no node's \
-         degree ever grew beyond 2 log2 n = {bound:.1}."
+        "\nkilled all {} nodes across {} batches; the network stayed \
+         connected after every batch and no node's degree ever grew \
+         beyond 2 log2 n = {bound:.1}.",
+        report.deletions, report.rounds
     );
 }

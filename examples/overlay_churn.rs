@@ -3,8 +3,10 @@
 //! the overlay's self-healing failed for 48 hours).
 //!
 //! We model a supernode overlay as a power-law graph and subject it to a
-//! mixed workload: targeted attacks on well-connected peers interleaved
-//! with random churn, healing with SDASH so that both degrees (supernode
+//! genuinely mixed event stream through the unified `ScenarioEngine`:
+//! targeted attacks on well-connected peers, random leaves, occasional
+//! *joins* of new peers, and a rack-sized simultaneous failure at the end
+//! of every wave — healing with SDASH so that both degrees (supernode
 //! load) and route lengths (call setup latency) stay bounded. After each
 //! wave we report what an operator would watch: connectivity, maximum
 //! peer load, and routing stretch.
@@ -15,31 +17,47 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use selfheal::core::attack::Adversary;
-use selfheal::core::engine::Engine;
+use selfheal::core::batch::independent_victims;
 use selfheal::metrics::StretchBaseline;
 use selfheal::prelude::*;
 
-/// Churn model: alternate bursts of targeted attack (NMS) and random
-/// leave events.
-struct MixedChurn {
+/// Churn model: every 3rd event is a targeted attack (NMS), every 10th a
+/// new peer joining 2–3 existing supernodes, every 50th a simultaneous
+/// 8-peer rack failure; the rest are random leaves.
+struct OverlayChurn {
     targeted: NeighborOfMax,
     random: RandomAttack,
-    round: u64,
+    rng: selfheal::sim::SplitMix64,
+    event: u64,
 }
 
-impl Adversary for MixedChurn {
+impl EventSource for OverlayChurn {
     fn name(&self) -> &'static str {
-        "mixed-churn"
+        "overlay-churn"
     }
 
-    fn pick(&mut self, net: &HealingNetwork) -> Option<NodeId> {
-        self.round += 1;
-        // Every third event is a targeted attack; the rest is churn.
-        if self.round.is_multiple_of(3) {
-            self.targeted.pick(net)
+    fn next_event(&mut self, net: &HealingNetwork) -> Option<NetworkEvent> {
+        self.event += 1;
+        if self.event.is_multiple_of(50) {
+            let rack = independent_victims(net, 8, |v| net.graph().degree(v) as i64);
+            return Some(NetworkEvent::DeleteBatch(rack));
+        }
+        if self.event.is_multiple_of(10) {
+            let live: Vec<NodeId> = net.graph().live_nodes().collect();
+            let k = (2 + self.rng.gen_range(2) as usize).min(live.len());
+            let mut neighbors = Vec::with_capacity(k);
+            while neighbors.len() < k {
+                let cand = *self.rng.choose(&live);
+                if !neighbors.contains(&cand) {
+                    neighbors.push(cand);
+                }
+            }
+            return Some(NetworkEvent::Join { neighbors });
+        }
+        if self.event.is_multiple_of(3) {
+            self.targeted.next_event(net)
         } else {
-            self.random.pick(net)
+            self.random.next_event(net)
         }
     }
 }
@@ -60,18 +78,19 @@ fn main() {
 
     let baseline = StretchBaseline::new(&overlay, 2);
     let net = HealingNetwork::new(overlay, seed);
-    let churn = MixedChurn {
+    let churn = OverlayChurn {
         targeted: NeighborOfMax::new(seed),
         random: RandomAttack::new(seed ^ 0xFF),
-        round: 0,
+        rng: selfheal::sim::SplitMix64::new(seed ^ 0xABCD),
+        event: 0,
     };
-    let mut engine = Engine::new(net, Sdash, churn);
+    let mut engine = ScenarioEngine::new(net, Sdash, churn);
 
-    // Drive five waves of churn, each removing 10% of the original peers.
-    let wave = n / 10;
+    // Drive five waves of churn, each roughly 10% of the original peers.
+    let wave = (n / 10) as u64;
     println!(
-        "\n{:>5} {:>10} {:>10} {:>12} {:>10}",
-        "wave", "peers", "max load", "max d-incr", "stretch"
+        "\n{:>5} {:>10} {:>10} {:>12} {:>10} {:>8}",
+        "wave", "peers", "max load", "max d-incr", "stretch", "joins"
     );
     for w in 1..=5 {
         for _ in 0..wave {
@@ -88,19 +107,24 @@ fn main() {
             .map(|r| format!("{:.2}", r.stretch))
             .unwrap_or_else(|| "-".into());
         println!(
-            "{:>5} {:>10} {:>10} {:>12} {:>10}",
+            "{:>5} {:>10} {:>10} {:>12} {:>10} {:>8}",
             w,
             g.live_node_count(),
             max_load,
             engine.net.max_delta_alive(),
-            stretch
+            stretch,
+            engine.report().joins
         );
     }
 
+    let report = engine.report();
     println!(
-        "\nsurvived 50% churn: overlay still connected, \
-         no peer's degree grew by more than {} (bound: {:.1})",
+        "\nsurvived heavy churn ({} deletions incl. rack failures, {} joins): \
+         overlay still connected, no peer's degree grew by more than {} \
+         (bound: {:.1})",
+        report.deletions,
+        report.joins,
         engine.net.max_delta_alive().max(0),
-        2.0 * (n as f64).log2()
+        2.0 * (engine.net.total_created() as f64).log2()
     );
 }

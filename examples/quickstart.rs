@@ -7,7 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use selfheal::core::engine::AuditLevel;
+use selfheal::core::scenario::AuditLevel;
 use selfheal::prelude::*;
 
 fn main() {
@@ -26,7 +26,8 @@ fn main() {
     // 2. Wrap it in healing state and pit DASH against the strongest
     //    attack the paper found (delete a random neighbor of the hub).
     let net = HealingNetwork::new(graph, seed);
-    let mut engine = Engine::new(net, Dash, NeighborOfMax::new(seed)).with_audit(AuditLevel::Cheap);
+    let mut engine =
+        ScenarioEngine::new(net, Dash, NeighborOfMax::new(seed)).with_audit(AuditLevel::Cheap);
 
     // 3. Let the adversary delete every single node.
     let report = engine.run_to_empty();

@@ -23,9 +23,12 @@
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 //! let graph = generators::barabasi_albert(64, 3, &mut rng);
 //! let net = HealingNetwork::new(graph, 1);
-//! let mut engine = Engine::new(net, Dash, MaxNode).with_audit(AuditLevel::Cheap);
+//! // Any adversary is an event source; scripted schedules can mix
+//! // Delete, DeleteBatch and Join events through the same engine.
+//! let mut engine = ScenarioEngine::new(net, Dash, MaxNode).with_audit(AuditLevel::Cheap);
 //! let report = engine.run_to_empty();
 //! assert!(report.violations.is_empty());
+//! assert_eq!(report.deletions, 64);
 //! ```
 
 pub use selfheal_core as core;
@@ -43,6 +46,11 @@ pub mod prelude {
     pub use selfheal_core::engine::{AuditLevel, Engine, EngineReport};
     pub use selfheal_core::naive::{BinaryTreeHeal, GraphHeal, LineHeal, NoHeal};
     pub use selfheal_core::oracle::OracleDash;
+    pub use selfheal_core::scenario::{
+        AuditObserver, DegreeBatches, EventKind, EventRecord, EventSource, NetworkEvent,
+        NullObserver, Observer, RandomChurn, RecordLog, ScenarioEngine, ScenarioReport,
+        ScriptedEvents,
+    };
     pub use selfheal_core::sdash::Sdash;
     pub use selfheal_core::state::HealingNetwork;
     pub use selfheal_core::strategy::Healer;

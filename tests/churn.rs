@@ -1,8 +1,9 @@
 //! Churn: interleaved joins and adversarial deletions.
 //!
 //! "Reconfigurable" networks gain members as well as losing them. This
-//! suite drives mixed join/delete workloads through DASH and SDASH and
-//! checks that every invariant the paper proves for the delete-only
+//! suite drives mixed join/delete workloads — the [`RandomChurn`] event
+//! source through the unified [`ScenarioEngine`] — against DASH and SDASH
+//! and checks that every invariant the paper proves for the delete-only
 //! model extends to the churn setting (with `n` read as "nodes ever
 //! created").
 
@@ -10,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selfheal_core::dash::Dash;
 use selfheal_core::invariants;
+use selfheal_core::scenario::{RandomChurn, ScenarioEngine};
 use selfheal_core::sdash::Sdash;
 use selfheal_core::state::HealingNetwork;
 use selfheal_core::strategy::Healer;
@@ -17,66 +19,38 @@ use selfheal_graph::components::is_connected;
 use selfheal_graph::forest::is_forest;
 use selfheal_graph::generators::barabasi_albert;
 use selfheal_graph::NodeId;
-use selfheal_sim::SplitMix64;
 
-/// One deterministic churn round: with probability ~1/3 a join (to 1-3
-/// random live nodes), otherwise an attack on a random neighbor of the
-/// busiest node, healed by `healer`.
-fn churn_round<H: Healer>(net: &mut HealingNetwork, healer: &mut H, rng: &mut SplitMix64) {
-    let live: Vec<NodeId> = net.graph().live_nodes().collect();
-    if live.is_empty() {
-        return;
-    }
-    if rng.gen_range(3) == 0 {
-        let k = 1 + rng.gen_range(3) as usize;
-        let mut targets: Vec<NodeId> = Vec::with_capacity(k);
-        for _ in 0..k.min(live.len()) {
-            let cand = *rng.choose(&live);
-            if !targets.contains(&cand) {
-                targets.push(cand);
-            }
-        }
-        net.join_node(&targets).unwrap();
-    } else {
-        let hub = net.graph().max_degree_node().unwrap();
-        let victim = match net.graph().neighbors(hub) {
-            [] => hub,
-            nbrs => *rng.choose(nbrs),
-        };
-        let ctx = net.delete_node(victim).unwrap();
-        let outcome = healer.heal(net, &ctx);
-        net.propagate_min_id(&outcome.rt_members);
-    }
-}
-
-fn run_churn<H: Healer>(mut healer: H, seed: u64, rounds: usize) {
+fn run_churn<H: Healer>(healer: H, seed: u64, rounds: u64) {
     let g = barabasi_albert(48, 3, &mut StdRng::seed_from_u64(seed));
-    let mut net = HealingNetwork::new(g, seed);
-    let mut rng = SplitMix64::new(seed ^ 0xC0FFEE);
+    let net = HealingNetwork::new(g, seed);
+    let mut engine = ScenarioEngine::new(net, healer, RandomChurn::new(seed ^ 0xC0FFEE));
+    let name = engine.healer_name();
     for round in 0..rounds {
-        churn_round(&mut net, &mut healer, &mut rng);
+        if engine.step().is_none() {
+            break;
+        }
+        let net = &engine.net;
         assert!(
             is_connected(net.graph()),
-            "{}: disconnected at churn round {round} (seed {seed})",
-            healer.name()
+            "{name}: disconnected at churn round {round} (seed {seed})"
         );
         assert!(
             is_forest(net.healing_graph()),
-            "{}: G' cycle at churn round {round} (seed {seed})",
-            healer.name()
+            "{name}: G' cycle at churn round {round} (seed {seed})"
         );
         assert!(
-            invariants::weight_conservation_ok(&net),
-            "{}: weight leak at churn round {round}",
-            healer.name()
+            invariants::weight_conservation_ok(net),
+            "{name}: weight leak at churn round {round}"
         );
         let bound = 2.0 * (net.total_created() as f64).log2();
         assert!(
             (net.max_delta_alive() as f64) <= bound,
-            "{}: delta bound broke under churn at round {round}",
-            healer.name()
+            "{name}: delta bound broke under churn at round {round}"
         );
     }
+    let report = engine.report();
+    assert!(report.joins > 0, "{name}: churn produced no joins");
+    assert!(report.deletions > 0, "{name}: churn produced no deletions");
 }
 
 #[test]

@@ -17,6 +17,7 @@ use selfheal_core::attack::{MaxNode, NeighborOfMax};
 use selfheal_core::dash::Dash;
 use selfheal_core::engine::Engine;
 use selfheal_core::levelattack::run_level_attack;
+use selfheal_core::scenario::ScenarioEngine;
 use selfheal_core::sdash::Sdash;
 use selfheal_core::state::HealingNetwork;
 use selfheal_graph::generators::barabasi_albert;
@@ -34,7 +35,7 @@ fn golden_dash_maxnode_sweep() {
             r.total_edges_added,
             r.total_messages
         ),
-        (2, 3, 270, 1206),
+        golden_dash_expected(),
         "DASH/MaxNode golden values changed: {r:?}"
     );
 }
@@ -59,6 +60,11 @@ fn golden_sdash_nms_sweep() {
         golden_sdash_expected(),
         "SDASH/NMS golden values changed: {r:?}"
     );
+}
+
+fn golden_dash_expected() -> (i64, u32, u64, u64) {
+    // Captured from the initial verified implementation (vendored RNG).
+    (2, 3, 270, 1206)
 }
 
 fn golden_sdash_expected() -> (i64, u32, u64, u64) {
@@ -89,4 +95,44 @@ fn golden_graph_generation() {
 
 fn golden_ba_fingerprint() -> u64 {
     79_390
+}
+
+/// The unified event-driven engine must reproduce the legacy goldens
+/// *exactly* — same RNG streams, tie-breaking, and accounting — proving
+/// the refactor changed structure, not behavior.
+#[test]
+fn golden_scenario_engine_matches_legacy_goldens() {
+    let g = barabasi_albert(100, 3, &mut StdRng::seed_from_u64(2008));
+    let mut engine = ScenarioEngine::new(HealingNetwork::new(g, 2008), Dash, MaxNode);
+    let r = engine.run_to_empty();
+    assert_eq!(r.rounds, 100);
+    assert_eq!(r.deletions, 100);
+    assert_eq!(
+        (
+            r.max_delta_ever,
+            r.max_id_changes,
+            r.total_edges_added,
+            r.total_messages
+        ),
+        golden_dash_expected(),
+        "ScenarioEngine diverged from the DASH/MaxNode golden: {r:?}"
+    );
+
+    let g = barabasi_albert(100, 3, &mut StdRng::seed_from_u64(2008));
+    let mut engine = ScenarioEngine::new(
+        HealingNetwork::new(g, 2008),
+        Sdash,
+        NeighborOfMax::new(2008),
+    );
+    let r = engine.run_to_empty();
+    assert_eq!(
+        (
+            r.max_delta_ever,
+            r.max_id_changes,
+            r.total_edges_added,
+            r.total_messages
+        ),
+        golden_sdash_expected(),
+        "ScenarioEngine diverged from the SDASH/NMS golden: {r:?}"
+    );
 }

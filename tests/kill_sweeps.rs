@@ -4,7 +4,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use selfheal_core::engine::{AuditLevel, Engine};
+use selfheal_core::scenario::{AuditLevel, ScenarioEngine};
 use selfheal_core::state::HealingNetwork;
 use selfheal_experiments::config::{AttackKind, HealerKind};
 use selfheal_graph::generators;
@@ -37,8 +37,8 @@ fn every_healer_and_attack_on_every_topology() {
         for healer in HealerKind::figure_set() {
             for attack in attacks {
                 let net = HealingNetwork::new(g.clone(), 42);
-                let mut engine =
-                    Engine::new(net, healer.build(), attack.build(7)).with_audit(AuditLevel::Cheap);
+                let mut engine = ScenarioEngine::new(net, healer.build(), attack.build(7))
+                    .with_audit(AuditLevel::Cheap);
                 let report = engine.run_to_empty();
                 assert_eq!(
                     report.rounds,
@@ -68,8 +68,9 @@ fn full_audit_including_rem_potential_on_small_graphs() {
             continue;
         }
         let net = HealingNetwork::new(g, 7);
-        let mut engine = Engine::new(net, HealerKind::Dash.build(), AttackKind::MaxNode.build(1))
-            .with_audit(AuditLevel::Full);
+        let mut engine =
+            ScenarioEngine::new(net, HealerKind::Dash.build(), AttackKind::MaxNode.build(1))
+                .with_audit(AuditLevel::Full);
         let report = engine.run_to_empty();
         assert!(
             report.violations.is_empty(),
@@ -83,7 +84,7 @@ fn full_audit_including_rem_potential_on_small_graphs() {
 fn dash_rem_potential_on_ba_graph() {
     let g = generators::barabasi_albert(28, 3, &mut StdRng::seed_from_u64(5));
     let net = HealingNetwork::new(g, 5);
-    let mut engine = Engine::new(
+    let mut engine = ScenarioEngine::new(
         net,
         HealerKind::Dash.build(),
         AttackKind::NeighborOfMax.build(5),
@@ -98,7 +99,8 @@ fn isolated_and_tiny_graphs_are_handled() {
     for n in 1..=4 {
         let g = Graph::new(n); // all isolated
         let net = HealingNetwork::new(g, 1);
-        let mut engine = Engine::new(net, HealerKind::Dash.build(), AttackKind::Random.build(3));
+        let mut engine =
+            ScenarioEngine::new(net, HealerKind::Dash.build(), AttackKind::Random.build(3));
         let report = engine.run_to_empty();
         assert_eq!(report.rounds, n as u64);
         assert_eq!(report.max_delta_ever, 0);
@@ -110,7 +112,8 @@ fn sdash_surrogates_at_least_once_on_big_star_sweep() {
     // A star forces an early binary tree; later deletions leave RT sets
     // with large delta spread, where surrogation should fire.
     let net = HealingNetwork::new(generators::star_graph(64), 9);
-    let mut engine = Engine::new(net, HealerKind::Sdash.build(), AttackKind::MaxNode.build(1));
+    let mut engine =
+        ScenarioEngine::new(net, HealerKind::Sdash.build(), AttackKind::MaxNode.build(1));
     let mut surrogated = 0;
     while let Some(rec) = engine.step() {
         if rec.surrogate.is_some() {
@@ -129,7 +132,7 @@ fn healing_edges_are_local_to_deleted_neighborhood() {
     // former neighbors of the deleted node.
     let g = generators::barabasi_albert(40, 3, &mut StdRng::seed_from_u64(21));
     let net = HealingNetwork::new(g, 21);
-    let mut engine = Engine::new(
+    let mut engine = ScenarioEngine::new(
         net,
         HealerKind::Dash.build(),
         AttackKind::NeighborOfMax.build(2),
@@ -138,7 +141,8 @@ fn healing_edges_are_local_to_deleted_neighborhood() {
     loop {
         let before = engine.net.clone();
         let Some(rec) = engine.step() else { break };
-        let former = before.graph().neighbors(rec.deleted).to_vec();
+        let deleted = rec.deleted.expect("adversary events are single deletions");
+        let former = before.graph().neighbors(deleted).to_vec();
         // Edges added this round exist in the new G' but not the old one.
         for v in engine.net.graph().live_nodes() {
             for &u in engine.net.healing_graph().neighbors(v) {
@@ -148,8 +152,7 @@ fn healing_edges_are_local_to_deleted_neighborhood() {
                 if !before.healing_graph().has_edge(v, u) {
                     assert!(
                         former.contains(&v) && former.contains(&u),
-                        "non-local healing edge ({v}, {u}) after deleting {}",
-                        rec.deleted
+                        "non-local healing edge ({v}, {u}) after deleting {deleted}"
                     );
                 }
             }

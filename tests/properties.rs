@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use selfheal_core::engine::{AuditLevel, Engine};
 use selfheal_core::invariants;
+use selfheal_core::scenario::{AuditLevel, ScenarioEngine};
 use selfheal_core::state::HealingNetwork;
 use selfheal_core::strategy::Healer;
 use selfheal_experiments::config::{AttackKind, HealerKind};
@@ -42,7 +42,7 @@ proptest! {
         ];
         let g = generators::barabasi_albert(n, 2, &mut StdRng::seed_from_u64(graph_seed));
         let net = HealingNetwork::new(g, graph_seed);
-        let mut engine = Engine::new(
+        let mut engine = ScenarioEngine::new(
             net,
             healers[healer_idx].build(),
             attacks[attack_idx].build(attack_seed),
@@ -58,7 +58,7 @@ proptest! {
         let n = 64;
         let g = generators::barabasi_albert(n, 3, &mut StdRng::seed_from_u64(graph_seed));
         let net = HealingNetwork::new(g, graph_seed);
-        let mut engine = Engine::new(
+        let mut engine = ScenarioEngine::new(
             net,
             selfheal_core::dash::Dash,
             selfheal_core::attack::NeighborOfMax::new(attack_seed),
@@ -73,7 +73,7 @@ proptest! {
         let n = 24;
         let g = generators::barabasi_albert(n, 2, &mut StdRng::seed_from_u64(seed));
         let net = HealingNetwork::new(g, seed);
-        let mut engine = Engine::new(
+        let mut engine = ScenarioEngine::new(
             net,
             selfheal_core::dash::Dash,
             selfheal_core::attack::RandomAttack::new(seed),
@@ -114,7 +114,7 @@ proptest! {
         let n = 32;
         let g = generators::barabasi_albert(n, 2, &mut StdRng::seed_from_u64(seed));
         let net = HealingNetwork::new(g, seed);
-        let mut engine = Engine::new(
+        let mut engine = ScenarioEngine::new(
             net,
             selfheal_core::sdash::Sdash,
             selfheal_core::attack::RandomAttack::new(seed),
@@ -139,7 +139,7 @@ proptest! {
         let g = generators::barabasi_albert(n, 2, &mut StdRng::seed_from_u64(seed));
         let baseline = StretchBaseline::new(&g, 1);
         let net = HealingNetwork::new(g, seed);
-        let mut engine = Engine::new(
+        let mut engine = ScenarioEngine::new(
             net,
             selfheal_core::dash::Dash,
             selfheal_core::attack::RandomAttack::new(seed),
@@ -189,7 +189,7 @@ proptest! {
         let n = 24;
         let g = generators::barabasi_albert(n, 2, &mut StdRng::seed_from_u64(seed));
         let net = HealingNetwork::new(g, seed);
-        let mut engine = Engine::new(
+        let mut engine = ScenarioEngine::new(
             net,
             selfheal_core::dash::Dash,
             selfheal_core::attack::MaxNode,
@@ -297,7 +297,7 @@ fn manual_rounds_match_engine() {
     let n = 32;
     let g = generators::barabasi_albert(n, 3, &mut StdRng::seed_from_u64(4));
     // Engine path.
-    let mut engine = Engine::new(
+    let mut engine = ScenarioEngine::new(
         HealingNetwork::new(g.clone(), 4),
         selfheal_core::dash::Dash,
         selfheal_core::attack::MaxNode,

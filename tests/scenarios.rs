@@ -1,0 +1,136 @@
+//! Property tests for the unified event-driven engine: arbitrary
+//! interleavings of `Delete`, `DeleteBatch` and `Join` events — including
+//! stale references to nodes that died earlier in the schedule — must
+//! keep the paper's invariants (connectivity of survivors, `G'` forest,
+//! the `δ ≤ 2 log₂ n` bound over nodes-ever-created, and weight
+//! conservation) under both DASH and SDASH, after every single event.
+//!
+//! Schedules are generated blindly from a seeded RNG *without* tracking
+//! liveness, which deliberately exercises the engine's sanitization: dead
+//! victims become no-ops, dependent batches are thinned to independent
+//! sets, and joins whose targets all died are skipped.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfheal_core::dash::Dash;
+use selfheal_core::invariants;
+use selfheal_core::scenario::{EventRecord, NetworkEvent, ScenarioEngine, ScriptedEvents};
+use selfheal_core::sdash::Sdash;
+use selfheal_core::state::HealingNetwork;
+use selfheal_core::strategy::Healer;
+use selfheal_graph::components::is_connected;
+use selfheal_graph::forest::is_forest;
+use selfheal_graph::generators::barabasi_albert;
+use selfheal_graph::NodeId;
+use selfheal_sim::SplitMix64;
+
+/// Build a blind random schedule: ids are drawn from the range of nodes
+/// that *could* exist by that point (initial + joins so far), whether or
+/// not they are still alive.
+fn random_schedule(n: usize, events: usize, seed: u64) -> Vec<NetworkEvent> {
+    let mut rng = SplitMix64::new(seed);
+    let mut created = n as u64;
+    let mut schedule = Vec::with_capacity(events);
+    for _ in 0..events {
+        let any_node = |rng: &mut SplitMix64, created: u64| NodeId(rng.gen_range(created) as u32);
+        match rng.gen_range(6) {
+            0..=2 => schedule.push(NetworkEvent::Delete(any_node(&mut rng, created))),
+            3 | 4 => {
+                let k = 2 + rng.gen_range(5) as usize;
+                let victims = (0..k).map(|_| any_node(&mut rng, created)).collect();
+                schedule.push(NetworkEvent::DeleteBatch(victims));
+            }
+            _ => {
+                let k = 1 + rng.gen_range(3) as usize;
+                let neighbors = (0..k).map(|_| any_node(&mut rng, created)).collect();
+                schedule.push(NetworkEvent::Join { neighbors });
+                created += 1;
+            }
+        }
+    }
+    schedule
+}
+
+fn check_schedule<H: Healer>(healer: H, n: usize, events: usize, seed: u64) -> Result<(), String> {
+    let g = barabasi_albert(n, 2, &mut StdRng::seed_from_u64(seed));
+    let net = HealingNetwork::new(g, seed);
+    let schedule = random_schedule(n, events, seed ^ 0x5EED);
+    let mut engine = ScenarioEngine::new(net, healer, ScriptedEvents::new(schedule));
+    let mut failure: Option<String> = None;
+    let mut audit = |net: &HealingNetwork, rec: &EventRecord| {
+        if failure.is_some() {
+            return;
+        }
+        if !is_connected(net.graph()) {
+            failure = Some(format!("event {}: survivors disconnected", rec.event));
+        } else if !is_forest(net.healing_graph()) {
+            failure = Some(format!("event {}: G' is not a forest", rec.event));
+        } else if !invariants::weight_conservation_ok(net) {
+            failure = Some(format!("event {}: weight leaked", rec.event));
+        } else {
+            let bound = 2.0 * (net.total_created() as f64).log2();
+            let max_delta = net.max_delta_alive();
+            if (max_delta as f64) > bound {
+                failure = Some(format!(
+                    "event {}: delta {max_delta} exceeds 2 log2 n = {bound}",
+                    rec.event
+                ));
+            }
+        }
+    };
+    let report = engine.run_to_empty_with(&mut audit);
+    if let Some(f) = failure {
+        return Err(f);
+    }
+    // Node conservation: everything ever created is either deleted or live.
+    let live = engine.net.graph().live_node_count() as u64;
+    if report.deletions + live != engine.net.total_created() as u64 {
+        return Err(format!(
+            "node conservation broke: {} deleted + {live} live != {} created",
+            report.deletions,
+            engine.net.total_created()
+        ));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// DASH holds every invariant for every interleaving.
+    #[test]
+    fn dash_survives_mixed_event_schedules(
+        n in 8usize..40,
+        events in 10usize..80,
+        seed in 0u64..10_000,
+    ) {
+        let result = check_schedule(Dash, n, events, seed);
+        prop_assert!(result.is_ok(), "{:?}", result);
+    }
+
+    /// SDASH (surrogation) holds the same invariants.
+    #[test]
+    fn sdash_survives_mixed_event_schedules(
+        n in 8usize..40,
+        events in 10usize..80,
+        seed in 0u64..10_000,
+    ) {
+        let result = check_schedule(Sdash, n, events, seed);
+        prop_assert!(result.is_ok(), "{:?}", result);
+    }
+
+    /// Replaying the same schedule twice is bit-for-bit reproducible.
+    #[test]
+    fn mixed_schedules_are_reproducible(n in 8usize..32, seed in 0u64..5_000) {
+        let run = || {
+            let g = barabasi_albert(n, 2, &mut StdRng::seed_from_u64(seed));
+            let net = HealingNetwork::new(g, seed);
+            let schedule = random_schedule(n, 40, seed);
+            let mut engine = ScenarioEngine::new(net, Dash, ScriptedEvents::new(schedule));
+            let r = engine.run_to_empty();
+            (r.events, r.rounds, r.deletions, r.joins, r.total_messages, r.total_edges_added)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -4,9 +4,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selfheal_core::attack::{MaxNode, NeighborOfMax};
 use selfheal_core::dash::Dash;
-use selfheal_core::engine::Engine;
 use selfheal_core::levelattack::run_level_attack;
 use selfheal_core::naive::LineHeal;
+use selfheal_core::scenario::ScenarioEngine;
 use selfheal_core::state::HealingNetwork;
 use selfheal_core::strategy::Healer;
 use selfheal_graph::generators;
@@ -20,7 +20,7 @@ fn theorem1_degree_bound_across_sizes() {
         for seed in [1u64, 2, 3] {
             let g = generators::barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
             let net = HealingNetwork::new(g, seed);
-            let mut engine = Engine::new(net, Dash, NeighborOfMax::new(seed));
+            let mut engine = ScenarioEngine::new(net, Dash, NeighborOfMax::new(seed));
             let report = engine.run_to_empty();
             let bound = 2.0 * (n as f64).log2();
             assert!(
@@ -40,7 +40,7 @@ fn theorem1_id_changes_bound() {
     for seed in 0..10u64 {
         let g = generators::barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
         let net = HealingNetwork::new(g, seed);
-        let mut engine = Engine::new(net, Dash, MaxNode);
+        let mut engine = ScenarioEngine::new(net, Dash, MaxNode);
         let report = engine.run_to_empty();
         let bound = 2.0 * (n as f64).ln();
         assert!(
@@ -63,7 +63,7 @@ fn theorem1_message_bound_per_node() {
         let g = generators::barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
         let initial_degrees: Vec<usize> = (0..n).map(|i| g.degree(NodeId::from_index(i))).collect();
         let net = HealingNetwork::new(g, seed);
-        let mut engine = Engine::new(net, Dash, NeighborOfMax::new(seed));
+        let mut engine = ScenarioEngine::new(net, Dash, NeighborOfMax::new(seed));
         engine.run_to_empty();
         let logn = (n as f64).log2();
         let lnn = (n as f64).ln();
@@ -92,7 +92,7 @@ fn theorem1_amortized_latency() {
     for seed in [1u64, 4] {
         let g = generators::barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
         let net = HealingNetwork::new(g, seed);
-        let mut engine = Engine::new(net, Dash, MaxNode);
+        let mut engine = ScenarioEngine::new(net, Dash, MaxNode);
         let report = engine.run_to_empty();
         assert!(
             report.amortized_latency() <= (n as f64).log2(),
@@ -182,7 +182,7 @@ fn total_messages_are_quasilinear() {
     let n = 512;
     let g = generators::barabasi_albert(n, 3, &mut StdRng::seed_from_u64(3));
     let net = HealingNetwork::new(g, 3);
-    let mut engine = Engine::new(net, Dash, MaxNode);
+    let mut engine = ScenarioEngine::new(net, Dash, MaxNode);
     let report = engine.run_to_empty();
     // Generous constant: the paper's analysis gives O(n log n) message
     // *transmissions*; each transmission is sent once and received once.
