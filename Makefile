@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test test-all bench bench-check doc fmt fmt-check clippy examples figures ci clean
+.PHONY: all build test test-all bench bench-check sim-parity doc fmt fmt-check clippy examples figures ci clean
 
 all: build
 
@@ -31,6 +31,14 @@ bench:
 bench-check:
 	$(CARGO) bench -p selfheal-bench --bench scenario
 
+## Distributed-vs-centralized parity gate: the curated parity suite, the
+## randomized parity proptests, and the distributed fabric bench (whose
+## self-check asserts exact message-count agreement before timing).
+sim-parity:
+	$(CARGO) test -q --test distributed_parity
+	$(CARGO) test -q --test scenarios distributed_parity
+	$(CARGO) bench -p selfheal-bench --bench distributed
+
 ## API docs for the workspace crates only.
 doc:
 	$(CARGO) doc --no-deps --workspace
@@ -48,6 +56,7 @@ clippy:
 examples:
 	$(CARGO) run -q --release --example attack_matrix
 	$(CARGO) run -q --release --example batch_failures
+	$(CARGO) run -q --release --example distributed_churn
 	$(CARGO) run -q --release --example distributed_dash
 	$(CARGO) run -q --release --example lower_bound
 	$(CARGO) run -q --release --example overlay_churn
@@ -58,7 +67,7 @@ figures:
 	$(CARGO) run -q --release -p selfheal-experiments -- all --quick --csv out
 
 ## The full CI gate.
-ci: fmt-check clippy build test-all doc bench-check
+ci: fmt-check clippy build test-all doc bench-check sim-parity
 	@echo "ci green"
 
 clean:

@@ -1,0 +1,123 @@
+//! Distributed-fabric throughput: events/sec for the
+//! `DistributedScenarioRunner` consuming mixed Delete/DeleteBatch/Join
+//! schedules as real unit-latency messages, versus the centralized
+//! `ScenarioEngine`'s modeled accounting on the same schedule.
+//!
+//! Every benchmark asserts its structural expectations — exact
+//! distributed-vs-centralized message-count agreement and non-empty
+//! survivor sets — so `make sim-parity` doubles as a smoke gate for the
+//! fabric's hot path (event-queue pushes/pops, interleaved batch
+//! notifications, quiescence-barrier heals).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfheal_core::dash::Dash;
+use selfheal_core::distributed::HealMode;
+use selfheal_core::distributed_runner::DistributedScenarioRunner;
+use selfheal_core::scenario::{NetworkEvent, ScenarioEngine, ScriptedEvents};
+use selfheal_core::state::HealingNetwork;
+use selfheal_graph::generators::barabasi_albert;
+use selfheal_graph::{Graph, NodeId};
+use selfheal_sim::SplitMix64;
+use std::hint::black_box;
+
+/// A mixed churn schedule: rack-style batches, joins, targeted deletes,
+/// with stale references left in for the sanitizer.
+fn churn_schedule(n: usize, events: usize, seed: u64) -> Vec<NetworkEvent> {
+    let mut rng = SplitMix64::new(seed);
+    let mut created = n as u64;
+    let mut schedule = Vec::with_capacity(events);
+    for i in 0..events {
+        match i % 4 {
+            0 | 2 => {
+                let k = 3 + rng.gen_range(5) as usize;
+                let victims = (0..k)
+                    .map(|_| NodeId(rng.gen_range(created) as u32))
+                    .collect();
+                schedule.push(NetworkEvent::DeleteBatch(victims));
+            }
+            1 => {
+                let k = 1 + rng.gen_range(3) as usize;
+                let neighbors = (0..k)
+                    .map(|_| NodeId(rng.gen_range(created) as u32))
+                    .collect();
+                schedule.push(NetworkEvent::Join { neighbors });
+                created += 1;
+            }
+            _ => schedule.push(NetworkEvent::Delete(NodeId(rng.gen_range(created) as u32))),
+        }
+    }
+    schedule
+}
+
+fn setup(n: usize, seed: u64) -> (Graph, Vec<NetworkEvent>) {
+    let g = barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
+    let schedule = churn_schedule(n, n / 2, seed);
+    (g, schedule)
+}
+
+fn bench_distributed_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for n in [512usize, 2048] {
+        let (g, schedule) = setup(n, 13);
+
+        // Self-check once per size: the fabric must reproduce the
+        // centralized engine's per-event message counts exactly.
+        let mut runner = DistributedScenarioRunner::with_mode(HealMode::Dash, &g, 13);
+        let records = runner.run_schedule(&schedule);
+        let mut engine = ScenarioEngine::new(
+            HealingNetwork::new(g.clone(), 13),
+            Dash,
+            ScriptedEvents::new(schedule.clone()),
+        );
+        let mut idx = 0usize;
+        let central = engine.run_to_empty_with(
+            &mut |_net: &HealingNetwork, rec: &selfheal_core::scenario::EventRecord| {
+                assert_eq!(
+                    rec.propagation.messages, records[idx].messages,
+                    "event {idx}: modeled vs fabric message count"
+                );
+                idx += 1;
+            },
+        );
+        assert_eq!(idx, records.len(), "event counts diverged");
+        assert_eq!(central.total_messages, runner.report().total_messages);
+        assert!(
+            runner.topology().live_count() > 0,
+            "schedule must leave survivors"
+        );
+
+        group.bench_with_input(BenchmarkId::new("fabric_churn_schedule", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || setup(n, 13),
+                |(g, schedule)| {
+                    let mut runner = DistributedScenarioRunner::with_mode(HealMode::Dash, &g, 13);
+                    runner.run_schedule(&schedule);
+                    black_box(runner.report().total_delivered)
+                },
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("engine_churn_schedule", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || setup(n, 13),
+                |(g, schedule)| {
+                    let mut engine = ScenarioEngine::new(
+                        HealingNetwork::new(g, 13),
+                        Dash,
+                        ScriptedEvents::new(schedule),
+                    );
+                    black_box(engine.run_to_empty().total_messages)
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed_churn);
+criterion_main!(benches);

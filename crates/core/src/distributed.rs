@@ -15,9 +15,27 @@
 //!   degree counters. The paper assumes this is maintained out-of-band
 //!   (refs [14, 18]) and does not charge messages for it; accordingly the
 //!   protocol reads fellow RT members' public state directly.
-//! - **Reconnection**: the lowest-id former neighbor acts as the O(1)
-//!   one-hop coordinator and applies the RT edges (Lemma 7's constant
-//!   latency).
+//! - **Reconnection**: for each victim, the first *live* former neighbor
+//!   is elected per-victim coordinator, performs the O(1) one-hop
+//!   reconnection and applies the RT edges (Lemma 7's constant latency).
+//!   The election is real logic, not an assumption about notification
+//!   order, so debug and release builds behave identically, and a
+//!   per-victim handled set makes repeated or interleaved notifications
+//!   idempotent.
+//! - **Batches**: under a simultaneous batch kill
+//!   ([`Simulator::delete_batch`](selfheal_sim::Simulator::delete_batch))
+//!   notifications for different victims interleave, so coordinators
+//!   *defer*: each elected coordinator parks its victim and heals it at
+//!   the fabric's quiescence barrier
+//!   ([`Protocol::on_quiescent`]), one victim per round — each victim's
+//!   reconnection and ID broadcast complete before the next victim's
+//!   heal reads component IDs, exactly the synchronous-round structure
+//!   the centralized batch path (`batch::heal_batch`) models.
+//! - **Joins**: a joining node extends the columnar state with a fresh
+//!   ID larger than every ID handed out so far (the same
+//!   `total_created` counter rule as
+//!   [`crate::state::HealingNetwork::join_node`]), preserving Lemma 8's
+//!   record-breaking structure.
 //! - **ID propagation**: charged per Lemma 8 — every node whose component
 //!   ID drops sends its new ID to *all* its current neighbors; receivers
 //!   adopt (and re-broadcast) only if the sender is a healing-forest
@@ -25,7 +43,7 @@
 //!   announcements keep NoN state fresh.
 
 use selfheal_sim::{Ctx, DeletionInfo, Protocol, SplitMix64};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Message carried by the distributed protocol.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,8 +72,17 @@ pub struct DistributedDash {
     initial_degree: Vec<u32>,
     gprime: Vec<BTreeSet<u32>>,
     id_changes: Vec<u32>,
-    /// Guard so only the first notified neighbor coordinates a deletion.
-    last_handled: Option<u32>,
+    /// Victims whose coordination already ran (or was parked): a
+    /// per-victim set, so interleaved notifications for victims A, B, A
+    /// can never re-elect A's coordinator. The old single-slot
+    /// `last_handled: Option<u32>` guard did exactly that — see the
+    /// `interleaved_batch_never_rewires_twice` regression test.
+    handled: BTreeSet<u32>,
+    /// Victims parked by their coordinators during a simultaneous batch,
+    /// healed one per quiescence round in coordination order.
+    pending: VecDeque<DeletionInfo>,
+    /// Total nodes ever created (initial + joined); the next fresh ID.
+    total_created: u64,
 }
 
 impl DistributedDash {
@@ -84,7 +111,9 @@ impl DistributedDash {
             initial_degree: initial_degrees,
             gprime: vec![BTreeSet::new(); n],
             id_changes: vec![0; n],
-            last_handled: None,
+            handled: BTreeSet::new(),
+            pending: VecDeque::new(),
+            total_created: n as u64,
         }
     }
 
@@ -115,16 +144,28 @@ impl DistributedDash {
 
     /// Compute the reconstruction set `UN(v,G) ∪ N(v,G')`, removing the
     /// dead node from every member's healing adjacency as a side effect.
+    ///
+    /// Mirrors `rt::reconstruction_set` *exactly*: `UN` tags every former
+    /// neighbor whose component ID differs from the victim's — including
+    /// `N(v,G')` members — then keeps one lowest-initial-ID
+    /// representative per component and dedups against the `G'` set.
+    /// (Under a simultaneous batch an earlier victim's broadcast may have
+    /// changed a `G'` neighbor's component ID between the kill and this
+    /// heal, making it a `UN` representative; tagging it separately from
+    /// the `G'` branch, as an earlier revision did, wires an extra member
+    /// and can close a cycle in the healing forest.)
     fn reconstruction_set(&mut self, info: &DeletionInfo) -> Vec<u32> {
         let dead = info.deleted;
         let dead_comp = self.comp_id[dead as usize];
+        self.gprime[dead as usize].clear();
         let mut members: Vec<u32> = Vec::new();
-        // N(v, G'): members whose healing adjacency contained the victim.
         let mut tagged: Vec<(u64, u64, u32)> = Vec::new();
         for &u in &info.former_neighbors {
+            // N(v, G'): healing adjacency contained the victim.
             if self.gprime[u as usize].remove(&dead) {
                 members.push(u);
-            } else if self.comp_id[u as usize] != dead_comp {
+            }
+            if self.comp_id[u as usize] != dead_comp {
                 tagged.push((self.comp_id[u as usize], self.initial_id[u as usize], u));
             }
         }
@@ -138,6 +179,7 @@ impl DistributedDash {
             }
         }
         members.sort_unstable();
+        members.dedup();
         members
     }
 
@@ -150,20 +192,11 @@ impl DistributedDash {
             ctx.send(me, n, DashMsg::IdUpdate(id));
         }
     }
-}
 
-impl Protocol for DistributedDash {
-    type Msg = DashMsg;
-
-    fn on_neighbor_deleted(&mut self, ctx: &mut Ctx<'_, DashMsg>, me: u32, info: &DeletionInfo) {
-        // The fabric notifies every former neighbor; the first one
-        // coordinates the O(1) one-hop reconnection for the round.
-        if self.last_handled == Some(info.deleted) {
-            return;
-        }
-        debug_assert_eq!(Some(&me), info.former_neighbors.first());
-        self.last_handled = Some(info.deleted);
-
+    /// Coordinate the healing round for one victim: build the
+    /// reconstruction set, wire it (surrogate star or DASH tree), and
+    /// seed the minimum-ID broadcast.
+    fn heal_victim(&mut self, ctx: &mut Ctx<'_, DashMsg>, info: &DeletionInfo) {
         let members = self.reconstruction_set(info);
         if members.is_empty() {
             return;
@@ -213,6 +246,64 @@ impl Protocol for DistributedDash {
                 self.adopt_and_announce(ctx, u, min_id);
             }
         }
+    }
+}
+
+impl Protocol for DistributedDash {
+    type Msg = DashMsg;
+
+    fn on_neighbor_deleted(&mut self, ctx: &mut Ctx<'_, DashMsg>, me: u32, info: &DeletionInfo) {
+        // Per-victim coordinator election, as real logic in every build
+        // profile: the first *live* former neighbor coordinates; every
+        // other notified neighbor stands down regardless of the order in
+        // which the fabric delivered the notifications.
+        let coordinator = info
+            .former_neighbors
+            .iter()
+            .copied()
+            .find(|&u| ctx.is_alive(u));
+        if coordinator != Some(me) {
+            return;
+        }
+        // Idempotence per victim: interleaved or repeated notifications
+        // (A, B, A under a batch kill) coordinate each victim once.
+        if !self.handled.insert(info.deleted) {
+            return;
+        }
+        if info.simultaneous {
+            // Batch kill: park the round and heal at the quiescence
+            // barrier, one victim per round, so this victim's broadcast
+            // finishes before the next victim's heal reads component
+            // IDs. Coordination order == round-robin notification order
+            // == batch victim order.
+            self.pending.push_back(info.clone());
+        } else {
+            self.heal_victim(ctx, info);
+        }
+    }
+
+    fn on_quiescent(&mut self, ctx: &mut Ctx<'_, DashMsg>) -> bool {
+        match self.pending.pop_front() {
+            Some(info) => {
+                self.heal_victim(ctx, &info);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn on_join(&mut self, _ctx: &mut Ctx<'_, DashMsg>, me: u32, neighbors: &[u32]) {
+        debug_assert_eq!(me as usize, self.comp_id.len(), "join ids are dense");
+        // Fresh ID larger than every ID ever handed out (the
+        // `HealingNetwork::join_node` rule), so the joiner is never a
+        // component minimum until it adopts one.
+        let fresh_id = self.total_created;
+        self.total_created += 1;
+        self.initial_id.push(fresh_id);
+        self.comp_id.push(fresh_id);
+        self.initial_degree.push(neighbors.len() as u32);
+        self.gprime.push(BTreeSet::new());
+        self.id_changes.push(0);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, DashMsg>, me: u32, from: u32, msg: DashMsg) {
@@ -279,6 +370,99 @@ mod tests {
         }
         // Nobody in a 4-node RT changes id more than once in one round.
         assert!((1..5).all(|v| sim.protocol.id_changes(v) <= 1));
+    }
+
+    /// Regression for the single-slot `last_handled: Option<u32>` guard.
+    ///
+    /// A simultaneous batch interleaves notifications round-robin across
+    /// victims: with victims A = 1 and B = 5 the callbacks arrive as
+    /// A, B, A, B, A — the second "A" is exactly the interleaving that
+    /// made the old guard re-elect A's coordinator (`last_handled` was B
+    /// by then) and double-wire A's RT edges (in debug builds its
+    /// `debug_assert_eq!(me == first)` panicked instead, so release and
+    /// debug disagreed). The per-victim handled set plus the first-live
+    /// election coordinate each victim exactly once in every profile.
+    #[test]
+    fn interleaved_batch_never_rewires_twice() {
+        // Two independent hubs: 1 (neighbors 0,2,3) and 5 (neighbors 4,6,7).
+        let topo =
+            Topology::from_edges(8, &[(1, 0), (1, 2), (1, 3), (5, 4), (5, 6), (5, 7), (3, 4)]);
+        let degrees: Vec<u32> = (0..8).map(|v| topo.neighbors(v).len() as u32).collect();
+        let mut sim = Simulator::new(topo, DistributedDash::new(degrees, 11));
+        sim.delete_batch(&[1, 5]);
+        sim.run_to_quiescence();
+        // Each victim's RT was wired exactly once: RT(1) = {0,2,3} gets 2
+        // tree edges, RT(5) = {4,6,7} gets 2 tree edges. Double
+        // coordination would re-add edges into G' as parallel wiring of a
+        // different tree shape and break the G-degree count below.
+        let healing_edges: usize = (0..8u32)
+            .map(|v| sim.protocol.gprime_neighbors(v).len())
+            .sum::<usize>()
+            / 2;
+        assert_eq!(healing_edges, 4);
+        // G' symmetric, alive, mirrored in G — and every survivor
+        // reachable from node 0.
+        for v in sim.topology.live_nodes() {
+            for &u in sim.protocol.gprime_neighbors(v).clone().iter() {
+                assert!(sim.topology.is_alive(u));
+                assert!(sim.protocol.gprime_neighbors(u).contains(&v));
+                assert!(sim.topology.has_edge(u, v));
+            }
+        }
+        let mut seen = [false; 8];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut reached = 1;
+        while let Some(v) = stack.pop() {
+            for &u in sim.topology.neighbors(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    reached += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        assert_eq!(reached, sim.topology.live_count(), "batch heal left a cut");
+    }
+
+    #[test]
+    fn batch_heals_serialize_at_the_quiescence_barrier() {
+        // Alternate kills on a cycle: a maximal independent set.
+        let edges: Vec<(u32, u32)> = (0..10u32).map(|i| (i, (i + 1) % 10)).collect();
+        let topo = Topology::from_edges(10, &edges);
+        let degrees: Vec<u32> = (0..10).map(|v| topo.neighbors(v).len() as u32).collect();
+        let mut sim = Simulator::new(topo, DistributedDash::new(degrees, 3));
+        sim.delete_batch(&[0, 2, 4, 6, 8]);
+        let report = sim.run_to_quiescence();
+        // All five survivors share one component id.
+        let id = sim.protocol.comp_id(1);
+        assert!([3u32, 5, 7, 9]
+            .iter()
+            .all(|&v| sim.protocol.comp_id(v) == id));
+        assert_eq!(report.dropped, 0);
+    }
+
+    #[test]
+    fn join_extends_columnar_state_with_fresh_ids() {
+        let mut sim = star_sim(4);
+        let v = sim.join_node(&[1, 2]);
+        assert_eq!(v, 4);
+        // Fresh id = total created so far, larger than all initial ids.
+        assert_eq!(sim.protocol.initial_id(v), 4);
+        assert_eq!(sim.protocol.comp_id(v), 4);
+        assert_eq!(sim.protocol.id_changes(v), 0);
+        assert!(sim.protocol.gprime_neighbors(v).is_empty());
+        // The joiner participates in later healing rounds: killing hub 0
+        // must reconnect the spokes and flood ids; the joiner's δ
+        // baseline is its attachment degree.
+        sim.delete_node(0);
+        sim.run_to_quiescence();
+        // The spokes were wired into one G' tree and share its minimum;
+        // the joiner has no G' edge, so the flood (correctly) never
+        // adopts it into the component.
+        let id = sim.protocol.comp_id(1);
+        assert!([2u32, 3].iter().all(|&u| sim.protocol.comp_id(u) == id));
+        assert_eq!(sim.protocol.comp_id(v), 4);
     }
 
     #[test]

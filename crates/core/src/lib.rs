@@ -35,6 +35,7 @@ pub mod attack;
 pub mod batch;
 pub mod dash;
 pub mod distributed;
+pub mod distributed_runner;
 pub mod engine;
 pub mod invariants;
 pub mod levelattack;
@@ -47,6 +48,8 @@ pub mod state;
 pub mod strategy;
 
 pub use dash::Dash;
+pub use distributed::{DistributedDash, HealMode};
+pub use distributed_runner::{DistEventRecord, DistScenarioReport, DistributedScenarioRunner};
 pub use engine::{AuditLevel, Engine, EngineReport};
 pub use scenario::{
     EventRecord, EventSource, NetworkEvent, Observer, ScenarioEngine, ScenarioReport,

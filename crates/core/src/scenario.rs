@@ -39,6 +39,43 @@ use selfheal_graph::NodeId;
 use selfheal_sim::SplitMix64;
 use std::collections::VecDeque;
 
+/// Sanitize a batch into an independent victim set, shared by
+/// [`ScenarioEngine`] and the distributed
+/// [`DistributedScenarioRunner`](crate::distributed_runner::DistributedScenarioRunner)
+/// so the two sides can never drift: keep each victim only if it is
+/// alive and neither a duplicate of nor adjacent to an earlier kept
+/// victim (paper footnote 1's NoN-knowledge condition), preserving input
+/// order.
+pub(crate) fn sanitize_batch<T: Copy + PartialEq>(
+    out: &mut Vec<T>,
+    victims: impl IntoIterator<Item = T>,
+    mut is_alive: impl FnMut(T) -> bool,
+    mut has_edge: impl FnMut(T, T) -> bool,
+) {
+    out.clear();
+    for v in victims {
+        if is_alive(v) && !out.contains(&v) && out.iter().all(|&u| !has_edge(u, v)) {
+            out.push(v);
+        }
+    }
+}
+
+/// Sanitize join attachment targets (drop dead targets and duplicates,
+/// preserving order) — the other half of the shared engine/runner
+/// sanitization contract.
+pub(crate) fn sanitize_join<T: Copy + PartialEq>(
+    out: &mut Vec<T>,
+    targets: impl IntoIterator<Item = T>,
+    mut is_alive: impl FnMut(T) -> bool,
+) {
+    out.clear();
+    for u in targets {
+        if is_alive(u) && !out.contains(&u) {
+            out.push(u);
+        }
+    }
+}
+
 /// Which (increasingly expensive) checks to run after every event.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum AuditLevel {
@@ -623,18 +660,13 @@ impl<H: Healer, S: EventSource> ScenarioEngine<H, S> {
             self.report.rounds,
             EventKind::DeleteBatch,
         );
-        // Sanitize into an independent set: keep each victim only if it is
-        // alive and neither a duplicate of nor adjacent to an earlier kept
-        // victim (paper footnote 1's NoN-knowledge condition).
-        self.batch.clear();
-        for &v in victims {
-            if self.net.is_alive(v)
-                && !self.batch.contains(&v)
-                && self.batch.iter().all(|&u| !self.net.graph().has_edge(u, v))
-            {
-                self.batch.push(v);
-            }
-        }
+        let net = &self.net;
+        sanitize_batch(
+            &mut self.batch,
+            victims.iter().copied(),
+            |v| net.is_alive(v),
+            |u, v| net.graph().has_edge(u, v),
+        );
         if self.batch.is_empty() {
             return record;
         }
@@ -675,13 +707,10 @@ impl<H: Healer, S: EventSource> ScenarioEngine<H, S> {
     fn apply_join(&mut self, neighbors: &[NodeId]) -> EventRecord {
         let mut record =
             EventRecord::empty(self.report.events, self.report.rounds, EventKind::Join);
-        // Sanitize: drop dead targets and duplicates, preserving order.
-        self.batch.clear();
-        for &u in neighbors {
-            if self.net.is_alive(u) && !self.batch.contains(&u) {
-                self.batch.push(u);
-            }
-        }
+        let net = &self.net;
+        sanitize_join(&mut self.batch, neighbors.iter().copied(), |u| {
+            net.is_alive(u)
+        });
         if self.batch.is_empty() && !neighbors.is_empty() {
             // Every requested attachment died: skip rather than create an
             // accidental isolated component.

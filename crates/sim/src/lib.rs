@@ -8,10 +8,14 @@
 //! message-passing protocol, not just as a graph transformation. This
 //! crate provides the substrate:
 //!
-//! - [`Topology`] — the fabric's view of who is alive and connected,
+//! - [`Topology`] — the fabric's view of who is alive and connected
+//!   (total read accessors, append-only joins),
 //! - [`Simulator`] — drives a [`Protocol`] with unit-latency messages,
 //!   deterministic FIFO tie-breaking and automatic per-node accounting
-//!   ([`SimMetrics`]),
+//!   ([`SimMetrics`]); reconfiguration via `delete_node`, simultaneous
+//!   `delete_batch` (interleaved neighbor notifications) and
+//!   `join_node`, with a protocol-visible quiescence barrier
+//!   ([`Protocol::on_quiescent`]) for batch-safe healing,
 //! - [`SplitMix64`] — a self-contained seedable PRNG so simulations are
 //!   bit-reproducible across platforms,
 //! - [`trace::TraceBuffer`] — optional bounded binary event log.

@@ -22,6 +22,15 @@ impl SimMetrics {
         }
     }
 
+    /// Grow the counter vectors to cover `n` node slots (joins extend
+    /// the network); existing counts are preserved, shrinking is a no-op.
+    pub fn grow(&mut self, n: usize) {
+        if self.sent.len() < n {
+            self.sent.resize(n, 0);
+            self.received.resize(n, 0);
+        }
+    }
+
     /// Record a send by node `v`.
     #[inline]
     pub fn record_sent(&mut self, v: u32) {
@@ -91,5 +100,20 @@ mod tests {
         let m = SimMetrics::new(0);
         assert_eq!(m.max_traffic(), 0);
         assert_eq!(m.total_sent(), 0);
+    }
+
+    #[test]
+    fn grow_preserves_counts() {
+        let mut m = SimMetrics::new(2);
+        m.record_sent(1);
+        m.grow(4);
+        m.record_sent(3);
+        m.record_received(2);
+        assert_eq!(m.sent(1), 1);
+        assert_eq!(m.sent(3), 1);
+        assert_eq!(m.received(2), 1);
+        // Shrinking is a no-op.
+        m.grow(1);
+        assert_eq!(m.total_sent(), 2);
     }
 }

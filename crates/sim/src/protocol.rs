@@ -50,6 +50,15 @@ pub struct DeletionInfo {
     pub deleted: u32,
     /// Its neighbor list at the moment of deletion, sorted.
     pub former_neighbors: Vec<u32>,
+    /// `true` when the deletion is part of a simultaneous batch
+    /// ([`crate::Simulator::delete_batch`]): other victims died in the
+    /// same instant and notifications for different victims interleave.
+    /// Batch-safe protocols defer their per-victim healing (see
+    /// [`Protocol::on_quiescent`]) so each victim's reconnection and
+    /// broadcast complete before the next victim's heal reads shared
+    /// state — the synchronous-rounds structure the paper's per-round
+    /// accounting (Lemmas 7–8) assumes.
+    pub simultaneous: bool,
 }
 
 /// Handle through which a protocol sends messages and rewires links.
@@ -126,10 +135,35 @@ pub trait Protocol {
     /// Invoked once per live node before the simulation starts.
     fn on_init(&mut self, _ctx: &mut Ctx<'_, Self::Msg>, _me: u32) {}
 
-    /// Invoked on each former neighbor of a deleted node, in increasing
-    /// id order, immediately after the deletion.
+    /// Invoked on each former neighbor of a deleted node, immediately
+    /// after the deletion. For a single deletion
+    /// ([`crate::Simulator::delete_node`]) the notifications arrive in
+    /// increasing id order; for a simultaneous batch
+    /// ([`crate::Simulator::delete_batch`]) notifications for *different
+    /// victims interleave* (round-robin across victims), so
+    /// implementations must be batch-safe: track coordination per victim,
+    /// never through a single "last seen" slot.
     fn on_neighbor_deleted(&mut self, ctx: &mut Ctx<'_, Self::Msg>, me: u32, info: &DeletionInfo);
 
     /// Invoked when a message is delivered to `me`.
     fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, me: u32, from: u32, msg: Self::Msg);
+
+    /// Invoked on a node that just joined the network
+    /// ([`crate::Simulator::join_node`]), after its attachment edges are
+    /// live. `neighbors` is the sorted attachment list. Protocols with
+    /// per-node state must grow it here. Default: no-op.
+    fn on_join(&mut self, _ctx: &mut Ctx<'_, Self::Msg>, _me: u32, _neighbors: &[u32]) {}
+
+    /// Invoked by [`crate::Simulator::run_to_quiescence`] whenever the
+    /// event queue drains. Return `true` if the protocol performed more
+    /// work (the drain continues), `false` when it is truly quiescent.
+    ///
+    /// This is the fabric's synchronous-round barrier: a batch-safe
+    /// protocol parks the healing work it deferred during interleaved
+    /// deletion notifications and performs it here one victim at a time,
+    /// so each victim's reconnection plus ID broadcast completes before
+    /// the next heal reads component state. Default: always quiescent.
+    fn on_quiescent(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) -> bool {
+        false
+    }
 }

@@ -137,6 +137,7 @@ impl<P: Protocol> Simulator<P> {
         let info = DeletionInfo {
             deleted: v,
             former_neighbors: former.clone(),
+            simultaneous: false,
         };
         for &u in &former {
             let mut ctx = Ctx {
@@ -152,7 +153,112 @@ impl<P: Protocol> Simulator<P> {
         info
     }
 
-    /// Drain the event queue until no messages are in flight.
+    /// Delete an independent set of victims *simultaneously* (the paper's
+    /// footnote-1 batch model): every victim is removed from the fabric
+    /// before any notification fires, and the per-neighbor notifications
+    /// then **interleave round-robin across victims** — neighbor 1 of
+    /// victim A, neighbor 1 of victim B, neighbor 2 of victim A, … — the
+    /// delivery pattern a real fabric would produce when several nodes
+    /// die in the same instant. Each notification carries
+    /// `simultaneous: true`, so batch-safe protocols defer their heals to
+    /// the [`Protocol::on_quiescent`] barrier.
+    ///
+    /// Returns one [`DeletionInfo`] per victim, in input order.
+    ///
+    /// # Panics
+    /// Panics if any victim is dead, out of range, repeated, or adjacent
+    /// to another victim — a dependent batch breaks the
+    /// neighbor-of-neighbor knowledge assumption, so the fabric refuses
+    /// it loudly (callers sanitize, mirroring the scenario engine).
+    pub fn delete_batch(&mut self, victims: &[u32]) -> Vec<DeletionInfo> {
+        for (i, &v) in victims.iter().enumerate() {
+            assert!(self.topology.is_alive(v), "batch victim {v} is dead");
+            for &u in &victims[..i] {
+                assert!(u != v, "batch victim {v} repeated");
+                assert!(
+                    !self.topology.has_edge(u, v),
+                    "batch victims {u} and {v} are adjacent; the batch must be independent"
+                );
+            }
+        }
+        // Phase 1: all victims die before anyone is told.
+        let infos: Vec<DeletionInfo> = victims
+            .iter()
+            .map(|&v| {
+                let former = self.topology.kill(v);
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.record(TraceKind::Kill, self.now, v, 0);
+                }
+                DeletionInfo {
+                    deleted: v,
+                    former_neighbors: former,
+                    simultaneous: true,
+                }
+            })
+            .collect();
+        // Phase 2: interleaved notifications, round-robin across victims.
+        let max_degree = infos
+            .iter()
+            .map(|i| i.former_neighbors.len())
+            .max()
+            .unwrap_or(0);
+        for slot in 0..max_degree {
+            for info in &infos {
+                let Some(&u) = info.former_neighbors.get(slot) else {
+                    continue;
+                };
+                let mut ctx = Ctx {
+                    topology: &mut self.topology,
+                    queue: &mut self.queue,
+                    metrics: &mut self.metrics,
+                    trace: self.trace.as_mut(),
+                    latency: &mut self.latency,
+                    now: self.now,
+                };
+                self.protocol.on_neighbor_deleted(&mut ctx, u, info);
+            }
+        }
+        infos
+    }
+
+    /// A new node joins the network, attached to the given live nodes,
+    /// and the protocol is told via [`Protocol::on_join`]. Returns the
+    /// joiner's id (node slots are append-only, matching
+    /// [`Topology::add_node`]).
+    ///
+    /// # Panics
+    /// Panics if any attachment target is dead, out of range, or
+    /// repeated (callers sanitize, mirroring the scenario engine).
+    pub fn join_node(&mut self, neighbors: &[u32]) -> u32 {
+        for (i, &u) in neighbors.iter().enumerate() {
+            assert!(self.topology.is_alive(u), "join target {u} is dead");
+            assert!(!neighbors[..i].contains(&u), "join target {u} repeated");
+        }
+        let v = self.topology.add_node();
+        for &u in neighbors {
+            self.topology.add_edge(v, u);
+        }
+        self.metrics.grow(self.topology.len());
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(TraceKind::Join, self.now, v, neighbors.len() as u32);
+        }
+        let mut ctx = Ctx {
+            topology: &mut self.topology,
+            queue: &mut self.queue,
+            metrics: &mut self.metrics,
+            trace: self.trace.as_mut(),
+            latency: &mut self.latency,
+            now: self.now,
+        };
+        self.protocol.on_join(&mut ctx, v, neighbors);
+        v
+    }
+
+    /// Drain the event queue until no messages are in flight **and** the
+    /// protocol reports quiescence: whenever the queue empties,
+    /// [`Protocol::on_quiescent`] is offered the barrier — if it performs
+    /// deferred work (e.g. heals the next victim of a simultaneous
+    /// batch), draining resumes; only when it declines is the run over.
     ///
     /// Time advances to the delivery timestamp of each message; the
     /// returned latency is the number of hops between the first and last
@@ -161,20 +267,32 @@ impl<P: Protocol> Simulator<P> {
         let start = self.now;
         let mut delivered = 0u64;
         let mut dropped = 0u64;
-        while let Some(env) = self.queue.pop() {
-            self.now = env.deliver_at;
-            if !self.topology.is_alive(env.to) {
-                dropped += 1;
-                self.metrics.dropped += 1;
-                if let Some(tr) = self.trace.as_mut() {
-                    tr.record(TraceKind::Drop, self.now, env.from, env.to);
+        loop {
+            while let Some(env) = self.queue.pop() {
+                self.now = env.deliver_at;
+                if !self.topology.is_alive(env.to) {
+                    dropped += 1;
+                    self.metrics.dropped += 1;
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.record(TraceKind::Drop, self.now, env.from, env.to);
+                    }
+                    continue;
                 }
-                continue;
-            }
-            delivered += 1;
-            self.metrics.record_received(env.to);
-            if let Some(tr) = self.trace.as_mut() {
-                tr.record(TraceKind::Deliver, self.now, env.from, env.to);
+                delivered += 1;
+                self.metrics.record_received(env.to);
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.record(TraceKind::Deliver, self.now, env.from, env.to);
+                }
+                let mut ctx = Ctx {
+                    topology: &mut self.topology,
+                    queue: &mut self.queue,
+                    metrics: &mut self.metrics,
+                    trace: self.trace.as_mut(),
+                    latency: &mut self.latency,
+                    now: self.now,
+                };
+                self.protocol
+                    .on_message(&mut ctx, env.to, env.from, env.payload);
             }
             let mut ctx = Ctx {
                 topology: &mut self.topology,
@@ -184,8 +302,9 @@ impl<P: Protocol> Simulator<P> {
                 latency: &mut self.latency,
                 now: self.now,
             };
-            self.protocol
-                .on_message(&mut ctx, env.to, env.from, env.payload);
+            if !self.protocol.on_quiescent(&mut ctx) {
+                break;
+            }
         }
         QuiescenceReport {
             delivered,
@@ -284,6 +403,127 @@ mod tests {
         let info = sim.delete_node(1);
         assert_eq!(info.former_neighbors, vec![0, 2, 3]);
         assert_eq!(sim.protocol.calls, vec![(0, 1), (2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn batch_notifications_interleave_round_robin() {
+        struct Recorder {
+            calls: Vec<(u32, u32, bool)>,
+            other_victim_alive: Vec<bool>,
+        }
+        impl Protocol for Recorder {
+            type Msg = ();
+            fn on_neighbor_deleted(&mut self, ctx: &mut Ctx<'_, ()>, me: u32, info: &DeletionInfo) {
+                self.calls.push((me, info.deleted, info.simultaneous));
+                let other = if info.deleted == 1 { 4 } else { 1 };
+                self.other_victim_alive.push(ctx.is_alive(other));
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: u32, _: u32, _: ()) {}
+        }
+        // Victim 1 has neighbors {0, 2, 3}; victim 4 has {5, 6}.
+        let topo = Topology::from_edges(7, &[(1, 0), (1, 2), (1, 3), (4, 5), (4, 6)]);
+        let mut sim = Simulator::new(
+            topo,
+            Recorder {
+                calls: vec![],
+                other_victim_alive: vec![],
+            },
+        );
+        let infos = sim.delete_batch(&[1, 4]);
+        assert_eq!(infos[0].former_neighbors, vec![0, 2, 3]);
+        assert_eq!(infos[1].former_neighbors, vec![5, 6]);
+        // Round-robin across victims, flagged simultaneous.
+        assert_eq!(
+            sim.protocol.calls,
+            vec![
+                (0, 1, true),
+                (5, 4, true),
+                (2, 1, true),
+                (6, 4, true),
+                (3, 1, true)
+            ]
+        );
+        // Simultaneity: the other victim was already dead in every callback.
+        assert!(sim.protocol.other_victim_alive.iter().all(|&a| !a));
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacent")]
+    fn dependent_batch_is_refused() {
+        let mut sim = Simulator::new(
+            path_topology(3),
+            DistFlood {
+                dist: vec![None; 3],
+                origin: SimTime::ZERO,
+            },
+        );
+        sim.delete_batch(&[0, 1]);
+    }
+
+    #[test]
+    fn join_grows_fabric_and_notifies_protocol() {
+        struct JoinRec {
+            joins: Vec<(u32, Vec<u32>)>,
+        }
+        impl Protocol for JoinRec {
+            type Msg = ();
+            fn on_neighbor_deleted(&mut self, _: &mut Ctx<'_, ()>, _: u32, _: &DeletionInfo) {}
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: u32, _: u32, _: ()) {}
+            fn on_join(&mut self, ctx: &mut Ctx<'_, ()>, me: u32, neighbors: &[u32]) {
+                self.joins.push((me, neighbors.to_vec()));
+                // Attachment edges are already live at hook time.
+                for &u in neighbors {
+                    assert!(ctx.neighbors(me).contains(&u));
+                }
+            }
+        }
+        let mut sim = Simulator::new(path_topology(3), JoinRec { joins: vec![] });
+        sim.enable_trace(8);
+        let v = sim.join_node(&[0, 2]);
+        assert_eq!(v, 3);
+        assert_eq!(sim.protocol.joins, vec![(3, vec![0, 2])]);
+        assert_eq!(sim.topology.neighbors(3), &[0, 2]);
+        // Metrics grew with the fabric: counting for the joiner works.
+        sim.inject(v, 0, ());
+        assert_eq!(sim.metrics.sent(v), 1);
+        let trace = sim.trace().unwrap().events();
+        assert_eq!(trace.last().unwrap().kind, TraceKind::Join);
+    }
+
+    #[test]
+    fn quiescence_barrier_drives_deferred_work() {
+        /// Defers two floods; each on_quiescent call releases one.
+        struct Deferred {
+            pending: Vec<u32>,
+            rounds: Vec<u64>,
+        }
+        impl Protocol for Deferred {
+            type Msg = ();
+            fn on_neighbor_deleted(&mut self, _: &mut Ctx<'_, ()>, _: u32, _: &DeletionInfo) {}
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: u32, _: u32, _: ()) {}
+            fn on_quiescent(&mut self, ctx: &mut Ctx<'_, ()>) -> bool {
+                match self.pending.pop() {
+                    Some(v) => {
+                        self.rounds.push(ctx.now().0);
+                        ctx.send(v, v + 1, ());
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+        let mut sim = Simulator::new(
+            path_topology(4),
+            Deferred {
+                pending: vec![2, 0],
+                rounds: vec![],
+            },
+        );
+        let report = sim.run_to_quiescence();
+        assert_eq!(report.delivered, 2);
+        // Both deferred sends ran, each in its own barrier round.
+        assert_eq!(sim.protocol.rounds.len(), 2);
+        assert!(sim.protocol.pending.is_empty());
     }
 
     #[test]

@@ -3,7 +3,17 @@
 //! The simulator is deliberately independent of `selfheal-graph`: a
 //! protocol under test *is allowed* to keep richer graph state, but the
 //! fabric only needs to know who is alive and who can talk to whom. Kept
-//! minimal: sorted adjacency vectors with tombstoned deletion.
+//! minimal: sorted adjacency vectors with tombstoned deletion, plus
+//! [`Topology::add_node`] so reconfiguration streams can grow the
+//! network as well as shrink it.
+//!
+//! Accessor contract: every **read** accessor is total — out-of-range
+//! ids report "not alive", an empty neighbor list, or "no edge" instead
+//! of panicking, so protocols and runners can probe stale references
+//! safely. The **write** path ([`Topology::add_edge`],
+//! [`Topology::kill`]) panics on dead or out-of-range ids: a mutation
+//! aimed at a node that does not exist is always a protocol bug, and the
+//! fabric fails loudly rather than masking it.
 
 /// Adjacency view used by the simulation fabric.
 #[derive(Clone, Debug)]
@@ -39,6 +49,18 @@ impl Topology {
         self.adj.len()
     }
 
+    /// Append a fresh live, isolated node; returns its id.
+    ///
+    /// Dead slots are never recycled — ids stay stable forever, matching
+    /// `selfheal-graph`'s tombstoned `Graph::add_node`.
+    pub fn add_node(&mut self) -> u32 {
+        let v = self.adj.len() as u32;
+        self.adj.push(Vec::new());
+        self.alive.push(true);
+        self.live += 1;
+        v
+    }
+
     /// Whether there are no node slots.
     pub fn is_empty(&self) -> bool {
         self.adj.is_empty()
@@ -49,19 +71,23 @@ impl Topology {
         self.live
     }
 
-    /// Whether node `v` is live.
+    /// Whether node `v` is live. Total: out-of-range ids are not alive.
     pub fn is_alive(&self, v: u32) -> bool {
         (v as usize) < self.alive.len() && self.alive[v as usize]
     }
 
-    /// Sorted live neighbors of `v`.
+    /// Sorted live neighbors of `v`. Total: dead and out-of-range ids
+    /// have no neighbors.
     pub fn neighbors(&self, v: u32) -> &[u32] {
-        &self.adj[v as usize]
+        self.adj.get(v as usize).map_or(&[], Vec::as_slice)
     }
 
-    /// Whether the link `(u, v)` exists.
+    /// Whether the link `(u, v)` exists. Total: any endpoint that is
+    /// dead or out of range has no incident edges.
     pub fn has_edge(&self, u: u32, v: u32) -> bool {
-        self.adj[u as usize].binary_search(&v).is_ok()
+        self.adj
+            .get(u as usize)
+            .is_some_and(|nbrs| nbrs.binary_search(&v).is_ok())
     }
 
     /// Add the link `(u, v)`; returns `true` if it was new.
@@ -142,6 +168,37 @@ mod tests {
         let mut t = Topology::new(3);
         t.kill(1);
         t.add_edge(0, 1);
+    }
+
+    #[test]
+    fn read_accessors_are_total() {
+        let mut t = Topology::from_edges(3, &[(0, 1)]);
+        // Out of range: false-y, never panicking.
+        assert!(!t.is_alive(99));
+        assert_eq!(t.neighbors(99), &[] as &[u32]);
+        assert!(!t.has_edge(99, 0));
+        assert!(!t.has_edge(0, 99));
+        // Dead nodes read as isolated.
+        t.kill(1);
+        assert_eq!(t.neighbors(1), &[] as &[u32]);
+        assert!(!t.has_edge(0, 1));
+        assert!(!t.has_edge(1, 0));
+    }
+
+    #[test]
+    fn add_node_appends_live_slots() {
+        let mut t = Topology::from_edges(2, &[(0, 1)]);
+        t.kill(0);
+        let v = t.add_node();
+        assert_eq!(v, 2);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.live_count(), 2);
+        assert!(t.is_alive(v));
+        assert_eq!(t.neighbors(v), &[] as &[u32]);
+        // Dead slot 0 is not recycled.
+        assert!(!t.is_alive(0));
+        assert!(t.add_edge(v, 1));
+        assert_eq!(t.neighbors(1), &[2]);
     }
 
     #[test]

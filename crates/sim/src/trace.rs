@@ -19,6 +19,8 @@ pub enum TraceKind {
     Link = 2,
     /// Message from `a` to dead node `b` was dropped.
     Drop = 3,
+    /// Node `a` joined the network (`b` = its attachment count).
+    Join = 4,
 }
 
 /// One decoded trace event.
@@ -91,6 +93,7 @@ impl TraceBuffer {
                 0 => TraceKind::Deliver,
                 1 => TraceKind::Kill,
                 2 => TraceKind::Link,
+                4 => TraceKind::Join,
                 _ => TraceKind::Drop,
             };
             let time = SimTime(slice.get_u64());
@@ -113,8 +116,9 @@ mod tests {
         t.record(TraceKind::Link, SimTime(2), 3, 4);
         t.record(TraceKind::Deliver, SimTime(3), 3, 4);
         t.record(TraceKind::Drop, SimTime(4), 1, 5);
+        t.record(TraceKind::Join, SimTime(5), 6, 2);
         let ev = t.events();
-        assert_eq!(ev.len(), 4);
+        assert_eq!(ev.len(), 5);
         assert_eq!(
             ev[0],
             TraceEvent {
@@ -126,6 +130,8 @@ mod tests {
         );
         assert_eq!(ev[1].kind, TraceKind::Link);
         assert_eq!(ev[3].kind, TraceKind::Drop);
+        assert_eq!(ev[4].kind, TraceKind::Join);
+        assert_eq!(ev[4].b, 2);
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub mod prelude {
         Adversary, CutVertex, MaxNode, MinDegree, NeighborOfMax, RandomAttack, Scripted,
     };
     pub use selfheal_core::dash::Dash;
+    pub use selfheal_core::distributed::{DistributedDash, HealMode};
+    pub use selfheal_core::distributed_runner::{
+        DistEventRecord, DistScenarioReport, DistributedScenarioRunner,
+    };
     pub use selfheal_core::engine::{AuditLevel, Engine, EngineReport};
     pub use selfheal_core::naive::{BinaryTreeHeal, GraphHeal, LineHeal, NoHeal};
     pub use selfheal_core::oracle::OracleDash;

@@ -1,0 +1,129 @@
+//! Centralized `ScenarioEngine` vs. distributed `DistributedScenarioRunner`
+//! parity over the **full event model**.
+//!
+//! `tests/equivalence.rs` pins the single-deletion slice: one victim per
+//! round, centralized modeled accounting == real message passing. This
+//! suite extends the claim to the whole reconfiguration stream the paper
+//! frames (adversarial sequences of deletions, simultaneous batches per
+//! footnote 1, and joins): for *arbitrary mixed schedules* — including
+//! stale references that the sanitization rules must resolve identically
+//! on both sides — the distributed protocol reproduces the centralized
+//! engine's final topology, healing forest, component IDs, ID-change
+//! counts, per-node message counters, and per-event message counts
+//! **exactly**, under both DASH and SDASH.
+
+mod common;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfheal_core::dash::Dash;
+use selfheal_core::distributed::HealMode;
+use selfheal_core::distributed_runner::DistributedScenarioRunner;
+use selfheal_core::scenario::{NetworkEvent, ScenarioEngine, ScriptedEvents};
+use selfheal_core::sdash::Sdash;
+use selfheal_core::state::HealingNetwork;
+use selfheal_core::strategy::Healer;
+use selfheal_graph::generators::{barabasi_albert, cycle_graph, star_graph};
+use selfheal_graph::{Graph, NodeId};
+
+/// Replay `schedule` through both implementations and compare everything
+/// observable — per event and at the fixed point — with the shared
+/// comparator in `tests/common/mod.rs`.
+fn assert_schedule_parity<H: Healer>(g: &Graph, seed: u64, schedule: &[NetworkEvent], healer: H) {
+    let mode = if healer.name() == "sdash" {
+        HealMode::Sdash
+    } else {
+        HealMode::Dash
+    };
+    let net = HealingNetwork::new(g.clone(), seed);
+    let mut engine = ScenarioEngine::new(net, healer, ScriptedEvents::new(schedule.to_vec()));
+    let mut runner = DistributedScenarioRunner::with_mode(mode, g, seed);
+
+    for event in schedule {
+        let central = engine.step().expect("schedule not exhausted");
+        let dist = runner.apply(event);
+        if let Err(e) = common::compare_event(&central, &dist) {
+            panic!("{mode:?}: {e}");
+        }
+    }
+    if let Err(e) = common::compare_final_state(&engine.net, &runner) {
+        panic!("{mode:?}: {e}");
+    }
+}
+
+fn ba(n: usize, seed: u64) -> Graph {
+    barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed))
+}
+
+/// The acceptance schedule: two simultaneous batches (their interleaved
+/// notifications exercise per-victim coordination), a join between them,
+/// stale references throughout.
+fn mixed_acceptance_schedule() -> Vec<NetworkEvent> {
+    vec![
+        NetworkEvent::DeleteBatch(vec![NodeId(0), NodeId(4), NodeId(9), NodeId(4)]),
+        NetworkEvent::Join {
+            neighbors: vec![NodeId(2), NodeId(7), NodeId(0)], // 0 is dead by now
+        },
+        NetworkEvent::Delete(NodeId(11)),
+        NetworkEvent::DeleteBatch(vec![NodeId(2), NodeId(6), NodeId(13), NodeId(9)]),
+        NetworkEvent::Delete(NodeId(0)), // stale: no-op on both sides
+        NetworkEvent::Join {
+            neighbors: vec![NodeId(3)],
+        },
+        NetworkEvent::DeleteBatch(vec![NodeId(1), NodeId(8)]),
+    ]
+}
+
+#[test]
+fn mixed_schedule_parity_dash() {
+    assert_schedule_parity(&ba(32, 5), 5, &mixed_acceptance_schedule(), Dash);
+}
+
+#[test]
+fn mixed_schedule_parity_sdash() {
+    assert_schedule_parity(&ba(32, 5), 5, &mixed_acceptance_schedule(), Sdash);
+}
+
+/// Batches on a cycle: maximal independent sets, then churn.
+#[test]
+fn cycle_batch_parity() {
+    let schedule = vec![
+        NetworkEvent::DeleteBatch((0..12).step_by(2).map(NodeId).collect()),
+        NetworkEvent::Join {
+            neighbors: vec![NodeId(1), NodeId(7)],
+        },
+        NetworkEvent::DeleteBatch(vec![NodeId(1), NodeId(5), NodeId(9)]),
+    ];
+    assert_schedule_parity(&cycle_graph(12), 17, &schedule, Dash);
+    assert_schedule_parity(&cycle_graph(12), 17, &schedule, Sdash);
+}
+
+/// Star hubs stress surrogation (large δ spread) under batches.
+#[test]
+fn star_batch_parity_sdash() {
+    let schedule = vec![
+        NetworkEvent::Delete(NodeId(0)),
+        NetworkEvent::DeleteBatch(vec![NodeId(3), NodeId(5), NodeId(11)]),
+        NetworkEvent::Join {
+            neighbors: vec![NodeId(1), NodeId(2)],
+        },
+        NetworkEvent::DeleteBatch(vec![NodeId(1), NodeId(7)]),
+    ];
+    assert_schedule_parity(&star_graph(16), 29, &schedule, Sdash);
+}
+
+/// Joined nodes get deleted again, re-joined, and batch-killed — the
+/// slot-growth paths on both sides must stay in lockstep.
+#[test]
+fn join_heavy_churn_parity() {
+    let mut schedule = Vec::new();
+    for i in 0..8u32 {
+        schedule.push(NetworkEvent::Join {
+            neighbors: vec![NodeId(i), NodeId(i + 2), NodeId(i + 20)],
+        });
+        schedule.push(NetworkEvent::Delete(NodeId(2 * i)));
+    }
+    schedule.push(NetworkEvent::DeleteBatch((24..36).map(NodeId).collect()));
+    assert_schedule_parity(&ba(24, 3), 3, &schedule, Dash);
+    assert_schedule_parity(&ba(24, 3), 3, &schedule, Sdash);
+}

@@ -10,10 +10,14 @@
 //! victims become no-ops, dependent batches are thinned to independent
 //! sets, and joins whose targets all died are skipped.
 
+mod common;
+
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selfheal_core::dash::Dash;
+use selfheal_core::distributed::HealMode;
+use selfheal_core::distributed_runner::DistributedScenarioRunner;
 use selfheal_core::invariants;
 use selfheal_core::scenario::{EventRecord, NetworkEvent, ScenarioEngine, ScriptedEvents};
 use selfheal_core::sdash::Sdash;
@@ -95,6 +99,32 @@ fn check_schedule<H: Healer>(healer: H, n: usize, events: usize, seed: u64) -> R
     Ok(())
 }
 
+/// Distributed-vs-centralized parity on a blind random schedule: the
+/// real message-passing protocol (batch kills with interleaved
+/// notifications, joins, quiescence-barrier healing) must reproduce the
+/// engine's topology, healing forest, component IDs and message counts
+/// exactly. The curated-schedule version of this check lives in
+/// `tests/distributed_parity.rs`; this one fuzzes the schedule space.
+fn check_distributed_parity<H: Healer>(
+    healer: H,
+    mode: HealMode,
+    n: usize,
+    events: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let g = barabasi_albert(n, 2, &mut StdRng::seed_from_u64(seed));
+    let schedule = random_schedule(n, events, seed ^ 0xD157);
+    let net = HealingNetwork::new(g.clone(), seed);
+    let mut engine = ScenarioEngine::new(net, healer, ScriptedEvents::new(schedule.clone()));
+    let mut runner = DistributedScenarioRunner::with_mode(mode, &g, seed);
+    for event in &schedule {
+        let central = engine.step().expect("schedule not exhausted");
+        let dist = runner.apply(event);
+        common::compare_event(&central, &dist)?;
+    }
+    common::compare_final_state(&engine.net, &runner)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -117,6 +147,29 @@ proptest! {
         seed in 0u64..10_000,
     ) {
         let result = check_schedule(Sdash, n, events, seed);
+        prop_assert!(result.is_ok(), "{:?}", result);
+    }
+
+    /// The distributed protocol reproduces the engine exactly on random
+    /// mixed schedules under DASH.
+    #[test]
+    fn dash_distributed_parity_on_mixed_schedules(
+        n in 8usize..32,
+        events in 10usize..60,
+        seed in 0u64..10_000,
+    ) {
+        let result = check_distributed_parity(Dash, HealMode::Dash, n, events, seed);
+        prop_assert!(result.is_ok(), "{:?}", result);
+    }
+
+    /// Same parity under SDASH (surrogation under interleaved batches).
+    #[test]
+    fn sdash_distributed_parity_on_mixed_schedules(
+        n in 8usize..32,
+        events in 10usize..60,
+        seed in 0u64..10_000,
+    ) {
+        let result = check_distributed_parity(Sdash, HealMode::Sdash, n, events, seed);
         prop_assert!(result.is_ok(), "{:?}", result);
     }
 
