@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test test-all bench bench-check sim-parity doc fmt fmt-check clippy examples figures ci clean
+.PHONY: all build test test-all bench bench-check sim-parity sweep-check doc fmt fmt-check clippy examples figures ci clean
 
 all: build
 
@@ -39,6 +39,17 @@ sim-parity:
 	$(CARGO) test -q --test scenarios distributed_parity
 	$(CARGO) bench -p selfheal-bench --bench distributed
 
+## Sweep-fleet gate: the fleet's integration tests (worker-count
+## determinism, golden aggregate, stream locks, worst-seed replay) plus a
+## real multi-thread sweep with theorem auditors on — any bound violation
+## or aggregate divergence fails the run. The sweep bench's structural
+## self-check (N-thread aggregate == 1-thread aggregate, byte-for-byte)
+## rides along.
+sweep-check:
+	$(CARGO) test -q --test sweep
+	$(CARGO) run -q --release -p selfheal-experiments -- sweep --quick --threads 4
+	$(CARGO) bench -p selfheal-bench --bench sweep
+
 ## API docs for the workspace crates only.
 doc:
 	$(CARGO) doc --no-deps --workspace
@@ -60,6 +71,7 @@ examples:
 	$(CARGO) run -q --release --example distributed_dash
 	$(CARGO) run -q --release --example lower_bound
 	$(CARGO) run -q --release --example overlay_churn
+	$(CARGO) run -q --release --example sweep_fleet
 	$(CARGO) run -q --release --example quickstart
 
 ## Regenerate the paper's figures (quick scale) with CSV dumps under out/.
@@ -67,7 +79,7 @@ figures:
 	$(CARGO) run -q --release -p selfheal-experiments -- all --quick --csv out
 
 ## The full CI gate.
-ci: fmt-check clippy build test-all doc bench-check sim-parity
+ci: fmt-check clippy build test-all doc bench-check sim-parity sweep-check
 	@echo "ci green"
 
 clean:

@@ -1,0 +1,59 @@
+//! Sweep-fleet throughput: the same seeded fleet at 1 worker thread vs
+//! the default pool, demonstrating the fan-out's speedup while
+//! *asserting* the aggregates stay byte-identical (the determinism
+//! contract the fleet is built on — a data race or order dependence in
+//! aggregation would fail here before any timing is reported).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfheal_core::sweep::{run_sweep, SweepAdversary, SweepConfig, SweepHealer};
+use selfheal_graph::parallel::default_threads;
+use std::hint::black_box;
+
+fn fleet_cfg(threads: usize) -> SweepConfig {
+    let mut cfg = SweepConfig::new(SweepAdversary::Epidemic, SweepHealer::Dash);
+    cfg.n = 48;
+    cfg.runs = 64;
+    cfg.threads = threads;
+    cfg
+}
+
+fn bench_sweep_threads(c: &mut Criterion) {
+    // On multicore hosts this is the real pool; floor of 2 so the
+    // threaded path (workers + channel fan-in) is always exercised even
+    // on single-core CI runners.
+    let parallel = default_threads().max(2);
+    // Structural self-check before timing: N threads must reproduce the
+    // 1-thread aggregate byte-for-byte, and the audited fleet must be
+    // violation-free.
+    let one = run_sweep(&fleet_cfg(1));
+    assert!(one.violations.is_empty(), "{:?}", one.violations);
+    let many = run_sweep(&fleet_cfg(parallel));
+    assert_eq!(
+        one.render_canonical(),
+        many.render_canonical(),
+        "thread-count changed the aggregate"
+    );
+
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for threads in [1usize, parallel] {
+        group.bench_with_input(
+            BenchmarkId::new("epidemic_64_runs_audited", threads),
+            &threads,
+            |b, &threads| {
+                let cfg = fleet_cfg(threads);
+                b.iter(|| {
+                    let agg = run_sweep(black_box(&cfg));
+                    assert_eq!(agg.runs, 64);
+                    black_box(agg.events)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_threads);
+criterion_main!(benches);

@@ -6,7 +6,28 @@
 //! (which it finds the most damaging for degree increase) — and this
 //! module adds [`RandomAttack`], [`MinDegree`] and [`Scripted`] for
 //! tests and extra experiments.
+//!
+//! ## The structural adversary library
+//!
+//! Trehan's dissertation stresses *adaptive* adversaries that target
+//! structure rather than pick uniformly, so beyond the single-victim
+//! [`Adversary`] trait (whose implementors drive the engine through the
+//! blanket `EventSource` adapter) this module carries event-level
+//! adversaries that exercise the full reconfiguration vocabulary:
+//!
+//! - [`CutVertex`] — delete the highest-degree articulation point
+//!   (single victims, maximally disconnective);
+//! - [`EpidemicChurn`] — failures spread along edges like an infection;
+//! - [`FlashCrowd`] — bursts of joins piling onto the current hub,
+//!   punctuated by the overwhelmed hub failing;
+//! - [`RackPartition`] — coordinated batch kills of random "racks",
+//!   modeling correlated datacenter failures (paper footnote 1).
+//!
+//! Every stochastic source derives its private RNG stream from
+//! `(seed, per-source tag)` so schedules replay from the seed alone and
+//! two sources sharing one seed never walk correlated streams.
 
+use crate::scenario::{source_stream, EventSource, NetworkEvent};
 use crate::state::HealingNetwork;
 use selfheal_graph::NodeId;
 use selfheal_sim::SplitMix64;
@@ -152,6 +173,224 @@ impl Adversary for CutVertex {
     }
 }
 
+/// Epidemic churn: node failures spread along edges like an infection.
+///
+/// Each event first spreads the infection — every live neighbor of an
+/// infected node catches it independently with probability `p` — and
+/// then the *oldest* infected node fails (a `Delete` event). When the
+/// infection dies out (or has not started) a random live node becomes
+/// patient zero, so the epidemic always progresses and a run-to-empty
+/// sweep terminates.
+///
+/// This is the locality-correlated failure model the uniform
+/// [`RandomAttack`] cannot express: victims cluster in neighborhoods, so
+/// reconstruction trees repeatedly form in already-damaged regions.
+#[derive(Clone, Debug)]
+pub struct EpidemicChurn {
+    rng: SplitMix64,
+    /// Per-edge spread probability per event.
+    p: f64,
+    /// Infected, in infection order (front = oldest = next victim).
+    infected: VecDeque<NodeId>,
+    /// Epoch-stamped membership mirror of `infected` (`mark[i] == epoch`
+    /// ⇔ infected this event), restamped each event so spread-step
+    /// membership tests are O(1) instead of scanning the queue.
+    mark: Vec<u32>,
+    epoch: u32,
+}
+
+impl EpidemicChurn {
+    /// Tag for the private RNG stream: `b"epidemic"` truncated.
+    pub const STREAM_TAG: u64 = 0x6570_6964_656d_6963;
+
+    /// Seeded epidemic with per-edge spread probability `p` (clamped to
+    /// `[0, 1]`).
+    pub fn new(seed: u64, p: f64) -> Self {
+        EpidemicChurn {
+            rng: source_stream(seed, Self::STREAM_TAG),
+            p: p.clamp(0.0, 1.0),
+            infected: VecDeque::new(),
+            mark: Vec::new(),
+            epoch: 0,
+        }
+    }
+}
+
+impl EventSource for EpidemicChurn {
+    fn name(&self) -> &'static str {
+        "epidemic-churn"
+    }
+
+    fn next_event(&mut self, net: &HealingNetwork) -> Option<NetworkEvent> {
+        if net.graph().live_node_count() == 0 {
+            return None;
+        }
+        // Drop victims that died by other means (mixed sources, stale
+        // state), then restamp the membership mirror for this event
+        // (fresh epoch = O(1) reset; the buffer only grows with the
+        // network).
+        self.infected.retain(|&v| net.is_alive(v));
+        if self.infected.is_empty() {
+            let live: Vec<NodeId> = net.graph().live_nodes().collect();
+            let zero = *self.rng.choose(&live);
+            self.infected.push_back(zero);
+        }
+        if self.mark.len() < net.graph().node_bound() {
+            self.mark.resize(net.graph().node_bound(), 0);
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.mark.fill(0);
+                1
+            }
+        };
+        for &v in &self.infected {
+            self.mark[v.index()] = self.epoch;
+        }
+        // One spread step: iterate this event's carriers in infection
+        // order, their neighbors in adjacency order — fully deterministic
+        // given the seed and the evolving network. (The RNG draw comes
+        // before the membership test on purpose: one draw per examined
+        // edge, so the stream does not depend on infection state.)
+        let carriers = self.infected.len();
+        for i in 0..carriers {
+            let v = self.infected[i];
+            for &u in net.graph().neighbors(v) {
+                if self.rng.gen_f64() < self.p && self.mark[u.index()] != self.epoch {
+                    self.mark[u.index()] = self.epoch;
+                    self.infected.push_back(u);
+                }
+            }
+        }
+        let victim = self.infected.pop_front().expect("seeded above");
+        Some(NetworkEvent::Delete(victim))
+    }
+}
+
+/// Flash crowd: bursts of joins all attaching to the current hub, each
+/// burst punctuated by the overwhelmed hub failing.
+///
+/// Every join attaches to the maximum-degree node plus up to two random
+/// live nodes, so degree (and healing pressure, once the hub dies)
+/// concentrates on one hotspot — the join-side analogue of
+/// [`NeighborOfMax`]'s "keep piling degree onto the hub". After the join
+/// budget is spent the source drains the network by deleting hubs, so
+/// run-to-empty terminates.
+#[derive(Clone, Debug)]
+pub struct FlashCrowd {
+    rng: SplitMix64,
+    joins_left: usize,
+    burst: usize,
+    burst_pos: usize,
+}
+
+impl FlashCrowd {
+    /// Tag for the private RNG stream: `b"flash"` packed.
+    pub const STREAM_TAG: u64 = 0x66_6c_61_73_68;
+
+    /// Seeded flash crowd issuing `joins` total joins in bursts of
+    /// `burst` (at least 1) before each hub failure.
+    pub fn new(seed: u64, joins: usize, burst: usize) -> Self {
+        FlashCrowd {
+            rng: source_stream(seed, Self::STREAM_TAG),
+            joins_left: joins,
+            burst: burst.max(1),
+            burst_pos: 0,
+        }
+    }
+}
+
+impl EventSource for FlashCrowd {
+    fn name(&self) -> &'static str {
+        "flash-crowd"
+    }
+
+    fn next_event(&mut self, net: &HealingNetwork) -> Option<NetworkEvent> {
+        let hub = net.graph().max_degree_node()?;
+        if self.joins_left == 0 {
+            // Budget spent: drain by killing the current hub.
+            return Some(NetworkEvent::Delete(hub));
+        }
+        if self.burst_pos < self.burst {
+            self.burst_pos += 1;
+            self.joins_left -= 1;
+            let mut neighbors = vec![hub];
+            let live: Vec<NodeId> = net.graph().live_nodes().collect();
+            for _ in 0..self.rng.gen_range(3) {
+                let cand = *self.rng.choose(&live);
+                if !neighbors.contains(&cand) {
+                    neighbors.push(cand);
+                }
+            }
+            Some(NetworkEvent::Join { neighbors })
+        } else {
+            self.burst_pos = 0;
+            Some(NetworkEvent::Delete(hub))
+        }
+    }
+}
+
+/// Coordinated rack failures: the live nodes are shuffled into "racks"
+/// of `rack_size` and each event kills one whole rack as a
+/// `DeleteBatch`.
+///
+/// The engine thins each batch to an independent set (paper footnote 1's
+/// NoN-knowledge condition), so adjacent rack-mates survive the first
+/// attempt; once every rack has been tried the survivors are re-shuffled
+/// into new racks, and the process repeats until the network is empty.
+/// Each emitted batch contains at least one live node, so progress is
+/// guaranteed.
+#[derive(Clone, Debug)]
+pub struct RackPartition {
+    rng: SplitMix64,
+    rack_size: usize,
+    racks: VecDeque<Vec<NodeId>>,
+}
+
+impl RackPartition {
+    /// Tag for the private RNG stream: `b"racks"` packed.
+    pub const STREAM_TAG: u64 = 0x72_61_63_6b_73;
+
+    /// Seeded rack partitioner with racks of `rack_size` (at least 1).
+    pub fn new(seed: u64, rack_size: usize) -> Self {
+        RackPartition {
+            rng: source_stream(seed, Self::STREAM_TAG),
+            rack_size: rack_size.max(1),
+            racks: VecDeque::new(),
+        }
+    }
+}
+
+impl EventSource for RackPartition {
+    fn name(&self) -> &'static str {
+        "rack-partition"
+    }
+
+    fn next_event(&mut self, net: &HealingNetwork) -> Option<NetworkEvent> {
+        loop {
+            if let Some(rack) = self.racks.pop_front() {
+                // Racks are disjoint, but earlier racks' adjacency
+                // thinning leaves survivors that only a re-shuffle will
+                // cover; skip racks that died entirely in the meantime
+                // (cannot happen within one shuffle, but cheap to guard).
+                if rack.iter().any(|&v| net.is_alive(v)) {
+                    return Some(NetworkEvent::DeleteBatch(rack));
+                }
+                continue;
+            }
+            let mut live: Vec<NodeId> = net.graph().live_nodes().collect();
+            if live.is_empty() {
+                return None;
+            }
+            self.rng.shuffle(&mut live);
+            for chunk in live.chunks(self.rack_size) {
+                self.racks.push_back(chunk.to_vec());
+            }
+        }
+    }
+}
+
 /// Replay a fixed victim sequence (dead or unknown ids are skipped).
 /// Used by the LEVELATTACK driver and by regression tests.
 #[derive(Clone, Debug, Default)]
@@ -274,6 +513,112 @@ mod tests {
         let g = selfheal_graph::generators::complete_graph(5);
         let net = HealingNetwork::new(g, 0);
         assert_eq!(CutVertex.pick(&net), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn epidemic_always_progresses_and_clusters() {
+        let mut net = star_net();
+        let mut e = EpidemicChurn::new(7, 0.5);
+        // Every event deletes exactly one live node, so a manual drive
+        // terminates in exactly live_node_count steps.
+        let mut kills = 0;
+        while let Some(ev) = e.next_event(&net) {
+            let NetworkEvent::Delete(v) = ev else {
+                panic!("epidemic only emits single deletions");
+            };
+            assert!(net.is_alive(v));
+            net.delete_node(v).unwrap();
+            kills += 1;
+        }
+        assert_eq!(kills, 6);
+    }
+
+    #[test]
+    fn epidemic_streams_are_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut net = star_net();
+            let mut e = EpidemicChurn::new(seed, 0.3);
+            let mut order = Vec::new();
+            while let Some(NetworkEvent::Delete(v)) = e.next_event(&net) {
+                net.delete_node(v).unwrap();
+                order.push(v);
+            }
+            order
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn flash_crowd_bursts_then_kills_the_hub() {
+        let net = star_net();
+        let mut f = FlashCrowd::new(5, 2, 2);
+        let hub = NodeId(0);
+        for _ in 0..2 {
+            match f.next_event(&net).unwrap() {
+                NetworkEvent::Join { neighbors } => {
+                    assert_eq!(neighbors[0], hub, "joins target the hub first")
+                }
+                other => panic!("expected a join, got {other:?}"),
+            }
+        }
+        // Burst over: the overwhelmed hub fails, then (budget spent) the
+        // source keeps draining hubs.
+        assert_eq!(f.next_event(&net).unwrap(), NetworkEvent::Delete(hub));
+        assert_eq!(f.next_event(&net).unwrap(), NetworkEvent::Delete(hub));
+    }
+
+    #[test]
+    fn flash_crowd_ends_on_empty_network() {
+        let mut net = HealingNetwork::new(selfheal_graph::Graph::new(1), 0);
+        net.delete_node(NodeId(0)).unwrap();
+        assert_eq!(FlashCrowd::new(1, 5, 2).next_event(&net), None);
+    }
+
+    #[test]
+    fn rack_partition_covers_every_node() {
+        let net = star_net();
+        let mut r = RackPartition::new(9, 3);
+        let mut seen = Vec::new();
+        // One shuffle of 6 nodes into racks of 3: two batches, disjoint,
+        // covering everything (nothing is deleted between calls here).
+        for _ in 0..2 {
+            match r.next_event(&net).unwrap() {
+                NetworkEvent::DeleteBatch(rack) => {
+                    assert_eq!(rack.len(), 3);
+                    seen.extend(rack);
+                }
+                other => panic!("expected a batch, got {other:?}"),
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..6u32).map(NodeId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rack_partition_ends_on_empty_network() {
+        let mut net = HealingNetwork::new(selfheal_graph::Graph::new(1), 0);
+        net.delete_node(NodeId(0)).unwrap();
+        assert_eq!(RackPartition::new(2, 4).next_event(&net), None);
+    }
+
+    #[test]
+    fn same_seed_different_sources_use_uncorrelated_streams() {
+        // All tagged streams must diverge even when built from one seed.
+        use crate::scenario::source_stream;
+        let tags = [
+            EpidemicChurn::STREAM_TAG,
+            FlashCrowd::STREAM_TAG,
+            RackPartition::STREAM_TAG,
+            crate::scenario::RandomChurn::STREAM_TAG,
+        ];
+        for (i, &a) in tags.iter().enumerate() {
+            for &b in &tags[i + 1..] {
+                let mut sa = source_stream(77, a);
+                let mut sb = source_stream(77, b);
+                let same = (0..32).filter(|_| sa.next_u64() == sb.next_u64()).count();
+                assert_eq!(same, 0, "tags {a:#x} and {b:#x} collide");
+            }
+        }
     }
 
     #[test]

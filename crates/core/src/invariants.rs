@@ -10,7 +10,16 @@
 //! - Lemma 5 — `rem(v) ≤ n`,
 //! - Lemma 6 — `δ(v) ≤ 2 log₂ n`,
 //! - weight conservation — `W* + lost = n` (used by Lemma 5's proof).
+//!
+//! The function-level checks are composed two ways: [`check_all`] (one
+//! state, all lemmas) and [`TheoremAuditor`] — an
+//! [`Observer`](crate::scenario::Observer) enforcing the *whole* of
+//! Theorem 1 (including the per-node ID-change, message and amortized
+//! latency bounds that previously lived only in the integration tests)
+//! after every event of a run, so a sweep over thousands of seeds can
+//! report the exact seed and event of any bound violation.
 
+use crate::scenario::{EventKind, EventRecord, Observer, ScenarioReport};
 use crate::state::HealingNetwork;
 use selfheal_graph::components::is_connected;
 use selfheal_graph::forest::is_forest;
@@ -155,6 +164,225 @@ pub fn check_all(net: &HealingNetwork, expect_forest: bool, check_rem: bool) -> 
     InvariantReport { violations }
 }
 
+/// The numeric constants of Theorem 1's four bullets, expressed as
+/// multiplicative factors so a caller can tighten or relax individual
+/// bounds (e.g. give a with-high-probability claim slack on tiny
+/// networks).
+///
+/// With the default factors the auditor checks exactly what the paper
+/// states and the integration tests pin:
+///
+/// - `δ(v) ≤ 2 log₂ n` (Lemma 6 / bullet 1) — deterministic,
+/// - ID changes per node `≤ 2 ln n` (bullet 2) — w.h.p.,
+/// - messages sent per node `≤ 2 (d + 2 log₂ n) ln n` (bullet 3, the
+///   rigorous sent side) and traffic `≤ 2×` that (the amortized received
+///   side),
+/// - amortized ID-propagation latency `≤ log₂ n` over the run's healing
+///   rounds (bullet 4), checked at [`TheoremAuditor::finish`] once the
+///   run has amortized over enough rounds,
+///
+/// where `n` counts nodes *ever created*, so the bounds stay meaningful
+/// under churn.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TheoremBounds {
+    /// Factor on `log₂ n` for the degree bound (paper: 2).
+    pub delta_factor: f64,
+    /// Factor on `ln n` for per-node ID changes (paper: 2, w.h.p.).
+    pub id_change_factor: f64,
+    /// Factor on `(d + 2 log₂ n) ln n` for per-node sent messages
+    /// (paper: 2).
+    pub message_factor: f64,
+    /// Factor on the sent-message bound for total traffic (received is
+    /// amortized in the paper, hence the 2× allowance).
+    pub traffic_factor: f64,
+    /// Factor on `log₂ n` for amortized propagation latency (paper: O(·);
+    /// 1 matches the integration tests).
+    pub latency_factor: f64,
+    /// Healing rounds a run must complete before the amortized latency
+    /// claim is checked (amortization needs Θ(n) deletions to kick in).
+    pub latency_min_rounds: u64,
+}
+
+impl Default for TheoremBounds {
+    fn default() -> Self {
+        TheoremBounds {
+            delta_factor: 2.0,
+            id_change_factor: 2.0,
+            message_factor: 2.0,
+            traffic_factor: 2.0,
+            latency_factor: 1.0,
+            latency_min_rounds: 8,
+        }
+    }
+}
+
+/// Cap on collected violations per auditor: a broken invariant usually
+/// re-fires every subsequent event, and the first few findings (with
+/// their event numbers) are what a replay needs.
+const MAX_VIOLATIONS: usize = 16;
+
+/// Theorem 1 as an [`Observer`]: every bound of the paper's headline
+/// theorem, enforced after every event of a scenario run.
+///
+/// The structural invariants (connectivity, `G'` forest, weight
+/// conservation, Lemma 6's degree bound) come from [`check_all`]; on top
+/// of that the auditor scans every node slot for the per-node ID-change
+/// and message bounds — the assertions that previously lived only in
+/// `tests/theorems.rs` — and [`TheoremAuditor::finish`] closes the run
+/// with the amortized latency claim. Each violation records the event
+/// number, so together with the run seed it pinpoints an exact replay.
+#[derive(Clone, Debug)]
+pub struct TheoremAuditor {
+    bounds: TheoremBounds,
+    expect_forest: bool,
+    /// Set once a multi-victim batch lands: Lemma 1's forest claim is
+    /// made for *sequential* deletions only — a batch killing several
+    /// victims of one component can legitimately cycle `G'` (the known
+    /// batch-model caveat, shared byte-for-byte by the distributed
+    /// runner) — so from that point the forest check is waived while
+    /// every other bound stays enforced.
+    forest_waived: bool,
+    check_rem: bool,
+    /// Violations found, prefixed with the event number (capped at
+    /// [`MAX_VIOLATIONS`]; `truncated` records overflow).
+    pub violations: Vec<String>,
+    /// Whether findings were dropped after the cap.
+    pub truncated: bool,
+}
+
+impl TheoremAuditor {
+    /// Auditor with the paper's default bounds. `expect_forest` mirrors
+    /// [`Healer::preserves_forest`](crate::strategy::Healer) for the
+    /// strategy under test.
+    pub fn new(expect_forest: bool) -> Self {
+        TheoremAuditor {
+            bounds: TheoremBounds::default(),
+            expect_forest,
+            forest_waived: false,
+            check_rem: false,
+            violations: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    /// Override the bound constants.
+    pub fn with_bounds(mut self, bounds: TheoremBounds) -> Self {
+        self.bounds = bounds;
+        self
+    }
+
+    /// Also check the O(n²) `rem` potential of Lemmas 4–5 every event.
+    pub fn with_rem_check(mut self) -> Self {
+        self.check_rem = true;
+        self
+    }
+
+    /// Whether every checked bound held so far.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn record(&mut self, label: &str, finding: String) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(format!("{label}: {finding}"));
+        } else {
+            self.truncated = true;
+        }
+    }
+
+    /// End-of-run checks: Theorem 1 bullet 4 (amortized ID-propagation
+    /// latency over the run's healing rounds). Call once after the run;
+    /// per-event checks alone never see the amortized quantity.
+    pub fn finish(&mut self, net: &HealingNetwork, report: &ScenarioReport) {
+        if report.rounds < self.bounds.latency_min_rounds {
+            return;
+        }
+        let n = net.total_created().max(2) as f64;
+        let bound = self.bounds.latency_factor * n.log2();
+        let amortized = report.amortized_latency();
+        if amortized > bound + 1e-9 {
+            self.record(
+                "finish",
+                format!("amortized latency {amortized:.3} exceeds {bound:.3} (theorem 1.4)"),
+            );
+        }
+    }
+}
+
+impl Observer for TheoremAuditor {
+    fn on_event(&mut self, net: &HealingNetwork, record: &EventRecord) {
+        let label = if record.kind != EventKind::Join && record.victims > 0 {
+            format!("event {} (round {})", record.event, record.round)
+        } else {
+            format!("event {}", record.event)
+        };
+        if record.kind == EventKind::DeleteBatch && record.victims > 1 {
+            self.forest_waived = true;
+        }
+        // Structural lemmas, invoked individually (not via `check_all`)
+        // because the degree bound below carries a configurable factor.
+        if !connectivity_ok(net) {
+            self.record(&label, "G is disconnected".to_string());
+        }
+        if self.expect_forest && !self.forest_waived && !forest_ok(net) {
+            self.record(&label, "G' contains a cycle".to_string());
+        }
+        if !weight_conservation_ok(net) {
+            self.record(&label, "weight not conserved".to_string());
+        }
+        if self.check_rem && !rem_potential_ok(net) {
+            self.record(
+                &label,
+                "rem potential below 2^(delta/2) or above n".to_string(),
+            );
+        }
+        let n = net.total_created().max(2) as f64;
+        let delta_bound = self.bounds.delta_factor * n.log2();
+        let max_delta = net.max_delta_alive();
+        if (max_delta as f64) > delta_bound + 1e-9 {
+            self.record(
+                &label,
+                format!("max delta {max_delta} exceeds {delta_bound:.2} (theorem 1.1)"),
+            );
+        }
+        // Per-node bounds over every slot ever created: dead nodes'
+        // counters froze at death and must also satisfy the bounds.
+        let id_bound = self.bounds.id_change_factor * n.ln();
+        let lnn = n.ln();
+        let two_logn = 2.0 * n.log2();
+        for i in 0..net.graph().node_bound() {
+            let v = NodeId::from_index(i);
+            let changes = net.id_changes(v) as f64;
+            if changes > id_bound + 1e-9 {
+                self.record(
+                    &label,
+                    format!("node {v}: {changes} id changes exceed {id_bound:.2} (theorem 1.2)"),
+                );
+                break; // one offender per event is enough for replay
+            }
+            let msg_bound =
+                self.bounds.message_factor * (net.initial_degree(v) as f64 + two_logn) * lnn;
+            let sent = net.messages_sent(v) as f64;
+            if sent > msg_bound + 1e-9 {
+                self.record(
+                    &label,
+                    format!("node {v}: sent {sent} messages, bound {msg_bound:.2} (theorem 1.3)"),
+                );
+                break;
+            }
+            let traffic = net.traffic(v) as f64;
+            let traffic_bound = self.bounds.traffic_factor * msg_bound;
+            if traffic > traffic_bound + 1e-9 {
+                self.record(
+                    &label,
+                    format!("node {v}: traffic {traffic} exceeds {traffic_bound:.2} (theorem 1.3)"),
+                );
+                break;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +453,61 @@ mod tests {
         let report = check_all(&net, true, false);
         assert!(!report.ok());
         assert!(report.violations[0].contains("disconnected"));
+    }
+
+    #[test]
+    fn theorem_auditor_is_clean_on_a_dash_sweep() {
+        use crate::attack::MaxNode;
+        use crate::scenario::ScenarioEngine;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let g = selfheal_graph::generators::barabasi_albert(48, 3, &mut StdRng::seed_from_u64(5));
+        let mut auditor = TheoremAuditor::new(Dash.preserves_forest()).with_rem_check();
+        let mut engine = ScenarioEngine::new(HealingNetwork::new(g, 5), Dash, MaxNode);
+        let report = engine.run_to_empty_with(&mut auditor);
+        auditor.finish(&engine.net, &report);
+        assert!(auditor.ok(), "{:?}", auditor.violations);
+        assert!(!auditor.truncated);
+    }
+
+    #[test]
+    fn theorem_auditor_flags_no_heal_and_caps_findings() {
+        use crate::attack::MaxNode;
+        use crate::naive::NoHeal;
+        use crate::scenario::ScenarioEngine;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let g = selfheal_graph::generators::barabasi_albert(40, 3, &mut StdRng::seed_from_u64(3));
+        let mut auditor = TheoremAuditor::new(false);
+        let mut engine = ScenarioEngine::new(HealingNetwork::new(g, 3), NoHeal, MaxNode);
+        engine.run_to_empty_with(&mut auditor);
+        assert!(!auditor.ok(), "NoHeal must break connectivity");
+        assert!(auditor.violations.len() <= super::MAX_VIOLATIONS);
+        assert!(auditor.truncated, "disconnection re-fires every event");
+        assert!(auditor.violations[0].contains("disconnected"));
+        assert!(auditor.violations[0].contains("event"));
+    }
+
+    #[test]
+    fn theorem_auditor_honors_custom_bounds() {
+        use crate::attack::MaxNode;
+        use crate::scenario::ScenarioEngine;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let g = selfheal_graph::generators::barabasi_albert(32, 3, &mut StdRng::seed_from_u64(9));
+        // An absurdly tight degree bound must flag even correct DASH.
+        let bounds = TheoremBounds {
+            delta_factor: 0.0,
+            ..TheoremBounds::default()
+        };
+        let mut auditor = TheoremAuditor::new(true).with_bounds(bounds);
+        let mut engine = ScenarioEngine::new(HealingNetwork::new(g, 9), Dash, MaxNode);
+        engine.run_to_empty_with(&mut auditor);
+        assert!(
+            auditor.violations.iter().any(|v| v.contains("theorem 1.1")),
+            "{:?}",
+            auditor.violations
+        );
     }
 
     #[test]

@@ -46,14 +46,17 @@ pub mod scenario;
 pub mod sdash;
 pub mod state;
 pub mod strategy;
+pub mod sweep;
 
 pub use dash::Dash;
 pub use distributed::{DistributedDash, HealMode};
 pub use distributed_runner::{DistEventRecord, DistScenarioReport, DistributedScenarioRunner};
 pub use engine::{AuditLevel, Engine, EngineReport};
+pub use invariants::{TheoremAuditor, TheoremBounds};
 pub use scenario::{
     EventRecord, EventSource, NetworkEvent, Observer, ScenarioEngine, ScenarioReport,
 };
 pub use sdash::Sdash;
 pub use state::HealingNetwork;
 pub use strategy::{HealOutcome, Healer};
+pub use sweep::{run_sweep, SweepAdversary, SweepAggregate, SweepConfig, SweepHealer};

@@ -201,6 +201,21 @@ impl EventSource for DegreeBatches {
     }
 }
 
+/// Derive the private RNG stream of a stochastic event source from its
+/// seed and a per-source tag.
+///
+/// Every randomized `EventSource` owns its own [`SplitMix64`] — never a
+/// shared generator — so a schedule depends only on (seed, evolving
+/// network), not on how many draws *other* components made in between:
+/// the same seed replays the same schedule no matter what else runs.
+/// The tag keeps two *different* sources built from the same seed (a
+/// common pattern in sweeps, where one run seed parameterizes
+/// everything) on uncorrelated streams instead of walking the raw
+/// `SplitMix64::new(seed)` sequence in lockstep.
+pub(crate) fn source_stream(seed: u64, tag: u64) -> SplitMix64 {
+    SplitMix64::new(seed).derive(tag)
+}
+
 /// Mixed churn: with probability 1/3 a join attaching to 1–3 random live
 /// nodes, otherwise a targeted deletion of a random neighbor of the
 /// current maximum-degree node (the hub itself when isolated). This is
@@ -211,10 +226,13 @@ pub struct RandomChurn {
 }
 
 impl RandomChurn {
-    /// Seeded churn stream.
+    /// Tag for [`source_stream`]: `b"churn"` packed big-endian.
+    pub const STREAM_TAG: u64 = 0x63_68_75_72_6e;
+
+    /// Seeded churn stream (private tagged RNG; see [`source_stream`]).
     pub fn new(seed: u64) -> Self {
         RandomChurn {
-            rng: SplitMix64::new(seed),
+            rng: source_stream(seed, Self::STREAM_TAG),
         }
     }
 }

@@ -1,0 +1,770 @@
+//! The parallel sweep fleet: thousands of deterministically-seeded
+//! scenarios fanned across worker threads, every run audited against
+//! Theorem 1, aggregated into an order-independent report.
+//!
+//! The paper's guarantees are worst-case claims over *adversarial*
+//! reconfiguration sequences; a handful of curated schedules cannot
+//! probe that space. The fleet does: a [`SweepConfig`] names a graph
+//! size, a healer, an adversary from the structural library
+//! ([`SweepAdversary`]) and a seed range, and [`run_sweep`] executes one
+//! independent scenario per seed — each on a fresh Barabási–Albert graph,
+//! driven by a freshly tagged-seeded event source, watched by a
+//! [`TheoremAuditor`] — distributing runs over threads with
+//! [`parallel_fold`]'s worker-local accumulators (no shared mutable
+//! state, results fan in over a channel).
+//!
+//! Determinism is load-bearing: every run derives everything from
+//! `run_seed(base, index)`, and [`SweepAggregate`] is built from
+//! commutative-associative pieces ([`Histogram`] bucket addition,
+//! [`Extreme`] max-with-min-seed-tie-break, violation lists sorted at
+//! finalization), so the aggregate is **byte-identical for any worker
+//! count** — `tests/sweep.rs` pins that, and the worst seed of any
+//! statistic can be replayed exactly with [`replay`].
+
+use crate::attack::{CutVertex, EpidemicChurn, FlashCrowd, MaxNode, RackPartition};
+use crate::dash::Dash;
+use crate::distributed::HealMode;
+use crate::distributed_runner::DistributedScenarioRunner;
+use crate::invariants::TheoremAuditor;
+use crate::scenario::{
+    EventSource, NetworkEvent, RecordLog, ScenarioEngine, ScenarioReport, ScriptedEvents,
+};
+use crate::sdash::Sdash;
+use crate::state::HealingNetwork;
+use crate::strategy::Healer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfheal_graph::generators::barabasi_albert;
+use selfheal_graph::parallel::parallel_fold;
+use selfheal_graph::Graph;
+use selfheal_metrics::{Extreme, Histogram, StretchBaseline};
+use std::fmt::Write as _;
+
+/// The structural adversary library the fleet sweeps (the five
+/// event-level adversaries beyond the paper's originals).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepAdversary {
+    /// Highest-degree articulation point each round ([`CutVertex`]).
+    CutVertex,
+    /// Current maximum-degree node each round ([`MaxNode`]).
+    HighestDegree,
+    /// Failures spreading along edges ([`EpidemicChurn`]).
+    Epidemic,
+    /// Join bursts onto the hub, then hub failures ([`FlashCrowd`]).
+    FlashCrowd,
+    /// Coordinated rack-batch kills ([`RackPartition`]).
+    RackPartition,
+}
+
+impl SweepAdversary {
+    /// Every adversary, in sweep order.
+    pub const ALL: [SweepAdversary; 5] = [
+        SweepAdversary::CutVertex,
+        SweepAdversary::HighestDegree,
+        SweepAdversary::Epidemic,
+        SweepAdversary::FlashCrowd,
+        SweepAdversary::RackPartition,
+    ];
+
+    /// Stable display name (matches the underlying source's name).
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepAdversary::CutVertex => "cut-vertex",
+            SweepAdversary::HighestDegree => "max-node",
+            SweepAdversary::Epidemic => "epidemic-churn",
+            SweepAdversary::FlashCrowd => "flash-crowd",
+            SweepAdversary::RackPartition => "rack-partition",
+        }
+    }
+
+    /// Parse a display name (for the CLI).
+    pub fn parse(name: &str) -> Option<SweepAdversary> {
+        SweepAdversary::ALL.into_iter().find(|a| a.name() == name)
+    }
+
+    fn build(self, seed: u64, n: usize) -> BuiltSource {
+        match self {
+            SweepAdversary::CutVertex => BuiltSource::Cut(CutVertex),
+            SweepAdversary::HighestDegree => BuiltSource::Max(MaxNode),
+            SweepAdversary::Epidemic => BuiltSource::Epidemic(EpidemicChurn::new(seed, 0.25)),
+            // A third of the network joins in bursts of 3 before the
+            // drain starts — enough churn to matter, still terminating.
+            SweepAdversary::FlashCrowd => BuiltSource::Flash(FlashCrowd::new(seed, n / 3, 3)),
+            SweepAdversary::RackPartition => BuiltSource::Rack(RackPartition::new(seed, 4)),
+        }
+    }
+}
+
+/// The healers the fleet exercises (the paper's two main algorithms).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepHealer {
+    /// Algorithm 1.
+    Dash,
+    /// Algorithm 3 (surrogation).
+    Sdash,
+}
+
+impl SweepHealer {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepHealer::Dash => "dash",
+            SweepHealer::Sdash => "sdash",
+        }
+    }
+
+    /// Parse a display name (for the CLI).
+    pub fn parse(name: &str) -> Option<SweepHealer> {
+        match name {
+            "dash" => Some(SweepHealer::Dash),
+            "sdash" => Some(SweepHealer::Sdash),
+            _ => None,
+        }
+    }
+
+    fn build(self) -> Box<dyn Healer> {
+        match self {
+            SweepHealer::Dash => Box::new(Dash),
+            SweepHealer::Sdash => Box::new(Sdash),
+        }
+    }
+
+    fn heal_mode(self) -> HealMode {
+        match self {
+            SweepHealer::Dash => HealMode::Dash,
+            SweepHealer::Sdash => HealMode::Sdash,
+        }
+    }
+}
+
+/// Concrete event source instances, dispatched without trait objects so
+/// the engine's generic parameters stay simple.
+enum BuiltSource {
+    Cut(CutVertex),
+    Max(MaxNode),
+    Epidemic(EpidemicChurn),
+    Flash(FlashCrowd),
+    Rack(RackPartition),
+}
+
+impl BuiltSource {
+    fn next_event(&mut self, net: &HealingNetwork) -> Option<NetworkEvent> {
+        match self {
+            BuiltSource::Cut(s) => s.next_event(net),
+            BuiltSource::Max(s) => s.next_event(net),
+            BuiltSource::Epidemic(s) => s.next_event(net),
+            BuiltSource::Flash(s) => s.next_event(net),
+            BuiltSource::Rack(s) => s.next_event(net),
+        }
+    }
+}
+
+/// One sweep: `runs` seeded scenarios of one (n, healer, adversary)
+/// configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepConfig {
+    /// Initial Barabási–Albert graph size (attachment 3).
+    pub n: usize,
+    /// The adversary driving every run.
+    pub adversary: SweepAdversary,
+    /// The healing algorithm under test.
+    pub healer: SweepHealer,
+    /// Base seed; run `i` uses [`run_seed`]`(base_seed, i)`.
+    pub base_seed: u64,
+    /// Number of independent seeded runs.
+    pub runs: u64,
+    /// Safety cap on events per run (0 = run to source exhaustion; every
+    /// library adversary terminates on its own).
+    pub max_events: u64,
+    /// Enforce Theorem 1 via a [`TheoremAuditor`] on every run.
+    pub audit: bool,
+    /// Also check the O(n²) `rem` potential each event (slow; small n).
+    pub check_rem: bool,
+    /// Run the distributed fabric twin alongside each run and require
+    /// byte parity (per-event message counts + full final state).
+    pub parity: bool,
+    /// Worker threads for the fleet.
+    pub threads: usize,
+}
+
+impl SweepConfig {
+    /// A sensible small configuration (used by tests and `--quick`).
+    pub fn new(adversary: SweepAdversary, healer: SweepHealer) -> Self {
+        SweepConfig {
+            n: 48,
+            adversary,
+            healer,
+            base_seed: 0x5EED,
+            runs: 32,
+            max_events: 0,
+            audit: true,
+            check_rem: false,
+            parity: false,
+            threads: 1,
+        }
+    }
+}
+
+/// Derive the seed of run `index` from the sweep's base seed
+/// (SplitMix64-style golden-ratio mixing, matching the experiment
+/// harness's per-trial derivation).
+pub fn run_seed(base: u64, index: u64) -> u64 {
+    base.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        ^ (index >> 7)
+}
+
+/// Everything one seeded run reports back to the fleet.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The run's derived seed (replays the run exactly).
+    pub seed: u64,
+    /// Final engine report.
+    pub report: ScenarioReport,
+    /// Half-life stretch vs the initial graph (×10, rounded up), `None`
+    /// when fewer than two baseline nodes survived to the measurement.
+    pub stretch_tenths: Option<u64>,
+    /// Theorem/parity violations (empty on a clean run).
+    pub violations: Vec<String>,
+}
+
+/// Execute run `index` of a sweep configuration.
+pub fn run_one(cfg: &SweepConfig, index: u64) -> RunOutcome {
+    let seed = run_seed(cfg.base_seed, index);
+    let (report, _log, stretch_tenths, violations) = execute(cfg, seed, false);
+    RunOutcome {
+        seed,
+        report,
+        stretch_tenths,
+        violations,
+    }
+}
+
+/// Replay one run by its derived seed (e.g. a worst-seed capture from a
+/// [`SweepAggregate`]), returning the full per-event record log alongside
+/// the report and violations — everything needed to debug a violation or
+/// an outlier offline.
+pub fn replay(cfg: &SweepConfig, seed: u64) -> (ScenarioReport, RecordLog, Vec<String>) {
+    let (report, log, _stretch, violations) = execute(cfg, seed, true);
+    (report, log, violations)
+}
+
+/// Shared body of [`run_one`] and [`replay`]: build graph, source,
+/// engine, optional fabric twin; drive to exhaustion under the auditor.
+fn execute(
+    cfg: &SweepConfig,
+    seed: u64,
+    keep_log: bool,
+) -> (ScenarioReport, RecordLog, Option<u64>, Vec<String>) {
+    let g = barabasi_albert(cfg.n, 3, &mut StdRng::seed_from_u64(seed));
+    let baseline = StretchBaseline::new(&g, 1);
+    let healer = cfg.healer.build();
+    let mut auditor = TheoremAuditor::new(healer.preserves_forest());
+    if cfg.check_rem {
+        auditor = auditor.with_rem_check();
+    }
+    let mut source = cfg.adversary.build(seed, cfg.n);
+    let mut twin = cfg
+        .parity
+        .then(|| DistributedScenarioRunner::with_mode(cfg.healer.heal_mode(), &g, seed));
+    let mut engine = ScenarioEngine::new(
+        HealingNetwork::new(g, seed),
+        healer,
+        ScriptedEvents::default(),
+    );
+    let mut log = RecordLog::default();
+    let mut violations = Vec::new();
+    let mut stretch_tenths = None;
+    let half_life = (cfg.n as u64).div_ceil(2);
+    let mut events = 0u64;
+    while cfg.max_events == 0 || events < cfg.max_events {
+        let Some(event) = source.next_event(&engine.net) else {
+            break;
+        };
+        events += 1;
+        let record = if cfg.audit {
+            engine.apply_with(event.clone(), &mut auditor)
+        } else {
+            engine.apply(event.clone())
+        };
+        if keep_log {
+            log.records.push(record);
+        }
+        if let Some(runner) = twin.as_mut() {
+            let dist = runner.apply(&event);
+            if let Err(e) = parity_event(&record, &dist) {
+                violations.push(format!("parity: {e}"));
+            }
+        }
+        // Half-life measurement: the paper's stretch metric compares
+        // survivors against the initial graph, so sample it while a
+        // meaningful survivor population remains.
+        if stretch_tenths.is_none() && engine.report().deletions >= half_life {
+            stretch_tenths = baseline
+                .stretch_of(engine.net.graph(), 1)
+                .map(|r| (r.stretch * 10.0).ceil() as u64);
+        }
+    }
+    let report = engine.finish();
+    if cfg.audit {
+        auditor.finish(&engine.net, &report);
+        let truncated = auditor.truncated;
+        violations.extend(auditor.violations);
+        if truncated {
+            // Keep the cap visible: 16 findings + this marker reads
+            // differently from exactly 16 findings.
+            violations.push("audit: further findings truncated".to_string());
+        }
+    }
+    if let Some(runner) = twin.as_ref() {
+        if let Err(e) = parity_final(&engine.net, runner) {
+            violations.push(format!("parity (final): {e}"));
+        }
+    }
+    (report, log, stretch_tenths, violations)
+}
+
+/// Per-event parity between the modeled engine and the fabric twin:
+/// kind, effective victim count, join identity, Lemma 8 message count.
+///
+/// This is *the* definition of per-event byte-identity — the parity
+/// test-suites (`tests/distributed_parity.rs`, `tests/scenarios.rs`)
+/// delegate to it, so the fleet's `--parity` mode can never check less
+/// than the tests do.
+pub fn parity_event(
+    central: &crate::scenario::EventRecord,
+    dist: &crate::distributed_runner::DistEventRecord,
+) -> Result<(), String> {
+    if central.kind != dist.kind {
+        return Err(format!(
+            "event {}: kind {:?} vs {:?}",
+            central.event, central.kind, dist.kind
+        ));
+    }
+    if central.victims != dist.victims {
+        return Err(format!(
+            "event {}: victims {} vs {}",
+            central.event, central.victims, dist.victims
+        ));
+    }
+    if central.joined.map(|v| v.0) != dist.joined {
+        return Err(format!(
+            "event {}: joined {:?} vs {:?}",
+            central.event, central.joined, dist.joined
+        ));
+    }
+    if central.propagation.messages != dist.messages {
+        return Err(format!(
+            "event {}: messages {} vs {}",
+            central.event, central.propagation.messages, dist.messages
+        ));
+    }
+    Ok(())
+}
+
+/// Final-state parity: per-slot liveness, adjacency in `G` and `G'`,
+/// component IDs, initial IDs, ID-change counts and per-node message
+/// counters — the single definition of final-state byte-identity, shared
+/// with the parity test-suites.
+pub fn parity_final(
+    net: &HealingNetwork,
+    runner: &DistributedScenarioRunner,
+) -> Result<(), String> {
+    if net.graph().node_bound() != runner.topology().len() {
+        return Err(format!(
+            "slot counts {} vs {}",
+            net.graph().node_bound(),
+            runner.topology().len()
+        ));
+    }
+    for i in 0..net.graph().node_bound() {
+        let v = selfheal_graph::NodeId::from_index(i);
+        let u = i as u32;
+        if net.is_alive(v) != runner.topology().is_alive(u) {
+            return Err(format!("liveness of {v} diverged"));
+        }
+        if net.is_alive(v) {
+            let central: Vec<u32> = net.graph().neighbors(v).iter().map(|x| x.0).collect();
+            if central != runner.topology().neighbors(u) {
+                return Err(format!(
+                    "G adjacency of {v}: {central:?} vs {:?}",
+                    runner.topology().neighbors(u)
+                ));
+            }
+            let central_gp: Vec<u32> = net
+                .healing_graph()
+                .neighbors(v)
+                .iter()
+                .map(|x| x.0)
+                .collect();
+            let dist_gp: Vec<u32> = runner
+                .protocol()
+                .gprime_neighbors(u)
+                .iter()
+                .copied()
+                .collect();
+            if central_gp != dist_gp {
+                return Err(format!(
+                    "G' adjacency of {v}: {central_gp:?} vs {dist_gp:?}"
+                ));
+            }
+            if net.comp_id(v) != runner.protocol().comp_id(u) {
+                return Err(format!(
+                    "component id of {v}: {} vs {}",
+                    net.comp_id(v),
+                    runner.protocol().comp_id(u)
+                ));
+            }
+            if net.initial_id(v) != runner.protocol().initial_id(u) {
+                return Err(format!(
+                    "initial id of {v}: {} vs {}",
+                    net.initial_id(v),
+                    runner.protocol().initial_id(u)
+                ));
+            }
+            if net.id_changes(v) != runner.protocol().id_changes(u) {
+                return Err(format!(
+                    "id changes of {v}: {} vs {}",
+                    net.id_changes(v),
+                    runner.protocol().id_changes(u)
+                ));
+            }
+        }
+        if net.messages_sent(v) != runner.metrics().sent(u) {
+            return Err(format!(
+                "sent count of {v}: {} vs {}",
+                net.messages_sent(v),
+                runner.metrics().sent(u)
+            ));
+        }
+        if net.messages_received(v) != runner.metrics().received(u) {
+            return Err(format!(
+                "received count of {v}: {} vs {}",
+                net.messages_received(v),
+                runner.metrics().received(u)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Order-independent aggregate of a whole sweep.
+///
+/// Built exclusively from commutative-associative pieces, so merging
+/// per-worker aggregates yields the same bytes for every worker count
+/// and item partition (after [`SweepAggregate::finalize`] sorts the
+/// violation list).
+#[derive(Clone, Debug, Default)]
+pub struct SweepAggregate {
+    /// Runs folded in.
+    pub runs: u64,
+    /// Total events across runs.
+    pub events: u64,
+    /// Healing rounds across runs.
+    pub rounds: u64,
+    /// Individual deletions across runs.
+    pub deletions: u64,
+    /// Joins across runs.
+    pub joins: u64,
+    /// Per-run total ID-maintenance messages.
+    pub messages: Histogram,
+    /// Per-run maximum per-node ID changes.
+    pub id_changes: Histogram,
+    /// Per-run maximum degree increase (clamped at 0).
+    pub degree_delta: Histogram,
+    /// Per-run half-life stretch ×10 (rounded up).
+    pub stretch_tenths: Histogram,
+    /// Runs whose stretch could not be measured (too few survivors).
+    pub stretch_skipped: u64,
+    /// Worst per-run message total and its seed.
+    pub worst_messages: Extreme,
+    /// Worst per-run max ID-change count and its seed.
+    pub worst_id_changes: Extreme,
+    /// Worst per-run degree increase and its seed.
+    pub worst_delta: Extreme,
+    /// Worst per-run stretch (×10) and its seed.
+    pub worst_stretch: Extreme,
+    /// Worst single-round broadcast latency and its seed.
+    pub worst_latency: Extreme,
+    /// `(seed, finding)` for every violation (sorted by
+    /// [`SweepAggregate::finalize`]).
+    pub violations: Vec<(u64, String)>,
+}
+
+impl SweepAggregate {
+    /// Fold one run into the aggregate.
+    pub fn observe(&mut self, run: &RunOutcome) {
+        self.runs += 1;
+        self.events += run.report.events;
+        self.rounds += run.report.rounds;
+        self.deletions += run.report.deletions;
+        self.joins += run.report.joins;
+        self.messages.push(run.report.total_messages as usize);
+        self.id_changes.push(run.report.max_id_changes as usize);
+        self.degree_delta
+            .push(run.report.max_delta_ever.max(0) as usize);
+        match run.stretch_tenths {
+            Some(s) => {
+                self.stretch_tenths.push(s as usize);
+                self.worst_stretch.observe(s, run.seed);
+            }
+            None => self.stretch_skipped += 1,
+        }
+        self.worst_messages
+            .observe(run.report.total_messages, run.seed);
+        self.worst_id_changes
+            .observe(run.report.max_id_changes as u64, run.seed);
+        self.worst_delta
+            .observe(run.report.max_delta_ever.max(0) as u64, run.seed);
+        self.worst_latency
+            .observe(run.report.max_propagation_latency, run.seed);
+        for v in &run.violations {
+            self.violations.push((run.seed, v.clone()));
+        }
+    }
+
+    /// Fold another worker's aggregate into this one.
+    pub fn merge(&mut self, other: SweepAggregate) {
+        self.runs += other.runs;
+        self.events += other.events;
+        self.rounds += other.rounds;
+        self.deletions += other.deletions;
+        self.joins += other.joins;
+        self.messages.merge(&other.messages);
+        self.id_changes.merge(&other.id_changes);
+        self.degree_delta.merge(&other.degree_delta);
+        self.stretch_tenths.merge(&other.stretch_tenths);
+        self.stretch_skipped += other.stretch_skipped;
+        self.worst_messages.merge(&other.worst_messages);
+        self.worst_id_changes.merge(&other.worst_id_changes);
+        self.worst_delta.merge(&other.worst_delta);
+        self.worst_stretch.merge(&other.worst_stretch);
+        self.worst_latency.merge(&other.worst_latency);
+        self.violations.extend(other.violations);
+    }
+
+    /// Canonicalize: sort the violation list so the aggregate's bytes do
+    /// not depend on which worker saw which run first.
+    pub fn finalize(&mut self) {
+        self.violations.sort();
+    }
+
+    /// Complete canonical dump: every counter, every sparse histogram
+    /// bucket, every worst seed, every violation — the byte-for-byte
+    /// identity the determinism and golden tests compare.
+    pub fn render_canonical(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "runs={} events={} rounds={} deletions={} joins={}",
+            self.runs, self.events, self.rounds, self.deletions, self.joins
+        );
+        for (name, h) in [
+            ("messages", &self.messages),
+            ("id_changes", &self.id_changes),
+            ("degree_delta", &self.degree_delta),
+            ("stretch_tenths", &self.stretch_tenths),
+        ] {
+            let _ = write!(out, "{name}:");
+            for (value, count) in h.buckets() {
+                let _ = write!(out, " {value}x{count}");
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "stretch_skipped={}", self.stretch_skipped);
+        let _ = writeln!(
+            out,
+            "worst: messages={} id_changes={} delta={} stretch={} latency={}",
+            self.worst_messages,
+            self.worst_id_changes,
+            self.worst_delta,
+            self.worst_stretch,
+            self.worst_latency
+        );
+        let _ = writeln!(out, "violations={}", self.violations.len());
+        for (seed, v) in &self.violations {
+            let _ = writeln!(out, "  seed {seed}: {v}");
+        }
+        out
+    }
+
+    /// One human-oriented summary line per statistic (for the CLI).
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "runs {}  events {}  rounds {}  deletions {}  joins {}  violations {}",
+            self.runs,
+            self.events,
+            self.rounds,
+            self.deletions,
+            self.joins,
+            self.violations.len()
+        );
+        let _ = writeln!(
+            out,
+            "  messages     {}  worst {}",
+            self.messages.percentile_line(),
+            self.worst_messages
+        );
+        let _ = writeln!(
+            out,
+            "  id-changes   {}  worst {}",
+            self.id_changes.percentile_line(),
+            self.worst_id_changes
+        );
+        let _ = writeln!(
+            out,
+            "  degree-delta {}  worst {}",
+            self.degree_delta.percentile_line(),
+            self.worst_delta
+        );
+        let _ = writeln!(
+            out,
+            "  stretch/10   {}  worst {}  (unmeasured {})",
+            self.stretch_tenths.percentile_line(),
+            self.worst_stretch,
+            self.stretch_skipped
+        );
+        let _ = writeln!(out, "  round-latency worst {}", self.worst_latency);
+        for (seed, v) in self.violations.iter().take(8) {
+            let _ = writeln!(out, "  VIOLATION seed {seed}: {v}");
+        }
+        if self.violations.len() > 8 {
+            let _ = writeln!(out, "  ... {} more", self.violations.len() - 8);
+        }
+        out
+    }
+}
+
+/// Run the whole sweep: fan `cfg.runs` seeded scenarios over
+/// `cfg.threads` workers and return the finalized aggregate.
+pub fn run_sweep(cfg: &SweepConfig) -> SweepAggregate {
+    let mut agg = parallel_fold(
+        cfg.runs as usize,
+        cfg.threads,
+        SweepAggregate::default,
+        |mut acc: SweepAggregate, i| {
+            acc.observe(&run_one(cfg, i as u64));
+            acc
+        },
+        |mut a, b| {
+            a.merge(b);
+            a
+        },
+    );
+    agg.finalize();
+    agg
+}
+
+/// Convenience for tests and examples: rebuild the initial graph of a
+/// given run seed (the sweep always starts from BA(n, 3)).
+pub fn initial_graph(cfg: &SweepConfig, seed: u64) -> Graph {
+    barabasi_albert(cfg.n, 3, &mut StdRng::seed_from_u64(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_seeds_are_distinct_and_stable() {
+        let a = run_seed(1, 0);
+        assert_eq!(a, run_seed(1, 0));
+        assert_ne!(a, run_seed(1, 1));
+        assert_ne!(a, run_seed(2, 0));
+        let seeds: std::collections::HashSet<u64> = (0..1000).map(|i| run_seed(7, i)).collect();
+        assert_eq!(seeds.len(), 1000, "per-run seeds must not collide");
+    }
+
+    #[test]
+    fn one_run_is_reproducible() {
+        let cfg = SweepConfig::new(SweepAdversary::Epidemic, SweepHealer::Dash);
+        let a = run_one(&cfg, 3);
+        let b = run_one(&cfg, 3);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.report.total_messages, b.report.total_messages);
+        assert_eq!(a.report.events, b.report.events);
+        assert_eq!(a.stretch_tenths, b.stretch_tenths);
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+    }
+
+    #[test]
+    fn every_adversary_terminates_and_audits_clean() {
+        for adversary in SweepAdversary::ALL {
+            let mut cfg = SweepConfig::new(adversary, SweepHealer::Dash);
+            cfg.n = 32;
+            cfg.runs = 4;
+            let agg = run_sweep(&cfg);
+            assert_eq!(agg.runs, 4);
+            assert!(
+                agg.violations.is_empty(),
+                "{}: {:?}",
+                adversary.name(),
+                agg.violations
+            );
+            assert!(agg.deletions > 0, "{} deleted nothing", adversary.name());
+            if adversary == SweepAdversary::FlashCrowd {
+                assert!(agg.joins > 0, "flash crowd must join");
+            }
+        }
+    }
+
+    #[test]
+    fn sdash_sweeps_audit_clean() {
+        let mut cfg = SweepConfig::new(SweepAdversary::RackPartition, SweepHealer::Sdash);
+        cfg.n = 32;
+        cfg.runs = 4;
+        let agg = run_sweep(&cfg);
+        assert!(agg.violations.is_empty(), "{:?}", agg.violations);
+    }
+
+    #[test]
+    fn aggregate_is_thread_count_invariant() {
+        let mut cfg = SweepConfig::new(SweepAdversary::Epidemic, SweepHealer::Dash);
+        cfg.n = 24;
+        cfg.runs = 12;
+        cfg.threads = 1;
+        let one = run_sweep(&cfg).render_canonical();
+        for threads in [2, 4] {
+            cfg.threads = threads;
+            assert_eq!(
+                run_sweep(&cfg).render_canonical(),
+                one,
+                "aggregate diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parity_twin_agrees_on_delete_only_adversaries() {
+        let mut cfg = SweepConfig::new(SweepAdversary::CutVertex, SweepHealer::Dash);
+        cfg.n = 16;
+        cfg.runs = 3;
+        cfg.parity = true;
+        let agg = run_sweep(&cfg);
+        assert!(agg.violations.is_empty(), "{:?}", agg.violations);
+    }
+
+    #[test]
+    fn replay_reproduces_the_worst_seed() {
+        let mut cfg = SweepConfig::new(SweepAdversary::HighestDegree, SweepHealer::Dash);
+        cfg.n = 24;
+        cfg.runs = 8;
+        let agg = run_sweep(&cfg);
+        let worst = agg.worst_messages;
+        let (report, log, violations) = replay(&cfg, worst.seed);
+        assert_eq!(report.total_messages, worst.value);
+        assert_eq!(log.records.len(), report.events as usize);
+        assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn max_events_caps_a_run() {
+        let mut cfg = SweepConfig::new(SweepAdversary::HighestDegree, SweepHealer::Dash);
+        cfg.n = 32;
+        cfg.max_events = 5;
+        let run = run_one(&cfg, 0);
+        assert_eq!(run.report.events, 5);
+    }
+}

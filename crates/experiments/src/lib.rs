@@ -13,6 +13,7 @@
 //! | E6 | Theorem 2 LEVELATTACK lower bound | [`lowerbound`] |
 //! | E7 | attack comparison (Section 4.2's narrative) | [`attacks`] |
 //! | E8 | simultaneous deletions (footnote 1) | [`batchexp`] |
+//! | E9 | parallel sweep fleet + theorem auditors | [`sweep`] |
 //!
 //! Run them all with the `run-experiments` binary:
 //!
@@ -34,6 +35,7 @@ pub mod lowerbound;
 pub mod observe;
 pub mod render;
 pub mod runner;
+pub mod sweep;
 pub mod theorem1;
 
 pub use config::{AttackKind, HealerKind, Scale};

@@ -1,13 +1,15 @@
 //! `run-experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! run-experiments <fig8|fig9a|fig9b|fig10|theorem1|lowerbound|all>
+//! run-experiments <fig8|fig9a|fig9b|fig10|theorem1|lowerbound|sweep|all>
 //!                 [--quick|--full] [--seed N] [--threads N] [--csv DIR]
+//!                 [--healer dash|sdash|both] [--parity]
 //! ```
 
+use selfheal_core::sweep::SweepHealer;
 use selfheal_experiments::{
     attacks, batchexp, config::HealerKind, config::Scale, fig10, fig8, fig9, lowerbound, render,
-    theorem1,
+    sweep, theorem1,
 };
 use selfheal_metrics::csv::write_figure_csv;
 use selfheal_metrics::Figure;
@@ -21,12 +23,15 @@ struct Options {
     threads: usize,
     csv_dir: Option<PathBuf>,
     chart: bool,
+    healers: Vec<SweepHealer>,
+    parity: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run-experiments <fig8|fig9a|fig9b|fig10|theorem1|lowerbound|attacks|batch|all> \
-         [--quick|--full] [--seed N] [--threads N] [--csv DIR] [--chart]"
+        "usage: run-experiments <fig8|fig9a|fig9b|fig10|theorem1|lowerbound|attacks|batch|sweep|all> \
+         [--quick|--full] [--seed N] [--threads N] [--csv DIR] [--chart] \
+         [--healer dash|sdash|both] [--parity]"
     );
     std::process::exit(2)
 }
@@ -40,12 +45,22 @@ fn parse_args() -> Options {
         threads: selfheal_graph::parallel::default_threads(),
         csv_dir: None,
         chart: false,
+        healers: vec![SweepHealer::Dash],
+        parity: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => opts.scale = Scale::Quick,
             "--full" => opts.scale = Scale::Full,
             "--chart" => opts.chart = true,
+            "--parity" => opts.parity = true,
+            "--healer" => {
+                opts.healers = match args.next().as_deref() {
+                    Some("both") => vec![SweepHealer::Dash, SweepHealer::Sdash],
+                    Some(name) => vec![SweepHealer::parse(name).unwrap_or_else(|| usage())],
+                    None => usage(),
+                }
+            }
             "--seed" => {
                 opts.seed = args
                     .next()
@@ -78,6 +93,7 @@ fn parse_args() -> Options {
         "lowerbound",
         "attacks",
         "batch",
+        "sweep",
         "all",
     ];
     if !known.contains(&opts.command.as_str()) {
@@ -157,6 +173,27 @@ fn main() {
             batchexp::render(&rows)
         );
     }
+    let mut sweep_violations = 0usize;
+    if run("sweep") {
+        let rows = sweep::run(
+            opts.scale,
+            opts.seed,
+            opts.threads,
+            &opts.healers,
+            opts.parity,
+        );
+        println!(
+            "E9: parallel sweep fleet (theorem auditors on)\n{}",
+            sweep::render(&rows)
+        );
+        sweep_violations = rows.iter().map(|r| r.aggregate.violations.len()).sum();
+    }
 
     println!("done in {:.1?}", t0.elapsed());
+    if sweep_violations > 0 {
+        // The sweep is a gate (`make sweep-check`): bound violations must
+        // fail the process, not just print.
+        eprintln!("FAILED: {sweep_violations} theorem-bound violations in the sweep fleet");
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,122 @@
+//! E9: the parallel sweep fleet — theorem auditing at scale.
+//!
+//! Fans thousands of seeded scenarios per (adversary, healer)
+//! configuration across worker threads (`core::sweep`), each run watched
+//! by a [`TheoremAuditor`](selfheal_core::TheoremAuditor), and renders
+//! the per-configuration aggregates: message / ID-change / degree-delta
+//! / stretch histograms, worst seeds for replay, and any bound
+//! violations with the exact seed that triggers them.
+//!
+//! `Quick` is CI-sized; `Full` is the acceptance sweep — 1000 seeds per
+//! adversary per healer, every run audited, expected violation-free.
+
+use crate::config::Scale;
+use selfheal_core::sweep::{run_sweep, SweepAdversary, SweepAggregate, SweepConfig, SweepHealer};
+
+/// Size of one sweep at each scale.
+fn sweep_shape(scale: Scale) -> (usize, u64) {
+    match scale {
+        // (graph size n, seeded runs per configuration)
+        Scale::Quick => (32, 40),
+        Scale::Full => (64, 1000),
+    }
+}
+
+/// One configuration's aggregate, tagged for rendering.
+pub struct SweepRow {
+    /// Adversary swept.
+    pub adversary: SweepAdversary,
+    /// Healer under test.
+    pub healer: SweepHealer,
+    /// The finalized fleet aggregate.
+    pub aggregate: SweepAggregate,
+}
+
+/// Run the fleet over every library adversary for the given healers.
+///
+/// `parity` additionally runs the distributed fabric twin on every run
+/// and folds any divergence into the violation list (expensive — the
+/// fabric re-executes each schedule as real message passing).
+pub fn run(
+    scale: Scale,
+    base_seed: u64,
+    threads: usize,
+    healers: &[SweepHealer],
+    parity: bool,
+) -> Vec<SweepRow> {
+    let (n, runs) = sweep_shape(scale);
+    let mut rows = Vec::new();
+    for &healer in healers {
+        for adversary in SweepAdversary::ALL {
+            let cfg = SweepConfig {
+                n,
+                adversary,
+                healer,
+                base_seed,
+                runs,
+                max_events: 0,
+                audit: true,
+                check_rem: false,
+                parity,
+                threads,
+            };
+            rows.push(SweepRow {
+                adversary,
+                healer,
+                aggregate: run_sweep(&cfg),
+            });
+        }
+    }
+    rows
+}
+
+/// Render all rows as a report block.
+pub fn render(rows: &[SweepRow]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&format!(
+            "[{} / {}]\n{}",
+            row.healer.name(),
+            row.adversary.name(),
+            row.aggregate.render_summary()
+        ));
+    }
+    let total_violations: usize = rows.iter().map(|r| r.aggregate.violations.len()).sum();
+    let total_runs: u64 = rows.iter().map(|r| r.aggregate.runs).sum();
+    out.push_str(&format!(
+        "fleet total: {total_runs} runs, {total_violations} bound violations\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_is_violation_free() {
+        let rows = run(Scale::Quick, 20080124, 4, &[SweepHealer::Dash], false);
+        assert_eq!(rows.len(), SweepAdversary::ALL.len());
+        for row in &rows {
+            assert_eq!(row.aggregate.runs, 40);
+            assert!(
+                row.aggregate.violations.is_empty(),
+                "{}: {:?}",
+                row.adversary.name(),
+                row.aggregate.violations
+            );
+        }
+        let text = render(&rows);
+        assert!(text.contains("0 bound violations"), "{text}");
+    }
+
+    #[test]
+    fn render_names_every_configuration() {
+        let rows = run(Scale::Quick, 1, 2, &[SweepHealer::Sdash], false);
+        let text = render(&rows);
+        for adversary in SweepAdversary::ALL {
+            assert!(text.contains(adversary.name()), "{text}");
+        }
+        assert!(text.contains("sdash"));
+    }
+}

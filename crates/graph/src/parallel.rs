@@ -20,6 +20,65 @@ pub fn default_threads() -> usize {
         .min(8)
 }
 
+/// Fold every item in `0..n_items` into per-worker accumulators on a pool
+/// of `threads` workers, then combine the worker accumulators with
+/// `reduce`.
+///
+/// This is the workhorse behind both the analysis sweeps in this crate
+/// and the scenario sweep fleet in `selfheal-core`: each worker starts
+/// from a fresh `init()` accumulator and folds every item it claims
+/// (dynamically, via an atomic counter, so uneven per-item costs still
+/// balance); the partial accumulators fan into the caller through a
+/// crossbeam channel and are combined with `reduce`.
+///
+/// The item-to-worker partition and the reduction order are unspecified:
+/// for a result that is independent of `threads`, `fold`/`reduce` must be
+/// commutative and associative over items (histogram-style counting,
+/// `max`/`min`, sums all qualify).
+pub fn parallel_fold<A, I, F, R>(n_items: usize, threads: usize, init: I, fold: F, reduce: R) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, usize) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    let threads = threads.max(1).min(n_items.max(1));
+    if threads == 1 {
+        let mut acc = init();
+        for i in 0..n_items {
+            acc = fold(acc, i);
+        }
+        return acc;
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::bounded::<A>(threads);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let init = &init;
+            let fold = &fold;
+            scope.spawn(move || {
+                let mut acc = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_items {
+                        break;
+                    }
+                    acc = fold(acc, i);
+                }
+                tx.send(acc).expect("result channel closed early");
+            });
+        }
+        drop(tx);
+        let mut total = init();
+        for part in rx.iter() {
+            total = reduce(total, part);
+        }
+        total
+    })
+}
+
 /// Map every item in `0..n_items` through `map` on a pool of `threads`
 /// workers and fold all results with `reduce`, starting from `identity`
 /// in each worker.
@@ -36,45 +95,17 @@ pub fn parallel_map_reduce<T, F, R>(
     reduce: R,
 ) -> T
 where
-    T: Send + Clone,
+    T: Send + Sync + Clone,
     F: Fn(usize) -> T + Sync,
     R: Fn(T, T) -> T + Sync + Send,
 {
-    let threads = threads.max(1).min(n_items.max(1));
-    if threads == 1 {
-        let mut acc = identity;
-        for i in 0..n_items {
-            acc = reduce(acc, map(i));
-        }
-        return acc;
-    }
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::bounded::<T>(threads);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let next = &next;
-            let map = &map;
-            let reduce = &reduce;
-            let mut acc = identity.clone();
-            scope.spawn(move || {
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n_items {
-                        break;
-                    }
-                    acc = reduce(acc, map(i));
-                }
-                tx.send(acc).expect("result channel closed early");
-            });
-        }
-        drop(tx);
-        let mut total = identity.clone();
-        for part in rx.iter() {
-            total = reduce(total, part);
-        }
-        total
-    })
+    parallel_fold(
+        n_items,
+        threads,
+        || identity.clone(),
+        |acc, i| reduce(acc, map(i)),
+        &reduce,
+    )
 }
 
 /// All-pairs shortest paths over a CSR snapshot using `threads` workers.
@@ -180,6 +211,51 @@ mod tests {
         g.remove_node(NodeId(0)).unwrap();
         let csr = Csr::from_graph(&g);
         assert!(parallel_apsp(&csr, 4).is_empty());
+    }
+
+    #[test]
+    fn fold_matches_serial_for_any_thread_count() {
+        // Histogram-style counting: commutative, so the aggregate must be
+        // identical no matter how items land on workers.
+        let serial = parallel_fold(
+            100,
+            1,
+            || vec![0u64; 10],
+            |mut acc, i| {
+                acc[i % 10] += i as u64;
+                acc
+            },
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+        for threads in [2, 4, 8] {
+            let par = parallel_fold(
+                100,
+                threads,
+                || vec![0u64; 10],
+                |mut acc, i| {
+                    acc[i % 10] += i as u64;
+                    acc
+                },
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+            assert_eq!(par, serial, "mismatch at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn fold_zero_items_returns_init() {
+        let out = parallel_fold(0, 4, || 41u64, |a, _| a + 1, |a, b| a + b);
+        assert_eq!(out, 41);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Order-independent aggregation primitives for parallel sweeps.
+//!
+//! A sweep fleet folds thousands of per-run results into per-worker
+//! accumulators and merges the accumulators at the end; for the final
+//! aggregate to be byte-identical regardless of worker count, every
+//! primitive it is built from must merge commutatively and associatively.
+//! [`Histogram`](crate::Histogram) already does (bucket counts add);
+//! [`Extreme`] is the other piece: "worst value seen, and the seed that
+//! produced it" with a deterministic tie-break, so the worst offender of
+//! a sweep can be replayed no matter how runs landed on threads.
+
+use std::fmt;
+
+/// The maximum value observed across a sweep, tagged with the seed of the
+/// run that produced it (lowest seed wins ties, making observation order
+/// irrelevant).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Extreme {
+    /// The largest observed value (0 before any observation).
+    pub value: u64,
+    /// Seed of the run realizing it (`u64::MAX` before any observation).
+    pub seed: u64,
+    observed: bool,
+}
+
+impl Default for Extreme {
+    fn default() -> Self {
+        Extreme::new()
+    }
+}
+
+impl Extreme {
+    /// No observations yet.
+    pub fn new() -> Self {
+        Extreme {
+            value: 0,
+            seed: u64::MAX,
+            observed: false,
+        }
+    }
+
+    /// Whether any run has been observed.
+    pub fn is_observed(&self) -> bool {
+        self.observed
+    }
+
+    /// Record one run's value.
+    pub fn observe(&mut self, value: u64, seed: u64) {
+        if !self.observed || value > self.value || (value == self.value && seed < self.seed) {
+            self.value = value;
+            self.seed = seed;
+            self.observed = true;
+        }
+    }
+
+    /// Fold another accumulator into this one (commutative, associative).
+    pub fn merge(&mut self, other: &Extreme) {
+        if other.observed {
+            self.observe(other.value, other.seed);
+        }
+    }
+}
+
+impl fmt::Display for Extreme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.observed {
+            write!(f, "{} (seed {})", self.value, self.seed)
+        } else {
+            write!(f, "none")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_unobserved_sentinel() {
+        assert_eq!(Extreme::default(), Extreme::new());
+        assert_eq!(Extreme::default().seed, u64::MAX);
+    }
+
+    #[test]
+    fn observes_maximum() {
+        let mut e = Extreme::new();
+        assert!(!e.is_observed());
+        e.observe(5, 100);
+        e.observe(9, 200);
+        e.observe(3, 300);
+        assert_eq!((e.value, e.seed), (9, 200));
+        assert!(e.is_observed());
+    }
+
+    #[test]
+    fn ties_break_to_lowest_seed() {
+        let mut a = Extreme::new();
+        a.observe(7, 50);
+        a.observe(7, 10);
+        a.observe(7, 90);
+        assert_eq!((a.value, a.seed), (7, 10));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let runs = [(3u64, 7u64), (9, 4), (9, 2), (1, 9)];
+        let mut forward = Extreme::new();
+        for &(v, s) in &runs {
+            forward.observe(v, s);
+        }
+        let mut halves = (Extreme::new(), Extreme::new());
+        halves.0.observe(runs[0].0, runs[0].1);
+        halves.0.observe(runs[3].0, runs[3].1);
+        halves.1.observe(runs[2].0, runs[2].1);
+        halves.1.observe(runs[1].0, runs[1].1);
+        let mut merged = halves.1;
+        merged.merge(&halves.0);
+        assert_eq!(merged, forward);
+        // Merging an unobserved accumulator changes nothing.
+        merged.merge(&Extreme::new());
+        assert_eq!(merged, forward);
+    }
+
+    #[test]
+    fn zero_value_observation_counts() {
+        let mut e = Extreme::new();
+        e.observe(0, 42);
+        assert!(e.is_observed());
+        assert_eq!((e.value, e.seed), (0, 42));
+        assert_eq!(e.to_string(), "0 (seed 42)");
+        assert_eq!(Extreme::new().to_string(), "none");
+    }
+}

@@ -30,6 +30,31 @@ impl Histogram {
         }
     }
 
+    /// Fold another histogram into this one (counts add bucket-wise).
+    ///
+    /// Merging is commutative and associative, which is what lets the
+    /// sweep fleet aggregate per-worker histograms into a result that is
+    /// byte-identical regardless of worker count or item partition.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, &src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.total += other.total;
+    }
+
+    /// Non-empty buckets as `(value, count)` pairs in ascending value
+    /// order — a canonical sparse form for deterministic rendering.
+    pub fn buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v, c))
+    }
+
     /// Number of observations.
     pub fn total(&self) -> u64 {
         self.total
@@ -131,6 +156,37 @@ mod tests {
         assert_eq!(one.quantile(0.0), Some(7));
         assert_eq!(one.quantile(0.5), Some(7));
         assert_eq!(one.quantile(1.0), Some(7));
+    }
+
+    #[test]
+    fn merge_adds_bucketwise_and_commutes() {
+        let mut a = Histogram::new();
+        a.extend([1usize, 2, 2]);
+        let mut b = Histogram::new();
+        b.extend([2usize, 7]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.total(), 5);
+        assert_eq!(ab.count(2), 3);
+        assert_eq!(ab.count(7), 1);
+        assert_eq!(ab.max(), Some(7));
+        let dump = |h: &Histogram| h.buckets().collect::<Vec<_>>();
+        assert_eq!(dump(&ab), dump(&ba));
+        // Merging an empty histogram is a no-op.
+        ab.merge(&Histogram::new());
+        assert_eq!(ab.total(), 5);
+    }
+
+    #[test]
+    fn buckets_are_sparse_and_sorted() {
+        let mut h = Histogram::new();
+        h.extend([5usize, 0, 5, 9]);
+        assert_eq!(
+            h.buckets().collect::<Vec<_>>(),
+            vec![(0, 1), (5, 2), (9, 1)]
+        );
     }
 
     #[test]

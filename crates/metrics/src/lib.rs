@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod aggregate;
 pub mod csv;
 pub mod histogram;
 pub mod plot;
@@ -16,6 +17,7 @@ pub mod stats;
 pub mod stretch;
 pub mod table;
 
+pub use aggregate::Extreme;
 pub use histogram::Histogram;
 pub use series::{Figure, Series, SeriesPoint};
 pub use stats::{summarize, Summary, Welford};

@@ -40,7 +40,8 @@ pub use selfheal_sim as sim;
 /// Most-used items in one import.
 pub mod prelude {
     pub use selfheal_core::attack::{
-        Adversary, CutVertex, MaxNode, MinDegree, NeighborOfMax, RandomAttack, Scripted,
+        Adversary, CutVertex, EpidemicChurn, FlashCrowd, MaxNode, MinDegree, NeighborOfMax,
+        RackPartition, RandomAttack, Scripted,
     };
     pub use selfheal_core::dash::Dash;
     pub use selfheal_core::distributed::{DistributedDash, HealMode};
@@ -48,6 +49,7 @@ pub mod prelude {
         DistEventRecord, DistScenarioReport, DistributedScenarioRunner,
     };
     pub use selfheal_core::engine::{AuditLevel, Engine, EngineReport};
+    pub use selfheal_core::invariants::{TheoremAuditor, TheoremBounds};
     pub use selfheal_core::naive::{BinaryTreeHeal, GraphHeal, LineHeal, NoHeal};
     pub use selfheal_core::oracle::OracleDash;
     pub use selfheal_core::scenario::{
@@ -58,5 +60,8 @@ pub mod prelude {
     pub use selfheal_core::sdash::Sdash;
     pub use selfheal_core::state::HealingNetwork;
     pub use selfheal_core::strategy::Healer;
+    pub use selfheal_core::sweep::{
+        replay, run_sweep, SweepAdversary, SweepAggregate, SweepConfig, SweepHealer,
+    };
     pub use selfheal_graph::{generators, Graph, NodeId};
 }

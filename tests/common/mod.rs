@@ -1,41 +1,22 @@
 //! Shared comparator for the distributed-vs-centralized parity suites
 //! (`tests/distributed_parity.rs` curated schedules,
-//! `tests/scenarios.rs` randomized proptests): one definition of "byte
-//! identical", so neither suite can silently check less than the other.
+//! `tests/scenarios.rs` randomized proptests).
+//!
+//! The *definition* of "byte identical" lives in `core::sweep`
+//! ([`selfheal_core::sweep::parity_event`] / `parity_final`), where the
+//! sweep fleet's `--parity` mode uses it on every run; these wrappers
+//! delegate so the test suites and the fleet can never silently check
+//! different things.
 
 use selfheal_core::distributed_runner::{DistEventRecord, DistributedScenarioRunner};
 use selfheal_core::scenario::EventRecord;
 use selfheal_core::state::HealingNetwork;
-use selfheal_graph::NodeId;
+use selfheal_core::sweep;
 
 /// Compare one event's outcome on both sides: kind, effective victim
 /// count, the joined node, and the Lemma 8 message count.
 pub fn compare_event(central: &EventRecord, dist: &DistEventRecord) -> Result<(), String> {
-    if central.kind != dist.kind {
-        return Err(format!(
-            "event {}: kind {:?} vs {:?}",
-            central.event, central.kind, dist.kind
-        ));
-    }
-    if central.victims != dist.victims {
-        return Err(format!(
-            "event {}: victim count {} vs {}",
-            central.event, central.victims, dist.victims
-        ));
-    }
-    if central.joined.map(|v| v.0) != dist.joined {
-        return Err(format!(
-            "event {}: joined {:?} vs {:?}",
-            central.event, central.joined, dist.joined
-        ));
-    }
-    if central.propagation.messages != dist.messages {
-        return Err(format!(
-            "event {}: ID messages {} vs {}",
-            central.event, central.propagation.messages, dist.messages
-        ));
-    }
-    Ok(())
+    sweep::parity_event(central, dist)
 }
 
 /// Compare every observable fixed-point state: per-slot liveness; for
@@ -46,76 +27,5 @@ pub fn compare_final_state(
     net: &HealingNetwork,
     runner: &DistributedScenarioRunner,
 ) -> Result<(), String> {
-    if net.graph().node_bound() != runner.topology().len() {
-        return Err(format!(
-            "slot counts: {} vs {}",
-            net.graph().node_bound(),
-            runner.topology().len()
-        ));
-    }
-    for i in 0..net.graph().node_bound() {
-        let v = NodeId(i as u32);
-        let u = i as u32;
-        if net.is_alive(v) != runner.topology().is_alive(u) {
-            return Err(format!("liveness of {v} diverged"));
-        }
-        if net.is_alive(v) {
-            let central_adj: Vec<u32> = net.graph().neighbors(v).iter().map(|x| x.0).collect();
-            if central_adj != runner.topology().neighbors(u) {
-                return Err(format!(
-                    "G adjacency of {v}: {central_adj:?} vs {:?}",
-                    runner.topology().neighbors(u)
-                ));
-            }
-            let central_gp: Vec<u32> = net
-                .healing_graph()
-                .neighbors(v)
-                .iter()
-                .map(|x| x.0)
-                .collect();
-            let dist_gp: Vec<u32> = runner
-                .protocol()
-                .gprime_neighbors(u)
-                .iter()
-                .copied()
-                .collect();
-            if central_gp != dist_gp {
-                return Err(format!(
-                    "G' adjacency of {v}: {central_gp:?} vs {dist_gp:?}"
-                ));
-            }
-            if net.comp_id(v) != runner.protocol().comp_id(u) {
-                return Err(format!(
-                    "component id of {v}: {} vs {}",
-                    net.comp_id(v),
-                    runner.protocol().comp_id(u)
-                ));
-            }
-            if net.initial_id(v) != runner.protocol().initial_id(u) {
-                return Err(format!("initial id of {v} diverged"));
-            }
-            if net.id_changes(v) != runner.protocol().id_changes(u) {
-                return Err(format!(
-                    "id changes of {v}: {} vs {}",
-                    net.id_changes(v),
-                    runner.protocol().id_changes(u)
-                ));
-            }
-        }
-        if net.messages_sent(v) != runner.metrics().sent(u) {
-            return Err(format!(
-                "sent count of {v}: {} vs {}",
-                net.messages_sent(v),
-                runner.metrics().sent(u)
-            ));
-        }
-        if net.messages_received(v) != runner.metrics().received(u) {
-            return Err(format!(
-                "received count of {v}: {} vs {}",
-                net.messages_received(v),
-                runner.metrics().received(u)
-            ));
-        }
-    }
-    Ok(())
+    sweep::parity_final(net, runner)
 }

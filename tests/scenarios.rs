@@ -15,11 +15,14 @@ mod common;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use selfheal_core::attack::{CutVertex, EpidemicChurn, FlashCrowd, RackPartition};
 use selfheal_core::dash::Dash;
 use selfheal_core::distributed::HealMode;
 use selfheal_core::distributed_runner::DistributedScenarioRunner;
-use selfheal_core::invariants;
-use selfheal_core::scenario::{EventRecord, NetworkEvent, ScenarioEngine, ScriptedEvents};
+use selfheal_core::invariants::{self, TheoremAuditor};
+use selfheal_core::scenario::{
+    EventRecord, EventSource, NetworkEvent, ScenarioEngine, ScriptedEvents,
+};
 use selfheal_core::sdash::Sdash;
 use selfheal_core::state::HealingNetwork;
 use selfheal_core::strategy::Healer;
@@ -125,6 +128,68 @@ fn check_distributed_parity<H: Healer>(
     common::compare_final_state(&engine.net, &runner)
 }
 
+/// Drive one of the structural adversaries against a healer under the
+/// full [`TheoremAuditor`] — the library sources generate their own
+/// schedules against the evolving network, so this fuzzes the adversary
+/// logic itself, not just blind event lists.
+fn check_adversary_source<H: Healer, S: EventSource>(
+    healer: H,
+    mut source: S,
+    n: usize,
+    max_events: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let g = barabasi_albert(n, 2, &mut StdRng::seed_from_u64(seed));
+    let mut auditor = TheoremAuditor::new(healer.preserves_forest());
+    let mut engine = ScenarioEngine::new(
+        HealingNetwork::new(g, seed),
+        healer,
+        ScriptedEvents::default(),
+    );
+    for _ in 0..max_events {
+        let Some(event) = source.next_event(&engine.net) else {
+            break;
+        };
+        engine.apply_with(event, &mut auditor);
+    }
+    let report = engine.finish();
+    auditor.finish(&engine.net, &report);
+    if !auditor.ok() {
+        return Err(format!("{}: {:?}", source.name(), auditor.violations));
+    }
+    Ok(())
+}
+
+/// Distributed-vs-centralized parity with a *live* event source: the
+/// source consults the engine's evolving state, each event is applied to
+/// both sides in lockstep, and the shared comparator enforces the same
+/// byte-identity as the curated and blind-schedule parity suites.
+fn check_source_parity<H: Healer, S: EventSource>(
+    healer: H,
+    mode: HealMode,
+    mut source: S,
+    n: usize,
+    max_events: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let g = barabasi_albert(n, 2, &mut StdRng::seed_from_u64(seed));
+    let mut runner = DistributedScenarioRunner::with_mode(mode, &g, seed);
+    let mut engine = ScenarioEngine::new(
+        HealingNetwork::new(g, seed),
+        healer,
+        ScriptedEvents::default(),
+    );
+    for _ in 0..max_events {
+        let Some(event) = source.next_event(&engine.net) else {
+            break;
+        };
+        let central = engine.apply(event.clone());
+        let dist = runner.apply(&event);
+        common::compare_event(&central, &dist)?;
+    }
+    common::compare_final_state(&engine.net, &runner)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -170,6 +235,86 @@ proptest! {
         seed in 0u64..10_000,
     ) {
         let result = check_distributed_parity(Sdash, HealMode::Sdash, n, events, seed);
+        prop_assert!(result.is_ok(), "{:?}", result);
+    }
+
+    /// Epidemic churn keeps Theorem 1 under both healers (the failure
+    /// front clusters in already-damaged regions — the hardest locality
+    /// pattern for the degree bound).
+    #[test]
+    fn epidemic_churn_keeps_theorem1(
+        n in 8usize..40,
+        seed in 0u64..10_000,
+        p in 0u64..=100,
+    ) {
+        let source = EpidemicChurn::new(seed, p as f64 / 100.0);
+        let result = check_adversary_source(Dash, source, n, 200, seed);
+        prop_assert!(result.is_ok(), "{:?}", result);
+        let source = EpidemicChurn::new(seed, p as f64 / 100.0);
+        let result = check_adversary_source(Sdash, source, n, 200, seed);
+        prop_assert!(result.is_ok(), "{:?}", result);
+    }
+
+    /// Flash crowds (join bursts onto the hub + hub failures) keep
+    /// Theorem 1 with n read as nodes-ever-created.
+    #[test]
+    fn flash_crowd_keeps_theorem1(
+        n in 8usize..40,
+        seed in 0u64..10_000,
+        joins in 1usize..24,
+        burst in 1usize..6,
+    ) {
+        let source = FlashCrowd::new(seed, joins, burst);
+        let result = check_adversary_source(Dash, source, n, 300, seed);
+        prop_assert!(result.is_ok(), "{:?}", result);
+    }
+
+    /// Rack-batch partitions keep Theorem 1 (the auditor waives only the
+    /// forest claim, which the paper makes for sequential deletions).
+    #[test]
+    fn rack_partition_keeps_theorem1(
+        n in 8usize..40,
+        seed in 0u64..10_000,
+        rack in 2usize..8,
+    ) {
+        let source = RackPartition::new(seed, rack);
+        let result = check_adversary_source(Dash, source, n, 200, seed);
+        prop_assert!(result.is_ok(), "{:?}", result);
+        let source = RackPartition::new(seed, rack);
+        let result = check_adversary_source(Sdash, source, n, 200, seed);
+        prop_assert!(result.is_ok(), "{:?}", result);
+    }
+
+    /// Cut-vertex targeting keeps Theorem 1 (every deletion would
+    /// disconnect the graph if healing failed to respond).
+    #[test]
+    fn cut_vertex_keeps_theorem1(n in 8usize..40, seed in 0u64..10_000) {
+        let result = check_adversary_source(Dash, CutVertex, n, 200, seed);
+        prop_assert!(result.is_ok(), "{:?}", result);
+    }
+
+    /// Distributed parity on live cut-vertex schedules: the most
+    /// structurally damaging single-victim adversary, reproduced
+    /// byte-for-byte by the fabric.
+    #[test]
+    fn cut_vertex_distributed_parity(n in 8usize..28, seed in 0u64..10_000) {
+        let result = check_source_parity(Dash, HealMode::Dash, CutVertex, n, 100, seed);
+        prop_assert!(result.is_ok(), "{:?}", result);
+    }
+
+    /// Distributed parity on live epidemic schedules, under both heal
+    /// modes (the satellite's shared-comparator requirement).
+    #[test]
+    fn epidemic_distributed_parity(
+        n in 8usize..28,
+        seed in 0u64..10_000,
+        p in 0u64..=100,
+    ) {
+        let source = EpidemicChurn::new(seed, p as f64 / 100.0);
+        let result = check_source_parity(Dash, HealMode::Dash, source, n, 100, seed);
+        prop_assert!(result.is_ok(), "{:?}", result);
+        let source = EpidemicChurn::new(seed, p as f64 / 100.0);
+        let result = check_source_parity(Sdash, HealMode::Sdash, source, n, 100, seed);
         prop_assert!(result.is_ok(), "{:?}", result);
     }
 

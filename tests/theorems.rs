@@ -1,9 +1,15 @@
 //! The paper's theorems and lemmas as cross-crate integration tests.
+//!
+//! Theorem 1's four bullets are enforced by the reusable
+//! [`TheoremAuditor`] — the same observer every sweep-fleet run carries —
+//! so these tests both validate the theorem *and* pin the auditor to the
+//! strict per-bullet assertions this file used to hand-roll.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use selfheal_core::attack::{MaxNode, NeighborOfMax};
+use selfheal_core::attack::{Adversary, MaxNode, NeighborOfMax};
 use selfheal_core::dash::Dash;
+use selfheal_core::invariants::TheoremAuditor;
 use selfheal_core::levelattack::run_level_attack;
 use selfheal_core::naive::LineHeal;
 use selfheal_core::scenario::ScenarioEngine;
@@ -12,93 +18,78 @@ use selfheal_core::strategy::Healer;
 use selfheal_graph::generators;
 use selfheal_graph::NodeId;
 
+/// Run DASH against `adversary` to empty under the full auditor and
+/// return (auditor, final max-delta) for bullet-specific assertions.
+fn audited_sweep<A: Adversary>(n: usize, seed: u64, adversary: A) -> (TheoremAuditor, i64) {
+    let g = generators::barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
+    let mut auditor = TheoremAuditor::new(Dash.preserves_forest());
+    let mut engine = ScenarioEngine::new(HealingNetwork::new(g, seed), Dash, adversary);
+    let report = engine.run_to_empty_with(&mut auditor);
+    auditor.finish(&engine.net, &report);
+    (auditor, report.max_delta_ever)
+}
+
 /// Theorem 1, bullet 1: degree increase at most 2 log₂ n — across sizes
-/// and seeds, under the strongest attack.
+/// and seeds, under the strongest attack. The auditor enforces the bound
+/// after *every* event, strictly stronger than the old end-of-run check.
 #[test]
 fn theorem1_degree_bound_across_sizes() {
     for n in [32usize, 64, 128, 256] {
         for seed in [1u64, 2, 3] {
-            let g = generators::barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
-            let net = HealingNetwork::new(g, seed);
-            let mut engine = ScenarioEngine::new(net, Dash, NeighborOfMax::new(seed));
-            let report = engine.run_to_empty();
-            let bound = 2.0 * (n as f64).log2();
-            assert!(
-                (report.max_delta_ever as f64) <= bound,
-                "n={n} seed={seed}: {} > {bound}",
-                report.max_delta_ever
-            );
+            let (auditor, max_delta) = audited_sweep(n, seed, NeighborOfMax::new(seed));
+            assert!(auditor.ok(), "n={n} seed={seed}: {:?}", auditor.violations);
+            assert!((max_delta as f64) <= 2.0 * (n as f64).log2());
         }
     }
 }
 
 /// Theorem 1, bullet 2 (record-breaking): no node changes ID more than
-/// 2 ln n times, w.h.p. — tested over many seeds.
+/// 2 ln n times, w.h.p. — tested over many seeds, after every event.
 #[test]
 fn theorem1_id_changes_bound() {
-    let n = 128;
     for seed in 0..10u64 {
-        let g = generators::barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
-        let net = HealingNetwork::new(g, seed);
-        let mut engine = ScenarioEngine::new(net, Dash, MaxNode);
-        let report = engine.run_to_empty();
-        let bound = 2.0 * (n as f64).ln();
-        assert!(
-            (report.max_id_changes as f64) <= bound,
-            "seed={seed}: {} id changes > {bound}",
-            report.max_id_changes
-        );
+        let (auditor, _) = audited_sweep(128, seed, MaxNode);
+        assert!(auditor.ok(), "seed={seed}: {:?}", auditor.violations);
     }
 }
 
 /// Theorem 1, bullet 3: messages per node ≤ 2 (d + 2 log n) ln n, where d
 /// is the node's initial degree. The *sent* side of the claim is rigorous
 /// per node (each of ≤ 2 ln n ID changes broadcasts to ≤ d + 2 log n
-/// current neighbors) and is checked strictly; the received side is
-/// amortized in the paper (neighbor turnover), so it gets a 2x allowance.
+/// current neighbors) and is checked strictly by the auditor; the
+/// received side is amortized in the paper (neighbor turnover), so the
+/// auditor's traffic bound carries a 2x allowance.
 #[test]
 fn theorem1_message_bound_per_node() {
-    let n = 128;
     for seed in [5u64, 6, 7] {
+        let n = 128;
         let g = generators::barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
         let initial_degrees: Vec<usize> = (0..n).map(|i| g.degree(NodeId::from_index(i))).collect();
-        let net = HealingNetwork::new(g, seed);
-        let mut engine = ScenarioEngine::new(net, Dash, NeighborOfMax::new(seed));
-        engine.run_to_empty();
+        let mut auditor = TheoremAuditor::new(true);
+        let mut engine =
+            ScenarioEngine::new(HealingNetwork::new(g, seed), Dash, NeighborOfMax::new(seed));
+        engine.run_to_empty_with(&mut auditor);
+        assert!(auditor.ok(), "seed={seed}: {:?}", auditor.violations);
+        // Spot-check the raw quantities against the bound the auditor
+        // applied, so the auditor itself stays honest.
         let logn = (n as f64).log2();
         let lnn = (n as f64).ln();
         for (i, &d) in initial_degrees.iter().enumerate() {
             let v = NodeId::from_index(i);
             let bound = 2.0 * (d as f64 + 2.0 * logn) * lnn;
-            let sent = engine.net.messages_sent(v) as f64;
-            assert!(
-                sent <= bound,
-                "seed={seed} node={i} (d={d}): sent {sent} > {bound}"
-            );
-            let traffic = engine.net.traffic(v) as f64;
-            assert!(
-                traffic <= 2.0 * bound,
-                "seed={seed} node={i} (d={d}): traffic {traffic} > 2x{bound}"
-            );
+            assert!((engine.net.messages_sent(v) as f64) <= bound);
+            assert!((engine.net.traffic(v) as f64) <= 2.0 * bound);
         }
     }
 }
 
 /// Theorem 1, bullet 4: amortized ID-propagation latency O(log n) over
-/// Θ(n) deletions.
+/// Θ(n) deletions — the auditor's `finish` check.
 #[test]
 fn theorem1_amortized_latency() {
-    let n = 256;
     for seed in [1u64, 4] {
-        let g = generators::barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
-        let net = HealingNetwork::new(g, seed);
-        let mut engine = ScenarioEngine::new(net, Dash, MaxNode);
-        let report = engine.run_to_empty();
-        assert!(
-            report.amortized_latency() <= (n as f64).log2(),
-            "seed={seed}: amortized latency {} > log2 n",
-            report.amortized_latency()
-        );
+        let (auditor, _) = audited_sweep(256, seed, MaxNode);
+        assert!(auditor.ok(), "seed={seed}: {:?}", auditor.violations);
     }
 }
 
