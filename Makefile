@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test test-all bench bench-check sim-parity sweep-check doc fmt fmt-check clippy examples figures ci clean
+.PHONY: all build test test-all bench bench-check sim-parity sweep-check spec-check doc fmt fmt-check clippy examples figures ci clean
 
 all: build
 
@@ -50,6 +50,18 @@ sweep-check:
 	$(CARGO) run -q --release -p selfheal-experiments -- sweep --quick --threads 4
 	$(CARGO) bench -p selfheal-bench --bench sweep
 
+## Spec-layer gate: the spec test-suite (round-trip properties, golden
+## spec-vs-hand-built equivalence, curated-schedule parity), then parse
+## and fully run every checked-in specs/*.scn through the CLI — any
+## parse error, invalid configuration, theorem violation or parity
+## divergence exits nonzero and fails the gate.
+spec-check:
+	$(CARGO) test -q --test spec
+	@set -e; for f in specs/*.scn; do \
+	  echo "== $$f"; \
+	  $(CARGO) run -q --release -p selfheal-experiments -- run --spec $$f; \
+	done
+
 ## API docs for the workspace crates only.
 doc:
 	$(CARGO) doc --no-deps --workspace
@@ -79,7 +91,7 @@ figures:
 	$(CARGO) run -q --release -p selfheal-experiments -- all --quick --csv out
 
 ## The full CI gate.
-ci: fmt-check clippy build test-all doc bench-check sim-parity sweep-check
+ci: fmt-check clippy build test-all doc bench-check sim-parity sweep-check spec-check
 	@echo "ci green"
 
 clean:

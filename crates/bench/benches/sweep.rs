@@ -5,13 +5,13 @@
 //! aggregation would fail here before any timing is reported).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use selfheal_core::sweep::{run_sweep, SweepAdversary, SweepConfig, SweepHealer};
+use selfheal_core::spec::HealerSpec;
+use selfheal_core::sweep::{run_sweep, SweepAdversary, SweepConfig};
 use selfheal_graph::parallel::default_threads;
 use std::hint::black_box;
 
 fn fleet_cfg(threads: usize) -> SweepConfig {
-    let mut cfg = SweepConfig::new(SweepAdversary::Epidemic, SweepHealer::Dash);
-    cfg.n = 48;
+    let mut cfg = SweepConfig::sized(SweepAdversary::Epidemic, HealerSpec::Dash, 48);
     cfg.runs = 64;
     cfg.threads = threads;
     cfg

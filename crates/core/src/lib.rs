@@ -44,6 +44,7 @@ pub mod oracle;
 pub mod rt;
 pub mod scenario;
 pub mod sdash;
+pub mod spec;
 pub mod state;
 pub mod strategy;
 pub mod sweep;
@@ -57,6 +58,10 @@ pub use scenario::{
     EventRecord, EventSource, NetworkEvent, Observer, ScenarioEngine, ScenarioReport,
 };
 pub use sdash::Sdash;
+pub use spec::{
+    AdversarySpec, AuditSpec, BackendSpec, CuratedSchedule, DynScenarioEngine, GraphSpec,
+    HealerSpec, RunOptions, ScenarioSpec, SpecError, SpecOutcome,
+};
 pub use state::HealingNetwork;
 pub use strategy::{HealOutcome, Healer};
-pub use sweep::{run_sweep, SweepAdversary, SweepAggregate, SweepConfig, SweepHealer};
+pub use sweep::{run_sweep, SweepAdversary, SweepAggregate, SweepConfig};

@@ -133,6 +133,23 @@ impl<A: Adversary> EventSource for A {
     }
 }
 
+/// Boxed dynamic sources are sources themselves (mirroring the
+/// `Box<H: Healer>` blanket in [`crate::strategy`]), so registry-built
+/// `Box<dyn EventSource>` values plug straight into [`ScenarioEngine`]
+/// without generics gymnastics. (A fully generic `Box<S>` impl would
+/// overlap the [`Adversary`] adapter above — every sized adversary is
+/// already an `EventSource`, hence so is its box — so the impl is
+/// written for the trait object, the one case the adapter cannot reach.)
+impl EventSource for Box<dyn EventSource> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn next_event(&mut self, net: &HealingNetwork) -> Option<NetworkEvent> {
+        (**self).next_event(net)
+    }
+}
+
 /// Replay a fixed event schedule. Unlike `attack::Scripted` (which skips
 /// dead victims at pick time) the schedule is replayed verbatim; the
 /// engine's sanitization makes stale references harmless no-ops, so

@@ -4,14 +4,15 @@
 //!
 //! The paper's guarantees are worst-case claims over *adversarial*
 //! reconfiguration sequences; a handful of curated schedules cannot
-//! probe that space. The fleet does: a [`SweepConfig`] names a graph
-//! size, a healer, an adversary from the structural library
-//! ([`SweepAdversary`]) and a seed range, and [`run_sweep`] executes one
-//! independent scenario per seed — each on a fresh Barabási–Albert graph,
-//! driven by a freshly tagged-seeded event source, watched by a
-//! [`TheoremAuditor`] — distributing runs over threads with
-//! [`parallel_fold`]'s worker-local accumulators (no shared mutable
-//! state, results fan in over a channel).
+//! probe that space. The fleet does: a [`SweepConfig`] wraps one
+//! declarative [`ScenarioSpec`] template plus a seed range, and
+//! [`run_sweep`] executes one independent scenario per seed — the
+//! template re-seeded with [`run_seed`]`(base, index)` and executed by
+//! [`ScenarioSpec::run_with`] (fresh generated graph, freshly
+//! tagged-seeded event source, watched by a
+//! [`TheoremAuditor`](crate::invariants::TheoremAuditor)) — distributing
+//! runs over threads with [`parallel_fold`]'s worker-local accumulators
+//! (no shared mutable state, results fan in over a channel).
 //!
 //! Determinism is load-bearing: every run derives everything from
 //! `run_seed(base, index)`, and [`SweepAggregate`] is built from
@@ -21,38 +22,35 @@
 //! count** — `tests/sweep.rs` pins that, and the worst seed of any
 //! statistic can be replayed exactly with [`replay`].
 
-use crate::attack::{CutVertex, EpidemicChurn, FlashCrowd, MaxNode, RackPartition};
-use crate::dash::Dash;
-use crate::distributed::HealMode;
-use crate::distributed_runner::DistributedScenarioRunner;
-use crate::invariants::TheoremAuditor;
-use crate::scenario::{
-    EventSource, NetworkEvent, RecordLog, ScenarioEngine, ScenarioReport, ScriptedEvents,
+use crate::scenario::{RecordLog, ScenarioReport};
+use crate::spec::{
+    AdversarySpec, AuditSpec, GraphSpec, HealerSpec, RunOptions, ScenarioSpec, SpecOutcome,
 };
-use crate::sdash::Sdash;
-use crate::state::HealingNetwork;
-use crate::strategy::Healer;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use selfheal_graph::generators::barabasi_albert;
 use selfheal_graph::parallel::parallel_fold;
 use selfheal_graph::Graph;
-use selfheal_metrics::{Extreme, Histogram, StretchBaseline};
+use selfheal_metrics::{Extreme, Histogram};
 use std::fmt::Write as _;
 
-/// The structural adversary library the fleet sweeps (the five
-/// event-level adversaries beyond the paper's originals).
+// The one definition of centralized-vs-fabric byte identity lives in the
+// spec layer now; re-exported here because the parity test-suites and
+// older callers address it as `sweep::parity_event` / `parity_final`.
+pub use crate::spec::{parity_event, parity_final};
+
+/// The structural adversary library the fleet sweeps by default (the
+/// five event-level adversaries beyond the paper's originals). Each is a
+/// curated instantiation of an [`AdversarySpec`] — see
+/// [`SweepAdversary::spec`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SweepAdversary {
-    /// Highest-degree articulation point each round ([`CutVertex`]).
+    /// Highest-degree articulation point each round.
     CutVertex,
-    /// Current maximum-degree node each round ([`MaxNode`]).
+    /// Current maximum-degree node each round.
     HighestDegree,
-    /// Failures spreading along edges ([`EpidemicChurn`]).
+    /// Failures spreading along edges.
     Epidemic,
-    /// Join bursts onto the hub, then hub failures ([`FlashCrowd`]).
+    /// Join bursts onto the hub, then hub kills.
     FlashCrowd,
-    /// Coordinated rack-batch kills ([`RackPartition`]).
+    /// Coordinated rack-batch kills.
     RackPartition,
 }
 
@@ -68,13 +66,7 @@ impl SweepAdversary {
 
     /// Stable display name (matches the underlying source's name).
     pub fn name(self) -> &'static str {
-        match self {
-            SweepAdversary::CutVertex => "cut-vertex",
-            SweepAdversary::HighestDegree => "max-node",
-            SweepAdversary::Epidemic => "epidemic-churn",
-            SweepAdversary::FlashCrowd => "flash-crowd",
-            SweepAdversary::RackPartition => "rack-partition",
-        }
+        self.spec(48).name()
     }
 
     /// Parse a display name (for the CLI).
@@ -82,124 +74,69 @@ impl SweepAdversary {
         SweepAdversary::ALL.into_iter().find(|a| a.name() == name)
     }
 
-    fn build(self, seed: u64, n: usize) -> BuiltSource {
+    /// The declarative adversary this library entry curates, tuned for
+    /// an `n`-node starting graph.
+    pub fn spec(self, n: usize) -> AdversarySpec {
         match self {
-            SweepAdversary::CutVertex => BuiltSource::Cut(CutVertex),
-            SweepAdversary::HighestDegree => BuiltSource::Max(MaxNode),
-            SweepAdversary::Epidemic => BuiltSource::Epidemic(EpidemicChurn::new(seed, 0.25)),
+            SweepAdversary::CutVertex => AdversarySpec::CutVertex,
+            SweepAdversary::HighestDegree => AdversarySpec::MaxNode,
+            SweepAdversary::Epidemic => AdversarySpec::EpidemicChurn { p: 0.25 },
             // A third of the network joins in bursts of 3 before the
             // drain starts — enough churn to matter, still terminating.
-            SweepAdversary::FlashCrowd => BuiltSource::Flash(FlashCrowd::new(seed, n / 3, 3)),
-            SweepAdversary::RackPartition => BuiltSource::Rack(RackPartition::new(seed, 4)),
+            SweepAdversary::FlashCrowd => AdversarySpec::FlashCrowd {
+                joins: n / 3,
+                burst: 3,
+            },
+            SweepAdversary::RackPartition => AdversarySpec::RackPartition { rack_size: 4 },
         }
     }
 }
 
-/// The healers the fleet exercises (the paper's two main algorithms).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SweepHealer {
-    /// Algorithm 1.
-    Dash,
-    /// Algorithm 3 (surrogation).
-    Sdash,
-}
-
-impl SweepHealer {
-    /// Stable display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            SweepHealer::Dash => "dash",
-            SweepHealer::Sdash => "sdash",
-        }
-    }
-
-    /// Parse a display name (for the CLI).
-    pub fn parse(name: &str) -> Option<SweepHealer> {
-        match name {
-            "dash" => Some(SweepHealer::Dash),
-            "sdash" => Some(SweepHealer::Sdash),
-            _ => None,
-        }
-    }
-
-    fn build(self) -> Box<dyn Healer> {
-        match self {
-            SweepHealer::Dash => Box::new(Dash),
-            SweepHealer::Sdash => Box::new(Sdash),
-        }
-    }
-
-    fn heal_mode(self) -> HealMode {
-        match self {
-            SweepHealer::Dash => HealMode::Dash,
-            SweepHealer::Sdash => HealMode::Sdash,
-        }
-    }
-}
-
-/// Concrete event source instances, dispatched without trait objects so
-/// the engine's generic parameters stay simple.
-enum BuiltSource {
-    Cut(CutVertex),
-    Max(MaxNode),
-    Epidemic(EpidemicChurn),
-    Flash(FlashCrowd),
-    Rack(RackPartition),
-}
-
-impl BuiltSource {
-    fn next_event(&mut self, net: &HealingNetwork) -> Option<NetworkEvent> {
-        match self {
-            BuiltSource::Cut(s) => s.next_event(net),
-            BuiltSource::Max(s) => s.next_event(net),
-            BuiltSource::Epidemic(s) => s.next_event(net),
-            BuiltSource::Flash(s) => s.next_event(net),
-            BuiltSource::Rack(s) => s.next_event(net),
-        }
-    }
-}
-
-/// One sweep: `runs` seeded scenarios of one (n, healer, adversary)
-/// configuration.
-#[derive(Clone, Copy, Debug)]
+/// One sweep: `runs` seeded executions of one [`ScenarioSpec`] template.
+///
+/// `spec.seed` is the *base* seed; run `i` re-seeds the template with
+/// [`run_seed`]`(spec.seed, i)`. The template's `audit` and `backend`
+/// fields select theorem auditing and the fabric parity twin exactly as
+/// they do for a single spec run.
+#[derive(Clone, Debug)]
 pub struct SweepConfig {
-    /// Initial Barabási–Albert graph size (attachment 3).
-    pub n: usize,
-    /// The adversary driving every run.
-    pub adversary: SweepAdversary,
-    /// The healing algorithm under test.
-    pub healer: SweepHealer,
-    /// Base seed; run `i` uses [`run_seed`]`(base_seed, i)`.
-    pub base_seed: u64,
+    /// The scenario template every run instantiates.
+    pub spec: ScenarioSpec,
     /// Number of independent seeded runs.
     pub runs: u64,
-    /// Safety cap on events per run (0 = run to source exhaustion; every
-    /// library adversary terminates on its own).
-    pub max_events: u64,
-    /// Enforce Theorem 1 via a [`TheoremAuditor`] on every run.
-    pub audit: bool,
     /// Also check the O(n²) `rem` potential each event (slow; small n).
     pub check_rem: bool,
-    /// Run the distributed fabric twin alongside each run and require
-    /// byte parity (per-event message counts + full final state).
-    pub parity: bool,
     /// Worker threads for the fleet.
     pub threads: usize,
 }
 
 impl SweepConfig {
-    /// A sensible small configuration (used by tests and `--quick`).
-    pub fn new(adversary: SweepAdversary, healer: SweepHealer) -> Self {
-        SweepConfig {
-            n: 48,
-            adversary,
+    /// A sensible small configuration on BA(48, 3) (used by tests and
+    /// `--quick`).
+    pub fn new(adversary: SweepAdversary, healer: HealerSpec) -> Self {
+        Self::sized(adversary, healer, 48)
+    }
+
+    /// The standard fleet template at an explicit graph size: BA(n, 3),
+    /// theorem auditing on, centralized backend, run to exhaustion.
+    pub fn sized(adversary: SweepAdversary, healer: HealerSpec, n: usize) -> Self {
+        let mut spec = ScenarioSpec::new(
+            GraphSpec::BarabasiAlbert { n, m: 3 },
             healer,
-            base_seed: 0x5EED,
+            adversary.spec(n),
+            0x5EED,
+        );
+        spec.audit = AuditSpec::Theorems;
+        SweepConfig::from_spec(spec)
+    }
+
+    /// Fan an arbitrary spec template out (32 runs, 1 thread; adjust the
+    /// public fields).
+    pub fn from_spec(spec: ScenarioSpec) -> Self {
+        SweepConfig {
+            spec,
             runs: 32,
-            max_events: 0,
-            audit: true,
             check_rem: false,
-            parity: false,
             threads: 1,
         }
     }
@@ -230,7 +167,7 @@ pub struct RunOutcome {
 
 /// Execute run `index` of a sweep configuration.
 pub fn run_one(cfg: &SweepConfig, index: u64) -> RunOutcome {
-    let seed = run_seed(cfg.base_seed, index);
+    let seed = run_seed(cfg.spec.seed, index);
     let (report, _log, stretch_tenths, violations) = execute(cfg, seed, false);
     RunOutcome {
         seed,
@@ -249,203 +186,41 @@ pub fn replay(cfg: &SweepConfig, seed: u64) -> (ScenarioReport, RecordLog, Vec<S
     (report, log, violations)
 }
 
-/// Shared body of [`run_one`] and [`replay`]: build graph, source,
-/// engine, optional fabric twin; drive to exhaustion under the auditor.
+/// Shared body of [`run_one`] and [`replay`]: instantiate the template
+/// for `seed` and hand it to the spec layer's executor. A spec that
+/// fails validation degrades into a run whose violation list carries the
+/// readable error (so a bad template surfaces in the aggregate instead
+/// of panicking a worker thread).
 fn execute(
     cfg: &SweepConfig,
     seed: u64,
     keep_log: bool,
 ) -> (ScenarioReport, RecordLog, Option<u64>, Vec<String>) {
-    let g = barabasi_albert(cfg.n, 3, &mut StdRng::seed_from_u64(seed));
-    let baseline = StretchBaseline::new(&g, 1);
-    let healer = cfg.healer.build();
-    let mut auditor = TheoremAuditor::new(healer.preserves_forest());
-    if cfg.check_rem {
-        auditor = auditor.with_rem_check();
-    }
-    let mut source = cfg.adversary.build(seed, cfg.n);
-    let mut twin = cfg
-        .parity
-        .then(|| DistributedScenarioRunner::with_mode(cfg.healer.heal_mode(), &g, seed));
-    let mut engine = ScenarioEngine::new(
-        HealingNetwork::new(g, seed),
-        healer,
-        ScriptedEvents::default(),
-    );
-    let mut log = RecordLog::default();
-    let mut violations = Vec::new();
-    let mut stretch_tenths = None;
-    let half_life = (cfg.n as u64).div_ceil(2);
-    let mut events = 0u64;
-    while cfg.max_events == 0 || events < cfg.max_events {
-        let Some(event) = source.next_event(&engine.net) else {
-            break;
-        };
-        events += 1;
-        let record = if cfg.audit {
-            engine.apply_with(event.clone(), &mut auditor)
-        } else {
-            engine.apply(event.clone())
-        };
-        if keep_log {
-            log.records.push(record);
+    let opts = RunOptions {
+        keep_log,
+        check_rem: cfg.check_rem,
+        measure_stretch: true,
+    };
+    match cfg.spec.clone().with_seed(seed).run_with(&opts) {
+        Ok(SpecOutcome {
+            mut report,
+            log,
+            stretch_tenths,
+            mut violations,
+            ..
+        }) => {
+            // Engine-level audit findings (audit = cheap/full templates)
+            // join the violation list so the aggregate sees one stream.
+            violations.append(&mut report.violations);
+            (report, log.unwrap_or_default(), stretch_tenths, violations)
         }
-        if let Some(runner) = twin.as_mut() {
-            let dist = runner.apply(&event);
-            if let Err(e) = parity_event(&record, &dist) {
-                violations.push(format!("parity: {e}"));
-            }
-        }
-        // Half-life measurement: the paper's stretch metric compares
-        // survivors against the initial graph, so sample it while a
-        // meaningful survivor population remains.
-        if stretch_tenths.is_none() && engine.report().deletions >= half_life {
-            stretch_tenths = baseline
-                .stretch_of(engine.net.graph(), 1)
-                .map(|r| (r.stretch * 10.0).ceil() as u64);
-        }
+        Err(e) => (
+            ScenarioReport::default(),
+            RecordLog::default(),
+            None,
+            vec![format!("spec: {e}")],
+        ),
     }
-    let report = engine.finish();
-    if cfg.audit {
-        auditor.finish(&engine.net, &report);
-        let truncated = auditor.truncated;
-        violations.extend(auditor.violations);
-        if truncated {
-            // Keep the cap visible: 16 findings + this marker reads
-            // differently from exactly 16 findings.
-            violations.push("audit: further findings truncated".to_string());
-        }
-    }
-    if let Some(runner) = twin.as_ref() {
-        if let Err(e) = parity_final(&engine.net, runner) {
-            violations.push(format!("parity (final): {e}"));
-        }
-    }
-    (report, log, stretch_tenths, violations)
-}
-
-/// Per-event parity between the modeled engine and the fabric twin:
-/// kind, effective victim count, join identity, Lemma 8 message count.
-///
-/// This is *the* definition of per-event byte-identity — the parity
-/// test-suites (`tests/distributed_parity.rs`, `tests/scenarios.rs`)
-/// delegate to it, so the fleet's `--parity` mode can never check less
-/// than the tests do.
-pub fn parity_event(
-    central: &crate::scenario::EventRecord,
-    dist: &crate::distributed_runner::DistEventRecord,
-) -> Result<(), String> {
-    if central.kind != dist.kind {
-        return Err(format!(
-            "event {}: kind {:?} vs {:?}",
-            central.event, central.kind, dist.kind
-        ));
-    }
-    if central.victims != dist.victims {
-        return Err(format!(
-            "event {}: victims {} vs {}",
-            central.event, central.victims, dist.victims
-        ));
-    }
-    if central.joined.map(|v| v.0) != dist.joined {
-        return Err(format!(
-            "event {}: joined {:?} vs {:?}",
-            central.event, central.joined, dist.joined
-        ));
-    }
-    if central.propagation.messages != dist.messages {
-        return Err(format!(
-            "event {}: messages {} vs {}",
-            central.event, central.propagation.messages, dist.messages
-        ));
-    }
-    Ok(())
-}
-
-/// Final-state parity: per-slot liveness, adjacency in `G` and `G'`,
-/// component IDs, initial IDs, ID-change counts and per-node message
-/// counters — the single definition of final-state byte-identity, shared
-/// with the parity test-suites.
-pub fn parity_final(
-    net: &HealingNetwork,
-    runner: &DistributedScenarioRunner,
-) -> Result<(), String> {
-    if net.graph().node_bound() != runner.topology().len() {
-        return Err(format!(
-            "slot counts {} vs {}",
-            net.graph().node_bound(),
-            runner.topology().len()
-        ));
-    }
-    for i in 0..net.graph().node_bound() {
-        let v = selfheal_graph::NodeId::from_index(i);
-        let u = i as u32;
-        if net.is_alive(v) != runner.topology().is_alive(u) {
-            return Err(format!("liveness of {v} diverged"));
-        }
-        if net.is_alive(v) {
-            let central: Vec<u32> = net.graph().neighbors(v).iter().map(|x| x.0).collect();
-            if central != runner.topology().neighbors(u) {
-                return Err(format!(
-                    "G adjacency of {v}: {central:?} vs {:?}",
-                    runner.topology().neighbors(u)
-                ));
-            }
-            let central_gp: Vec<u32> = net
-                .healing_graph()
-                .neighbors(v)
-                .iter()
-                .map(|x| x.0)
-                .collect();
-            let dist_gp: Vec<u32> = runner
-                .protocol()
-                .gprime_neighbors(u)
-                .iter()
-                .copied()
-                .collect();
-            if central_gp != dist_gp {
-                return Err(format!(
-                    "G' adjacency of {v}: {central_gp:?} vs {dist_gp:?}"
-                ));
-            }
-            if net.comp_id(v) != runner.protocol().comp_id(u) {
-                return Err(format!(
-                    "component id of {v}: {} vs {}",
-                    net.comp_id(v),
-                    runner.protocol().comp_id(u)
-                ));
-            }
-            if net.initial_id(v) != runner.protocol().initial_id(u) {
-                return Err(format!(
-                    "initial id of {v}: {} vs {}",
-                    net.initial_id(v),
-                    runner.protocol().initial_id(u)
-                ));
-            }
-            if net.id_changes(v) != runner.protocol().id_changes(u) {
-                return Err(format!(
-                    "id changes of {v}: {} vs {}",
-                    net.id_changes(v),
-                    runner.protocol().id_changes(u)
-                ));
-            }
-        }
-        if net.messages_sent(v) != runner.metrics().sent(u) {
-            return Err(format!(
-                "sent count of {v}: {} vs {}",
-                net.messages_sent(v),
-                runner.metrics().sent(u)
-            ));
-        }
-        if net.messages_received(v) != runner.metrics().received(u) {
-            return Err(format!(
-                "received count of {v}: {} vs {}",
-                net.messages_received(v),
-                runner.metrics().received(u)
-            ));
-        }
-    }
-    Ok(())
 }
 
 /// Order-independent aggregate of a whole sweep.
@@ -658,14 +433,15 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepAggregate {
 }
 
 /// Convenience for tests and examples: rebuild the initial graph of a
-/// given run seed (the sweep always starts from BA(n, 3)).
+/// given run seed from the sweep's graph template.
 pub fn initial_graph(cfg: &SweepConfig, seed: u64) -> Graph {
-    barabasi_albert(cfg.n, 3, &mut StdRng::seed_from_u64(seed))
+    cfg.spec.graph.build(seed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::BackendSpec;
 
     #[test]
     fn run_seeds_are_distinct_and_stable() {
@@ -679,7 +455,7 @@ mod tests {
 
     #[test]
     fn one_run_is_reproducible() {
-        let cfg = SweepConfig::new(SweepAdversary::Epidemic, SweepHealer::Dash);
+        let cfg = SweepConfig::new(SweepAdversary::Epidemic, HealerSpec::Dash);
         let a = run_one(&cfg, 3);
         let b = run_one(&cfg, 3);
         assert_eq!(a.seed, b.seed);
@@ -692,8 +468,7 @@ mod tests {
     #[test]
     fn every_adversary_terminates_and_audits_clean() {
         for adversary in SweepAdversary::ALL {
-            let mut cfg = SweepConfig::new(adversary, SweepHealer::Dash);
-            cfg.n = 32;
+            let mut cfg = SweepConfig::sized(adversary, HealerSpec::Dash, 32);
             cfg.runs = 4;
             let agg = run_sweep(&cfg);
             assert_eq!(agg.runs, 4);
@@ -712,8 +487,7 @@ mod tests {
 
     #[test]
     fn sdash_sweeps_audit_clean() {
-        let mut cfg = SweepConfig::new(SweepAdversary::RackPartition, SweepHealer::Sdash);
-        cfg.n = 32;
+        let mut cfg = SweepConfig::sized(SweepAdversary::RackPartition, HealerSpec::Sdash, 32);
         cfg.runs = 4;
         let agg = run_sweep(&cfg);
         assert!(agg.violations.is_empty(), "{:?}", agg.violations);
@@ -721,8 +495,7 @@ mod tests {
 
     #[test]
     fn aggregate_is_thread_count_invariant() {
-        let mut cfg = SweepConfig::new(SweepAdversary::Epidemic, SweepHealer::Dash);
-        cfg.n = 24;
+        let mut cfg = SweepConfig::sized(SweepAdversary::Epidemic, HealerSpec::Dash, 24);
         cfg.runs = 12;
         cfg.threads = 1;
         let one = run_sweep(&cfg).render_canonical();
@@ -738,18 +511,16 @@ mod tests {
 
     #[test]
     fn parity_twin_agrees_on_delete_only_adversaries() {
-        let mut cfg = SweepConfig::new(SweepAdversary::CutVertex, SweepHealer::Dash);
-        cfg.n = 16;
+        let mut cfg = SweepConfig::sized(SweepAdversary::CutVertex, HealerSpec::Dash, 16);
+        cfg.spec.backend = BackendSpec::Parity;
         cfg.runs = 3;
-        cfg.parity = true;
         let agg = run_sweep(&cfg);
         assert!(agg.violations.is_empty(), "{:?}", agg.violations);
     }
 
     #[test]
     fn replay_reproduces_the_worst_seed() {
-        let mut cfg = SweepConfig::new(SweepAdversary::HighestDegree, SweepHealer::Dash);
-        cfg.n = 24;
+        let mut cfg = SweepConfig::sized(SweepAdversary::HighestDegree, HealerSpec::Dash, 24);
         cfg.runs = 8;
         let agg = run_sweep(&cfg);
         let worst = agg.worst_messages;
@@ -761,10 +532,23 @@ mod tests {
 
     #[test]
     fn max_events_caps_a_run() {
-        let mut cfg = SweepConfig::new(SweepAdversary::HighestDegree, SweepHealer::Dash);
-        cfg.n = 32;
-        cfg.max_events = 5;
+        let mut cfg = SweepConfig::sized(SweepAdversary::HighestDegree, HealerSpec::Dash, 32);
+        cfg.spec.max_events = 5;
         let run = run_one(&cfg, 0);
         assert_eq!(run.report.events, 5);
+    }
+
+    #[test]
+    fn a_broken_template_degrades_into_violations() {
+        let mut cfg = SweepConfig::new(SweepAdversary::RackPartition, HealerSpec::GraphHeal);
+        cfg.spec.backend = BackendSpec::Parity; // graph-heal has no fabric
+        cfg.runs = 2;
+        let agg = run_sweep(&cfg);
+        assert_eq!(agg.violations.len(), 2);
+        assert!(
+            agg.violations[0].1.contains("no distributed-fabric"),
+            "{:?}",
+            agg.violations
+        );
     }
 }

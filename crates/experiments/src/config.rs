@@ -1,12 +1,18 @@
 //! Experiment configuration: scales, strategy/attack enumerations, seeds.
+//!
+//! Since the spec-layer redesign the registries themselves live in
+//! `core::spec` — [`HealerKind`] *is* [`selfheal_core::spec::HealerSpec`]
+//! (re-exported under its historical name), and [`AttackKind`] defers
+//! construction to [`AdversarySpec`] — so the experiment harness names
+//! exactly the same strategies a `.scn` spec file does.
 
-use selfheal_core::attack::{
-    Adversary, CutVertex, MaxNode, MinDegree, NeighborOfMax, RandomAttack,
-};
-use selfheal_core::dash::Dash;
-use selfheal_core::naive::{BinaryTreeHeal, GraphHeal, LineHeal, NoHeal};
-use selfheal_core::sdash::Sdash;
-use selfheal_core::strategy::Healer;
+use selfheal_core::scenario::EventSource;
+use selfheal_core::spec::AdversarySpec;
+
+/// The canonical healer registry, under the name the experiment modules
+/// have always used. Construction (`build`), display names (`name`) and
+/// the figure set all come from the spec layer.
+pub use selfheal_core::spec::HealerSpec as HealerKind;
 
 /// Preset sizes/trial-counts.
 ///
@@ -58,61 +64,9 @@ impl Scale {
 /// experiments ("random power-law graphs by preferential attachment").
 pub const BA_ATTACHMENT: usize = 3;
 
-/// Healing strategies under comparison.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum HealerKind {
-    /// Algorithm 1.
-    Dash,
-    /// Algorithm 3.
-    Sdash,
-    /// Naive binary tree over all neighbors (cycles allowed).
-    GraphHeal,
-    /// Component-aware, degree-oblivious binary tree.
-    BinaryTreeHeal,
-    /// Component-aware line (the refs [5, 6] baseline).
-    LineHeal,
-    /// Control: no healing.
-    NoHeal,
-}
-
-impl HealerKind {
-    /// All strategies the paper's figures compare (everything but NoHeal).
-    pub fn figure_set() -> [HealerKind; 5] {
-        [
-            HealerKind::Dash,
-            HealerKind::Sdash,
-            HealerKind::GraphHeal,
-            HealerKind::BinaryTreeHeal,
-            HealerKind::LineHeal,
-        ]
-    }
-
-    /// Instantiate the strategy.
-    pub fn build(self) -> Box<dyn Healer> {
-        match self {
-            HealerKind::Dash => Box::new(Dash),
-            HealerKind::Sdash => Box::new(Sdash),
-            HealerKind::GraphHeal => Box::new(GraphHeal),
-            HealerKind::BinaryTreeHeal => Box::new(BinaryTreeHeal),
-            HealerKind::LineHeal => Box::new(LineHeal),
-            HealerKind::NoHeal => Box::new(NoHeal),
-        }
-    }
-
-    /// Stable display name (matches `Healer::name`).
-    pub fn name(self) -> &'static str {
-        match self {
-            HealerKind::Dash => "dash",
-            HealerKind::Sdash => "sdash",
-            HealerKind::GraphHeal => "graph-heal",
-            HealerKind::BinaryTreeHeal => "bintree-heal",
-            HealerKind::LineHeal => "line-heal",
-            HealerKind::NoHeal => "no-heal",
-        }
-    }
-}
-
-/// Attack strategies.
+/// Attack strategies (the paper's two plus this reproduction's
+/// extensions). A thin curation layer over [`AdversarySpec`]: each kind
+/// names one registry entry and defers construction to it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AttackKind {
     /// Delete the maximum-degree node.
@@ -139,26 +93,27 @@ impl AttackKind {
         ]
     }
 
-    /// Instantiate with a seed (ignored by deterministic attacks).
-    pub fn build(self, seed: u64) -> Box<dyn Adversary> {
+    /// The declarative adversary this kind names.
+    pub fn spec(self) -> AdversarySpec {
         match self {
-            AttackKind::MaxNode => Box::new(MaxNode),
-            AttackKind::NeighborOfMax => Box::new(NeighborOfMax::new(seed)),
-            AttackKind::Random => Box::new(RandomAttack::new(seed)),
-            AttackKind::MinDegree => Box::new(MinDegree),
-            AttackKind::CutVertex => Box::new(CutVertex),
+            AttackKind::MaxNode => AdversarySpec::MaxNode,
+            AttackKind::NeighborOfMax => AdversarySpec::NeighborOfMax,
+            AttackKind::Random => AdversarySpec::Random,
+            AttackKind::MinDegree => AdversarySpec::MinDegree,
+            AttackKind::CutVertex => AdversarySpec::CutVertex,
         }
+    }
+
+    /// Instantiate with a seed (ignored by deterministic attacks); the
+    /// returned source drives [`ScenarioEngine`](selfheal_core::scenario::ScenarioEngine)
+    /// directly via the `Box<dyn EventSource>` blanket impl.
+    pub fn build(self, seed: u64) -> Box<dyn EventSource> {
+        self.spec().build(seed)
     }
 
     /// Stable display name.
     pub fn name(self) -> &'static str {
-        match self {
-            AttackKind::MaxNode => "max-node",
-            AttackKind::NeighborOfMax => "neighbor-of-max",
-            AttackKind::Random => "random",
-            AttackKind::MinDegree => "min-degree",
-            AttackKind::CutVertex => "cut-vertex",
-        }
+        self.spec().name()
     }
 }
 

@@ -35,6 +35,7 @@ pub mod lowerbound;
 pub mod observe;
 pub mod render;
 pub mod runner;
+pub mod specrun;
 pub mod sweep;
 pub mod theorem1;
 

@@ -1,15 +1,17 @@
-//! `run-experiments` — regenerate the paper's tables and figures.
+//! `run-experiments` — regenerate the paper's tables and figures, and
+//! execute declarative scenario specs.
 //!
 //! ```text
 //! run-experiments <fig8|fig9a|fig9b|fig10|theorem1|lowerbound|sweep|all>
 //!                 [--quick|--full] [--seed N] [--threads N] [--csv DIR]
 //!                 [--healer dash|sdash|both] [--parity]
+//! run-experiments run --spec specs/rack_partition.scn [--events N]
 //! ```
 
-use selfheal_core::sweep::SweepHealer;
+use selfheal_core::spec::HealerSpec;
 use selfheal_experiments::{
     attacks, batchexp, config::HealerKind, config::Scale, fig10, fig8, fig9, lowerbound, render,
-    sweep, theorem1,
+    specrun, sweep, theorem1,
 };
 use selfheal_metrics::csv::write_figure_csv;
 use selfheal_metrics::Figure;
@@ -23,15 +25,18 @@ struct Options {
     threads: usize,
     csv_dir: Option<PathBuf>,
     chart: bool,
-    healers: Vec<SweepHealer>,
+    healers: Vec<HealerSpec>,
     parity: bool,
+    spec: Option<PathBuf>,
+    events: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: run-experiments <fig8|fig9a|fig9b|fig10|theorem1|lowerbound|attacks|batch|sweep|all> \
          [--quick|--full] [--seed N] [--threads N] [--csv DIR] [--chart] \
-         [--healer dash|sdash|both] [--parity]"
+         [--healer dash|sdash|both] [--parity]\n\
+         \x20      run-experiments run --spec FILE.scn [--events N]"
     );
     std::process::exit(2)
 }
@@ -45,8 +50,10 @@ fn parse_args() -> Options {
         threads: selfheal_graph::parallel::default_threads(),
         csv_dir: None,
         chart: false,
-        healers: vec![SweepHealer::Dash],
+        healers: vec![HealerSpec::Dash],
         parity: false,
+        spec: None,
+        events: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -56,8 +63,14 @@ fn parse_args() -> Options {
             "--parity" => opts.parity = true,
             "--healer" => {
                 opts.healers = match args.next().as_deref() {
-                    Some("both") => vec![SweepHealer::Dash, SweepHealer::Sdash],
-                    Some(name) => vec![SweepHealer::parse(name).unwrap_or_else(|| usage())],
+                    Some("both") => vec![HealerSpec::Dash, HealerSpec::Sdash],
+                    // The sweep enforces Theorem 1 bounds, which only the
+                    // paper's two algorithms satisfy — reject the naive
+                    // baselines here (as the pre-spec CLI did) instead of
+                    // burning a fleet run on a guaranteed failure.
+                    Some(name) => vec![HealerSpec::parse(name)
+                        .filter(|h| h.heal_mode().is_ok())
+                        .unwrap_or_else(|| usage())],
                     None => usage(),
                 }
             }
@@ -73,6 +86,14 @@ fn parse_args() -> Options {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--events" => {
+                opts.events = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--spec" => opts.spec = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--csv" => opts.csv_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--help" | "-h" => usage(),
             cmd if opts.command.is_empty() && !cmd.starts_with('-') => {
@@ -94,6 +115,7 @@ fn parse_args() -> Options {
         "attacks",
         "batch",
         "sweep",
+        "run",
         "all",
     ];
     if !known.contains(&opts.command.as_str()) {
@@ -118,8 +140,37 @@ fn emit_figure(fig: &Figure, slug: &str, opts: &Options) {
     }
 }
 
+/// The `run` subcommand: execute one declarative spec. Any invalid or
+/// unparseable spec exits nonzero with a readable message (never a
+/// panic); a valid run with violations also fails the process so specs
+/// double as CI gates (`make spec-check`).
+fn run_spec_command(opts: &Options) -> ! {
+    let Some(path) = &opts.spec else {
+        eprintln!("run-experiments run: missing --spec FILE.scn");
+        std::process::exit(2);
+    };
+    match specrun::run_spec_file(path, opts.events) {
+        Ok(summary) => {
+            println!("# {}", path.display());
+            print!("{}", summary.render());
+            if summary.clean() {
+                std::process::exit(0);
+            }
+            eprintln!("FAILED: spec run reported violations");
+            std::process::exit(1);
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let opts = parse_args();
+    if opts.command == "run" {
+        run_spec_command(&opts);
+    }
     let t0 = Instant::now();
     let run = |name: &str| opts.command == name || opts.command == "all";
 

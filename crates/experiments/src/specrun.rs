@@ -1,0 +1,143 @@
+//! `run-experiments run --spec <path>`: load a declarative `.scn`
+//! scenario, validate it, execute it on its chosen backend, and render a
+//! human-readable report.
+//!
+//! Every failure mode — unreadable file, parse error with its line
+//! number, invalid parameters, a fabric-unsupported healer on a
+//! distributed backend — comes back as a readable `Err(String)` so the
+//! CLI can exit nonzero without panicking; invariant or parity
+//! violations in a *valid* run are reported in the rendered text and
+//! flagged via [`RunSummary::clean`].
+
+use selfheal_core::spec::{RunOptions, ScenarioSpec, SpecOutcome};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// What one spec run produced, ready for printing.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// The parsed (canonicalized) spec that ran.
+    pub spec: ScenarioSpec,
+    /// The run's outcome.
+    pub outcome: SpecOutcome,
+}
+
+impl RunSummary {
+    /// No violations from any checking layer.
+    pub fn clean(&self) -> bool {
+        self.outcome.is_clean()
+    }
+
+    /// Render the run block the CLI prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in self.spec.to_string().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+        let r = &self.outcome.report;
+        let _ = writeln!(
+            out,
+            "events {}  rounds {}  deletions {}  joins {}",
+            r.events, r.rounds, r.deletions, r.joins
+        );
+        let _ = writeln!(
+            out,
+            "max degree increase {}  max id changes {}  max traffic {}",
+            r.max_delta_ever, r.max_id_changes, r.max_traffic
+        );
+        let _ = writeln!(
+            out,
+            "messages {}  healing edges {}  amortized latency {:.2}",
+            r.total_messages,
+            r.total_edges_added,
+            r.amortized_latency()
+        );
+        if let Some(s) = self.outcome.stretch_tenths {
+            let _ = writeln!(out, "half-life stretch {:.1}", s as f64 / 10.0);
+        }
+        if let Some(d) = self.outcome.dist {
+            let _ = writeln!(
+                out,
+                "fabric: messages {}  delivered {}  dropped {}",
+                d.total_messages, d.total_delivered, d.total_dropped
+            );
+        }
+        let findings = self.outcome.violations.len() + r.violations.len();
+        let _ = writeln!(out, "violations {findings}");
+        for v in r.violations.iter().chain(&self.outcome.violations) {
+            let _ = writeln!(out, "  VIOLATION: {v}");
+        }
+        out
+    }
+}
+
+/// Parse and run spec text (the file's contents), with an optional event
+/// cap overriding the spec's own `max-events`.
+pub fn run_spec_text(text: &str, max_events: Option<u64>) -> Result<RunSummary, String> {
+    let mut spec = ScenarioSpec::parse(text).map_err(|e| e.to_string())?;
+    if let Some(cap) = max_events {
+        spec.max_events = cap;
+    }
+    spec.validate().map_err(|e| e.to_string())?;
+    let outcome = spec
+        .run_with(&RunOptions {
+            measure_stretch: true,
+            ..RunOptions::default()
+        })
+        .map_err(|e| e.to_string())?;
+    Ok(RunSummary { spec, outcome })
+}
+
+/// Load, parse and run a `.scn` file.
+pub fn run_spec_file(path: &Path, max_events: Option<u64>) -> Result<RunSummary, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read spec '{}': {e}", path.display()))?;
+    run_spec_text(&text, max_events).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "graph = ba(24, 3)\nhealer = dash\n\
+                        adversary = rack-partition(4)\nseed = 2008\naudit = theorems\n";
+
+    #[test]
+    fn good_spec_runs_clean_and_renders() {
+        let summary = run_spec_text(GOOD, None).unwrap();
+        assert!(summary.clean(), "{:?}", summary.outcome.violations);
+        let text = summary.render();
+        assert!(text.contains("rack-partition(4)"), "{text}");
+        assert!(text.contains("violations 0"), "{text}");
+    }
+
+    #[test]
+    fn event_cap_override_applies() {
+        let summary = run_spec_text(GOOD, Some(2)).unwrap();
+        assert_eq!(summary.outcome.report.events, 2);
+    }
+
+    #[test]
+    fn parse_and_validation_errors_are_readable() {
+        let err = run_spec_text("healer = dash\n", None).unwrap_err();
+        assert!(err.contains("missing required key 'graph'"), "{err}");
+        let err = run_spec_text(
+            "graph = ba(9, 9)\nhealer = dash\nadversary = random\nseed = 1\n",
+            None,
+        )
+        .unwrap_err();
+        assert!(err.contains("ba(9, 9)"), "{err}");
+        let err = run_spec_text(
+            "graph = ba(24, 3)\nhealer = line-heal\nadversary = random\nseed = 1\nbackend = parity\n",
+            None,
+        )
+        .unwrap_err();
+        assert!(err.contains("no distributed-fabric"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_an_error_not_a_panic() {
+        let err = run_spec_file(Path::new("/nonexistent/x.scn"), None).unwrap_err();
+        assert!(err.contains("cannot read spec"), "{err}");
+    }
+}

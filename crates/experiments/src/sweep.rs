@@ -7,11 +7,14 @@
 //! / stretch histograms, worst seeds for replay, and any bound
 //! violations with the exact seed that triggers them.
 //!
-//! `Quick` is CI-sized; `Full` is the acceptance sweep — 1000 seeds per
+//! Every configuration is a declarative [`ScenarioSpec`] template (the
+//! same description a `.scn` file carries) fanned over a seed range —
+//! `Quick` is CI-sized; `Full` is the acceptance sweep, 1000 seeds per
 //! adversary per healer, every run audited, expected violation-free.
 
 use crate::config::Scale;
-use selfheal_core::sweep::{run_sweep, SweepAdversary, SweepAggregate, SweepConfig, SweepHealer};
+use selfheal_core::spec::{BackendSpec, HealerSpec, ScenarioSpec};
+use selfheal_core::sweep::{run_sweep, SweepAdversary, SweepAggregate, SweepConfig};
 
 /// Size of one sweep at each scale.
 fn sweep_shape(scale: Scale) -> (usize, u64) {
@@ -24,10 +27,12 @@ fn sweep_shape(scale: Scale) -> (usize, u64) {
 
 /// One configuration's aggregate, tagged for rendering.
 pub struct SweepRow {
+    /// The scenario template this row fanned out.
+    pub spec: ScenarioSpec,
     /// Adversary swept.
     pub adversary: SweepAdversary,
     /// Healer under test.
-    pub healer: SweepHealer,
+    pub healer: HealerSpec,
     /// The finalized fleet aggregate.
     pub aggregate: SweepAggregate,
 }
@@ -41,26 +46,22 @@ pub fn run(
     scale: Scale,
     base_seed: u64,
     threads: usize,
-    healers: &[SweepHealer],
+    healers: &[HealerSpec],
     parity: bool,
 ) -> Vec<SweepRow> {
     let (n, runs) = sweep_shape(scale);
     let mut rows = Vec::new();
     for &healer in healers {
         for adversary in SweepAdversary::ALL {
-            let cfg = SweepConfig {
-                n,
-                adversary,
-                healer,
-                base_seed,
-                runs,
-                max_events: 0,
-                audit: true,
-                check_rem: false,
-                parity,
-                threads,
-            };
+            let mut cfg = SweepConfig::sized(adversary, healer, n);
+            cfg.spec.seed = base_seed;
+            if parity {
+                cfg.spec.backend = BackendSpec::Parity;
+            }
+            cfg.runs = runs;
+            cfg.threads = threads;
             rows.push(SweepRow {
+                spec: cfg.spec.clone(),
                 adversary,
                 healer,
                 aggregate: run_sweep(&cfg),
@@ -95,7 +96,7 @@ mod tests {
 
     #[test]
     fn quick_sweep_is_violation_free() {
-        let rows = run(Scale::Quick, 20080124, 4, &[SweepHealer::Dash], false);
+        let rows = run(Scale::Quick, 20080124, 4, &[HealerSpec::Dash], false);
         assert_eq!(rows.len(), SweepAdversary::ALL.len());
         for row in &rows {
             assert_eq!(row.aggregate.runs, 40);
@@ -112,11 +113,22 @@ mod tests {
 
     #[test]
     fn render_names_every_configuration() {
-        let rows = run(Scale::Quick, 1, 2, &[SweepHealer::Sdash], false);
+        let rows = run(Scale::Quick, 1, 2, &[HealerSpec::Sdash], false);
         let text = render(&rows);
         for adversary in SweepAdversary::ALL {
             assert!(text.contains(adversary.name()), "{text}");
         }
         assert!(text.contains("sdash"));
+    }
+
+    #[test]
+    fn rows_carry_replayable_spec_templates() {
+        let rows = run(Scale::Quick, 5, 2, &[HealerSpec::Dash], false);
+        for row in &rows {
+            // The template round-trips through the text format, so any
+            // fleet row can be saved as a .scn file and replayed.
+            let text = row.spec.to_string();
+            assert_eq!(text.parse::<ScenarioSpec>().unwrap(), row.spec);
+        }
     }
 }

@@ -1,36 +1,42 @@
-//! Quickstart: build a power-law network, attack it adversarially, heal
-//! it with DASH, and verify the paper's guarantees held.
+//! Quickstart: describe a whole scenario declaratively — graph, healer,
+//! adversary, seed, auditing, backend — run it through the one spec
+//! front door, and verify the paper's guarantees held.
+//!
+//! The same text lives in checked-in `.scn` files under `specs/` and
+//! runs from the CLI:
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! cargo run --release -p selfheal-experiments -- run --spec specs/rack_partition.scn
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use selfheal::core::scenario::AuditLevel;
 use selfheal::prelude::*;
 
 fn main() {
     let n = 512;
-    let seed = 2008;
 
-    // 1. A Barabási–Albert power-law network, like the paper's testbed.
-    let mut rng = StdRng::seed_from_u64(seed);
-    let graph = generators::barabasi_albert(n, 3, &mut rng);
-    println!(
-        "built BA graph: {} nodes, {} edges",
-        graph.live_node_count(),
-        graph.edge_count()
-    );
+    // 1. One declarative, replayable description of the whole run: a
+    //    Barabási–Albert power-law network (the paper's testbed), DASH
+    //    healing, the strongest attack the paper found (delete a random
+    //    neighbor of the hub), every Theorem 1 bound audited per event.
+    let spec: ScenarioSpec = format!(
+        "graph = ba({n}, 3)\n\
+         healer = dash\n\
+         adversary = neighbor-of-max\n\
+         seed = 2008\n\
+         audit = theorems\n"
+    )
+    .parse()
+    .expect("well-formed spec");
+    println!("running spec:\n{spec}");
 
-    // 2. Wrap it in healing state and pit DASH against the strongest
-    //    attack the paper found (delete a random neighbor of the hub).
-    let net = HealingNetwork::new(graph, seed);
-    let mut engine =
-        ScenarioEngine::new(net, Dash, NeighborOfMax::new(seed)).with_audit(AuditLevel::Cheap);
+    // 2. The spec round-trips through its text form — what runs is
+    //    exactly what a .scn file would say.
+    assert_eq!(spec.to_string().parse::<ScenarioSpec>().unwrap(), spec);
 
     // 3. Let the adversary delete every single node.
-    let report = engine.run_to_empty();
+    let outcome = spec.run().expect("valid spec");
+    let report = &outcome.report;
 
     // 4. The paper's Theorem 1, observed.
     let bound = 2.0 * (n as f64).log2();
@@ -51,11 +57,12 @@ fn main() {
         report.amortized_latency(),
         (n as f64).log2()
     );
-    println!("invariant violations:   {}", report.violations.len());
+    println!("theorem violations:     {}", outcome.violations.len());
 
     assert!(
-        report.violations.is_empty(),
-        "connectivity or forest invariant broke!"
+        outcome.is_clean(),
+        "a Theorem 1 bound or invariant broke: {:?}",
+        outcome.violations
     );
     assert!(
         (report.max_delta_ever as f64) <= bound,

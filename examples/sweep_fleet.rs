@@ -25,7 +25,7 @@ fn main() {
 
     let mut worst_overall = (0u64, 0u64, SweepAdversary::HighestDegree);
     for adversary in SweepAdversary::ALL {
-        let mut cfg = SweepConfig::new(adversary, SweepHealer::Dash);
+        let mut cfg = SweepConfig::new(adversary, HealerSpec::Dash);
         cfg.runs = runs;
         cfg.threads = threads;
         let agg = run_sweep(&cfg);
@@ -44,7 +44,7 @@ fn main() {
     // Worst-seed capture → exact replay: rebuild the costliest run and
     // walk its event log.
     let (messages, seed, adversary) = worst_overall;
-    let mut cfg = SweepConfig::new(adversary, SweepHealer::Dash);
+    let mut cfg = SweepConfig::new(adversary, HealerSpec::Dash);
     cfg.runs = runs;
     let (report, log, violations) = replay(&cfg, seed);
     assert_eq!(report.total_messages, messages, "replay must reproduce");

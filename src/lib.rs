@@ -58,10 +58,14 @@ pub mod prelude {
         ScriptedEvents,
     };
     pub use selfheal_core::sdash::Sdash;
+    pub use selfheal_core::spec::{
+        AdversarySpec, AuditSpec, BackendSpec, CuratedSchedule, DynScenarioEngine, GraphSpec,
+        HealerSpec, RunOptions, ScenarioSpec, SpecError, SpecOutcome,
+    };
     pub use selfheal_core::state::HealingNetwork;
     pub use selfheal_core::strategy::Healer;
     pub use selfheal_core::sweep::{
-        replay, run_sweep, SweepAdversary, SweepAggregate, SweepConfig, SweepHealer,
+        replay, run_sweep, SweepAdversary, SweepAggregate, SweepConfig,
     };
     pub use selfheal_graph::{generators, Graph, NodeId};
 }

@@ -21,10 +21,11 @@ use selfheal_core::distributed::HealMode;
 use selfheal_core::distributed_runner::DistributedScenarioRunner;
 use selfheal_core::scenario::{NetworkEvent, ScenarioEngine, ScriptedEvents};
 use selfheal_core::sdash::Sdash;
+use selfheal_core::spec::CuratedSchedule;
 use selfheal_core::state::HealingNetwork;
 use selfheal_core::strategy::Healer;
 use selfheal_graph::generators::{barabasi_albert, cycle_graph, star_graph};
-use selfheal_graph::{Graph, NodeId};
+use selfheal_graph::Graph;
 
 /// Replay `schedule` through both implementations and compare everything
 /// observable — per event and at the fixed point — with the shared
@@ -55,45 +56,25 @@ fn ba(n: usize, seed: u64) -> Graph {
     barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed))
 }
 
-/// The acceptance schedule: two simultaneous batches (their interleaved
-/// notifications exercise per-victim coordination), a join between them,
-/// stale references throughout.
-fn mixed_acceptance_schedule() -> Vec<NetworkEvent> {
-    vec![
-        NetworkEvent::DeleteBatch(vec![NodeId(0), NodeId(4), NodeId(9), NodeId(4)]),
-        NetworkEvent::Join {
-            neighbors: vec![NodeId(2), NodeId(7), NodeId(0)], // 0 is dead by now
-        },
-        NetworkEvent::Delete(NodeId(11)),
-        NetworkEvent::DeleteBatch(vec![NodeId(2), NodeId(6), NodeId(13), NodeId(9)]),
-        NetworkEvent::Delete(NodeId(0)), // stale: no-op on both sides
-        NetworkEvent::Join {
-            neighbors: vec![NodeId(3)],
-        },
-        NetworkEvent::DeleteBatch(vec![NodeId(1), NodeId(8)]),
-    ]
-}
-
+/// The curated schedules now live in the spec layer's registry
+/// ([`CuratedSchedule`]) so `.scn` specs replay exactly what this suite
+/// pins; the tests below consume them from there.
 #[test]
 fn mixed_schedule_parity_dash() {
-    assert_schedule_parity(&ba(32, 5), 5, &mixed_acceptance_schedule(), Dash);
+    let schedule = CuratedSchedule::MixedAcceptance.events();
+    assert_schedule_parity(&ba(32, 5), 5, &schedule, Dash);
 }
 
 #[test]
 fn mixed_schedule_parity_sdash() {
-    assert_schedule_parity(&ba(32, 5), 5, &mixed_acceptance_schedule(), Sdash);
+    let schedule = CuratedSchedule::MixedAcceptance.events();
+    assert_schedule_parity(&ba(32, 5), 5, &schedule, Sdash);
 }
 
 /// Batches on a cycle: maximal independent sets, then churn.
 #[test]
 fn cycle_batch_parity() {
-    let schedule = vec![
-        NetworkEvent::DeleteBatch((0..12).step_by(2).map(NodeId).collect()),
-        NetworkEvent::Join {
-            neighbors: vec![NodeId(1), NodeId(7)],
-        },
-        NetworkEvent::DeleteBatch(vec![NodeId(1), NodeId(5), NodeId(9)]),
-    ];
+    let schedule = CuratedSchedule::CycleBatches.events();
     assert_schedule_parity(&cycle_graph(12), 17, &schedule, Dash);
     assert_schedule_parity(&cycle_graph(12), 17, &schedule, Sdash);
 }
@@ -101,14 +82,7 @@ fn cycle_batch_parity() {
 /// Star hubs stress surrogation (large δ spread) under batches.
 #[test]
 fn star_batch_parity_sdash() {
-    let schedule = vec![
-        NetworkEvent::Delete(NodeId(0)),
-        NetworkEvent::DeleteBatch(vec![NodeId(3), NodeId(5), NodeId(11)]),
-        NetworkEvent::Join {
-            neighbors: vec![NodeId(1), NodeId(2)],
-        },
-        NetworkEvent::DeleteBatch(vec![NodeId(1), NodeId(7)]),
-    ];
+    let schedule = CuratedSchedule::StarBatches.events();
     assert_schedule_parity(&star_graph(16), 29, &schedule, Sdash);
 }
 
@@ -116,14 +90,7 @@ fn star_batch_parity_sdash() {
 /// slot-growth paths on both sides must stay in lockstep.
 #[test]
 fn join_heavy_churn_parity() {
-    let mut schedule = Vec::new();
-    for i in 0..8u32 {
-        schedule.push(NetworkEvent::Join {
-            neighbors: vec![NodeId(i), NodeId(i + 2), NodeId(i + 20)],
-        });
-        schedule.push(NetworkEvent::Delete(NodeId(2 * i)));
-    }
-    schedule.push(NetworkEvent::DeleteBatch((24..36).map(NodeId).collect()));
+    let schedule = CuratedSchedule::JoinChurn.events();
     assert_schedule_parity(&ba(24, 3), 3, &schedule, Dash);
     assert_schedule_parity(&ba(24, 3), 3, &schedule, Sdash);
 }

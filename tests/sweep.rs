@@ -21,10 +21,9 @@ use selfheal::prelude::*;
 use selfheal_core::scenario::EventSource;
 
 fn small_cfg(adversary: SweepAdversary) -> SweepConfig {
-    let mut cfg = SweepConfig::new(adversary, SweepHealer::Dash);
-    cfg.n = 24;
+    let mut cfg = SweepConfig::sized(adversary, HealerSpec::Dash, 24);
     cfg.runs = 16;
-    cfg.base_seed = 2008;
+    cfg.spec.seed = 2008;
     cfg
 }
 
@@ -193,10 +192,10 @@ fn worst_seed_replays_exactly() {
 #[test]
 fn sweep_parity_mode_is_clean() {
     for adversary in [SweepAdversary::Epidemic, SweepAdversary::FlashCrowd] {
-        let mut cfg = small_cfg(adversary);
-        cfg.n = 16;
+        let mut cfg = SweepConfig::sized(adversary, HealerSpec::Dash, 16);
+        cfg.spec.seed = 2008;
+        cfg.spec.backend = BackendSpec::Parity;
         cfg.runs = 4;
-        cfg.parity = true;
         cfg.threads = 2;
         let agg = run_sweep(&cfg);
         assert!(
@@ -217,7 +216,7 @@ fn fleet_reports_violations_with_seeds() {
 
     // Reproduce one fleet run by hand with a zero degree budget.
     let cfg = small_cfg(SweepAdversary::HighestDegree);
-    let seed = selfheal_core::sweep::run_seed(cfg.base_seed, 0);
+    let seed = selfheal_core::sweep::run_seed(cfg.spec.seed, 0);
     let g = selfheal_core::sweep::initial_graph(&cfg, seed);
     let bounds = TheoremBounds {
         delta_factor: 0.0,
