@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test test-all bench bench-check sim-parity sweep-check spec-check doc fmt fmt-check clippy examples figures ci clean
+.PHONY: all build test test-all bench bench-check sim-parity sweep-check spec-check verify-exhaustive doc fmt fmt-check clippy examples figures ci clean
 
 all: build
 
@@ -62,6 +62,18 @@ spec-check:
 	  $(CARGO) run -q --release -p selfheal-experiments -- run --spec $$f; \
 	done
 
+## Exhaustive verification gate (E10), bounded to seconds: the
+## small-world prover enumerates every connected graph up to n = 6 (the
+## census-checked A001349 universe), every deletion order, and
+## representative batch partitions for every registered healer, while
+## the schedule explorer proves centralized/distributed parity under
+## every DPOR class of batch-notification delivery orders. Any theorem
+## or parity violation exits nonzero. The n = 7 tier (853 more graphs,
+## ~26M runs, minutes not seconds) is opt-in:
+## `cargo run --release -p selfheal-experiments -- verify --full`.
+verify-exhaustive:
+	$(CARGO) run -q --release -p selfheal-experiments -- verify --quick --threads 4
+
 ## API docs for the workspace crates only.
 doc:
 	$(CARGO) doc --no-deps --workspace
@@ -91,7 +103,7 @@ figures:
 	$(CARGO) run -q --release -p selfheal-experiments -- all --quick --csv out
 
 ## The full CI gate.
-ci: fmt-check clippy build test-all doc bench-check sim-parity sweep-check spec-check
+ci: fmt-check clippy build test-all doc bench-check sim-parity sweep-check spec-check verify-exhaustive
 	@echo "ci green"
 
 clean:

@@ -15,7 +15,8 @@
 //!
 //! Batch events use the fabric's simultaneous kill
 //! ([`Simulator::delete_batch`]): all victims die at once, per-neighbor
-//! notifications interleave round-robin across victims, coordinators
+//! notifications interleave in the order the fabric's [`BatchSchedule`]
+//! dictates (round-robin across victims by default), coordinators
 //! park their rounds, and the quiescence barrier serializes heal +
 //! broadcast per victim — the distributed realization of
 //! `batch::heal_batch`'s one-accounting-rule semantics
@@ -24,7 +25,7 @@
 use crate::distributed::{DistributedDash, HealMode};
 use crate::scenario::{sanitize_batch, sanitize_join, EventKind, NetworkEvent};
 use selfheal_graph::Graph;
-use selfheal_sim::{SimMetrics, Simulator, Topology};
+use selfheal_sim::{BatchSchedule, SimMetrics, Simulator, Topology};
 
 /// What one event did to the distributed run. The distributed analogue
 /// of [`EventRecord`](crate::scenario::EventRecord), with fabric-level
@@ -165,6 +166,13 @@ impl DistributedScenarioRunner {
     /// The report accumulated so far.
     pub fn report(&self) -> DistScenarioReport {
         self.report
+    }
+
+    /// Choose the fabric's batch-notification delivery order for every
+    /// subsequent `DeleteBatch` event — the schedule explorer's control
+    /// hook. Defaults to [`BatchSchedule::RoundRobin`].
+    pub fn set_batch_schedule(&mut self, schedule: BatchSchedule) {
+        self.sim.set_batch_schedule(schedule);
     }
 
     /// Apply one event: sanitize (engine rules), reconfigure the fabric,

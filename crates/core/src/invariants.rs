@@ -243,6 +243,11 @@ pub struct TheoremAuditor {
     /// every other bound stays enforced.
     forest_waived: bool,
     check_rem: bool,
+    /// Connectivity is checked by default; healers that make no
+    /// connectivity claim at all (`no-heal`, the do-nothing baseline the
+    /// exhaustive prover audits for weight conservation only) opt out via
+    /// [`with_connectivity_check`](Self::with_connectivity_check).
+    check_connectivity: bool,
     /// Violations found, prefixed with the event number (capped at
     /// [`MAX_VIOLATIONS`]; `truncated` records overflow).
     pub violations: Vec<String>,
@@ -260,6 +265,7 @@ impl TheoremAuditor {
             expect_forest,
             forest_waived: false,
             check_rem: false,
+            check_connectivity: true,
             violations: Vec::new(),
             truncated: false,
         }
@@ -268,6 +274,14 @@ impl TheoremAuditor {
     /// Override the bound constants.
     pub fn with_bounds(mut self, bounds: TheoremBounds) -> Self {
         self.bounds = bounds;
+        self
+    }
+
+    /// Enable or disable the per-event connectivity check (on by
+    /// default). Only healers that never claim to reconnect the graph —
+    /// the `no-heal` baseline — should turn it off.
+    pub fn with_connectivity_check(mut self, on: bool) -> Self {
+        self.check_connectivity = on;
         self
     }
 
@@ -321,7 +335,7 @@ impl Observer for TheoremAuditor {
         }
         // Structural lemmas, invoked individually (not via `check_all`)
         // because the degree bound below carries a configurable factor.
-        if !connectivity_ok(net) {
+        if self.check_connectivity && !connectivity_ok(net) {
             self.record(&label, "G is disconnected".to_string());
         }
         if self.expect_forest && !self.forest_waived && !forest_ok(net) {
@@ -486,6 +500,34 @@ mod tests {
         assert!(auditor.truncated, "disconnection re-fires every event");
         assert!(auditor.violations[0].contains("disconnected"));
         assert!(auditor.violations[0].contains("event"));
+    }
+
+    #[test]
+    fn connectivity_check_can_be_waived_for_no_heal() {
+        use crate::attack::MaxNode;
+        use crate::naive::NoHeal;
+        use crate::scenario::ScenarioEngine;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let g = selfheal_graph::generators::barabasi_albert(40, 3, &mut StdRng::seed_from_u64(3));
+        // Same sweep as `theorem_auditor_flags_no_heal_and_caps_findings`,
+        // but with the connectivity check (and all numeric bounds the
+        // baseline makes no claim about) turned off: only the weight
+        // ledger is audited, and NoHeal keeps that one.
+        let unbounded = TheoremBounds {
+            delta_factor: f64::INFINITY,
+            id_change_factor: f64::INFINITY,
+            message_factor: f64::INFINITY,
+            traffic_factor: f64::INFINITY,
+            latency_factor: f64::INFINITY,
+            latency_min_rounds: u64::MAX,
+        };
+        let mut auditor = TheoremAuditor::new(false)
+            .with_connectivity_check(false)
+            .with_bounds(unbounded);
+        let mut engine = ScenarioEngine::new(HealingNetwork::new(g, 3), NoHeal, MaxNode);
+        engine.run_to_empty_with(&mut auditor);
+        assert!(auditor.ok(), "{:?}", auditor.violations);
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub mod dash;
 pub mod distributed;
 pub mod distributed_runner;
 pub mod engine;
+pub mod exhaustive;
+pub mod explore;
 pub mod invariants;
 pub mod levelattack;
 pub mod naive;
@@ -53,6 +55,8 @@ pub use dash::Dash;
 pub use distributed::{DistributedDash, HealMode};
 pub use distributed_runner::{DistEventRecord, DistScenarioReport, DistributedScenarioRunner};
 pub use engine::{AuditLevel, Engine, EngineReport};
+pub use exhaustive::{run_universe, SmallGraph, UniverseConfig, UniverseReport};
+pub use explore::{check_seeded_orders, explore_events, ExplorerConfig, ExplorerReport};
 pub use invariants::{TheoremAuditor, TheoremBounds};
 pub use scenario::{
     EventRecord, EventSource, NetworkEvent, Observer, ScenarioEngine, ScenarioReport,

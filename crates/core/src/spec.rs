@@ -57,6 +57,7 @@
 
 use crate::distributed::HealMode;
 use crate::distributed_runner::{DistEventRecord, DistScenarioReport, DistributedScenarioRunner};
+use crate::explore::{explore_events, ExplorerConfig};
 use crate::invariants::TheoremAuditor;
 use crate::scenario::{
     AuditLevel, EventRecord, EventSource, NetworkEvent, RecordLog, ScenarioEngine, ScenarioReport,
@@ -733,15 +734,23 @@ pub enum AuditSpec {
     /// The full [`TheoremAuditor`]: every Theorem 1 bound enforced per
     /// event plus the amortized-latency check at the end of the run.
     Theorems,
+    /// The exhaustive small-world prover ([`run_universe`]): instead of
+    /// playing the spec's adversary, sweep **every** connected graph up
+    /// to the spec graph's node count under every deletion order (plus
+    /// representative batch partitions), auditing each run with the
+    /// per-healer theorem profile. Requires `node_count <= 7` and the
+    /// centralized backend.
+    Exhaustive,
 }
 
 impl AuditSpec {
     /// Every level, in registry order.
-    pub const ALL: [AuditSpec; 4] = [
+    pub const ALL: [AuditSpec; 5] = [
         AuditSpec::Off,
         AuditSpec::Cheap,
         AuditSpec::Full,
         AuditSpec::Theorems,
+        AuditSpec::Exhaustive,
     ];
 
     /// Stable display name.
@@ -751,6 +760,7 @@ impl AuditSpec {
             AuditSpec::Cheap => "cheap",
             AuditSpec::Full => "full",
             AuditSpec::Theorems => "theorems",
+            AuditSpec::Exhaustive => "exhaustive",
         }
     }
 
@@ -765,7 +775,14 @@ impl AuditSpec {
         match self {
             AuditSpec::Cheap => AuditLevel::Cheap,
             AuditSpec::Full => AuditLevel::Full,
-            AuditSpec::Off | AuditSpec::Theorems => AuditLevel::Off,
+            // Theorem-level audits deliberately bypass the engine's
+            // per-event checks: the engine audit insists G' is a forest
+            // after *every* event, but a simultaneous batch can
+            // legitimately cycle G' (the TheoremAuditor waives the
+            // forest check exactly there), so the engine check would
+            // report spurious violations. See the satellite test in
+            // this module.
+            AuditSpec::Off | AuditSpec::Theorems | AuditSpec::Exhaustive => AuditLevel::Off,
         }
     }
 }
@@ -791,14 +808,22 @@ pub enum BackendSpec {
     /// Both backends in lockstep with per-event and final-state byte
     /// parity enforced ([`parity_event`] / [`parity_final`]).
     Parity,
+    /// The interleaving schedule explorer ([`explore_events`]): replay
+    /// the adversary's events under every DPOR equivalence class of
+    /// batch-notification delivery schedules, asserting centralized /
+    /// distributed parity under each one. Requires a fabric-capable
+    /// healer and `audit = off` (parity *is* the check, and the scenario
+    /// is re-run once per class).
+    Explorer,
 }
 
 impl BackendSpec {
     /// Every backend, in registry order.
-    pub const ALL: [BackendSpec; 3] = [
+    pub const ALL: [BackendSpec; 4] = [
         BackendSpec::Centralized,
         BackendSpec::Distributed,
         BackendSpec::Parity,
+        BackendSpec::Explorer,
     ];
 
     /// Stable display name.
@@ -807,6 +832,7 @@ impl BackendSpec {
             BackendSpec::Centralized => "centralized",
             BackendSpec::Distributed => "distributed",
             BackendSpec::Parity => "parity",
+            BackendSpec::Explorer => "explorer",
         }
     }
 
@@ -872,6 +898,30 @@ impl ScenarioSpec {
         self.adversary.validate()?;
         if self.backend != BackendSpec::Centralized {
             self.healer.heal_mode()?;
+        }
+        if self.audit == AuditSpec::Exhaustive {
+            if self.backend != BackendSpec::Centralized {
+                return Err(SpecError::Invalid(
+                    "audit = exhaustive sweeps its own universe on the centralized \
+                     engine; set backend = centralized"
+                        .to_string(),
+                ));
+            }
+            let n = self.graph.node_count();
+            if !(2..=crate::exhaustive::MAX_NODES).contains(&n) {
+                return Err(SpecError::Invalid(format!(
+                    "audit = exhaustive enumerates every connected graph up to the \
+                     spec graph's size; needs 2 <= nodes <= {}, got {n}",
+                    crate::exhaustive::MAX_NODES
+                )));
+            }
+        }
+        if self.backend == BackendSpec::Explorer && self.audit != AuditSpec::Off {
+            return Err(SpecError::Invalid(
+                "backend = explorer re-runs the scenario once per schedule class and \
+                 parity is the check; set audit = off"
+                    .to_string(),
+            ));
         }
         Ok(())
     }
@@ -1008,6 +1058,12 @@ impl ScenarioSpec {
     /// passing (with byte-parity enforced for `parity`).
     pub fn run_with(&self, opts: &RunOptions) -> Result<SpecOutcome, SpecError> {
         self.validate()?;
+        if self.audit == AuditSpec::Exhaustive {
+            return self.run_exhaustive();
+        }
+        if self.backend == BackendSpec::Explorer {
+            return self.run_explorer();
+        }
         let g = self.graph.build(self.seed);
         let initial_nodes = g.live_node_count() as u64;
         let baseline = opts.measure_stretch.then(|| StretchBaseline::new(&g, 1));
@@ -1100,6 +1156,88 @@ impl ScenarioSpec {
             log,
             stretch_tenths,
             violations,
+            universe: None,
+            explorer: None,
+        })
+    }
+
+    /// `audit = exhaustive`: the spec's graph fixes only the universe
+    /// ceiling (its node count) and the healer under test; the adversary
+    /// is ignored because the universe *is* every deletion order.
+    fn run_exhaustive(&self) -> Result<SpecOutcome, SpecError> {
+        let cfg = crate::exhaustive::UniverseConfig {
+            max_n: self.graph.node_count(),
+            healers: vec![self.healer],
+            seed: self.seed,
+            ..crate::exhaustive::UniverseConfig::default()
+        };
+        let universe = crate::exhaustive::run_universe(&cfg)?;
+        let mut violations = universe.violations.clone();
+        if universe.truncated {
+            violations.push(format!(
+                "exhaustive: {} further findings truncated",
+                universe.violation_count - violations.len() as u64
+            ));
+        }
+        Ok(SpecOutcome {
+            seed: self.seed,
+            report: ScenarioReport::default(),
+            dist: None,
+            log: None,
+            stretch_tenths: None,
+            violations,
+            universe: Some(universe),
+            explorer: None,
+        })
+    }
+
+    /// `backend = explorer`: one audit-off centralized pass records the
+    /// adversary's concrete events, then [`explore_events`] replays them
+    /// under every DPOR schedule class with parity enforced.
+    fn run_explorer(&self) -> Result<SpecOutcome, SpecError> {
+        let g = self.graph.build(self.seed);
+        let mut source = self.adversary.build(self.seed);
+        let mut engine = ScenarioEngine::new(
+            HealingNetwork::new(g.clone(), self.seed),
+            self.healer.build(),
+            ScriptedEvents::default(),
+        );
+        let mut events = Vec::new();
+        while self.max_events == 0 || (events.len() as u64) < self.max_events {
+            let Some(event) = source.next_event(&engine.net) else {
+                break;
+            };
+            engine.apply(event.clone());
+            events.push(event);
+        }
+        let report = engine.finish();
+        let explorer = explore_events(
+            &g,
+            self.healer,
+            self.seed,
+            &events,
+            &ExplorerConfig::default(),
+        )?;
+        let mut violations: Vec<String> = explorer
+            .violations
+            .iter()
+            .map(|v| format!("explorer: {v}"))
+            .collect();
+        if explorer.truncated {
+            violations.push(format!(
+                "explorer: {} further findings truncated",
+                explorer.violation_count - explorer.violations.len() as u64
+            ));
+        }
+        Ok(SpecOutcome {
+            seed: self.seed,
+            report,
+            dist: None,
+            log: None,
+            stretch_tenths: None,
+            violations,
+            universe: None,
+            explorer: Some(explorer),
         })
     }
 }
@@ -1154,6 +1292,10 @@ pub struct SpecOutcome {
     /// Theorem-auditor and parity findings (engine-level audit findings
     /// live in [`ScenarioReport::violations`]).
     pub violations: Vec<String>,
+    /// Exhaustive-universe report (`audit = exhaustive` runs only).
+    pub universe: Option<crate::exhaustive::UniverseReport>,
+    /// Schedule-explorer report (`backend = explorer` runs only).
+    pub explorer: Option<crate::explore::ExplorerReport>,
 }
 
 impl SpecOutcome {
@@ -1469,5 +1611,98 @@ mod tests {
             .unwrap();
         assert_eq!(out.report.events, 5);
         assert_eq!(out.log.unwrap().records.len(), 5);
+    }
+
+    /// Satellite: `theorems` (and `exhaustive`) deliberately map to
+    /// [`AuditLevel::Off`] at the engine. The engine's embedded audit
+    /// insists G' stays a forest after **every** event, but a
+    /// simultaneous deletion batch can legitimately leave a cycle in G'
+    /// (the [`TheoremAuditor`] waives the forest check exactly on
+    /// multi-victim batches). Running both would report spurious
+    /// violations on correct healers — demonstrated here: the same
+    /// batch-heavy scenario is clean under `theorems` yet flagged by the
+    /// engine's `cheap` forest check.
+    #[test]
+    fn theorem_audit_bypasses_engine_checks_because_batches_may_cycle_gprime() {
+        assert_eq!(AuditSpec::Off.engine_level(), AuditLevel::Off);
+        assert_eq!(AuditSpec::Cheap.engine_level(), AuditLevel::Cheap);
+        assert_eq!(AuditSpec::Full.engine_level(), AuditLevel::Full);
+        assert_eq!(AuditSpec::Theorems.engine_level(), AuditLevel::Off);
+        assert_eq!(AuditSpec::Exhaustive.engine_level(), AuditLevel::Off);
+
+        // Simultaneous deletions snapshot each victim's G'-neighbors at
+        // deletion time and rebuild RT from the snapshot, so one batch
+        // member's heal can re-link survivors a sibling's heal already
+        // connected — a legitimate G' cycle. This workload produces one.
+        let mut spec = sample();
+        spec.adversary = AdversarySpec::DegreeBatches { k: 2 };
+        spec.seed = 3;
+        spec.audit = AuditSpec::Theorems;
+        let theorems = spec.run().unwrap();
+        assert!(theorems.is_clean(), "{:?}", theorems.violations);
+
+        spec.audit = AuditSpec::Cheap;
+        let cheap = spec.run().unwrap();
+        assert!(
+            cheap
+                .report
+                .violations
+                .iter()
+                .any(|v| v.contains("cycle") || v.contains("forest")),
+            "expected a spurious engine-level forest finding, got {:?}",
+            cheap.report.violations
+        );
+    }
+
+    #[test]
+    fn exhaustive_audit_entry_round_trips_validates_and_runs() {
+        let mut spec = sample();
+        spec.graph = GraphSpec::Complete { n: 4 };
+        spec.audit = AuditSpec::Exhaustive;
+        let text = spec.to_string();
+        assert!(text.contains("audit = exhaustive"), "{text}");
+        assert_eq!(ScenarioSpec::parse(&text).unwrap(), spec);
+
+        spec.backend = BackendSpec::Parity;
+        assert!(spec.validate().is_err(), "exhaustive is centralized-only");
+        spec.backend = BackendSpec::Centralized;
+        spec.graph = GraphSpec::BarabasiAlbert { n: 24, m: 3 };
+        assert!(spec.validate().is_err(), "n = 24 is beyond the universe");
+
+        spec.graph = GraphSpec::Complete { n: 4 };
+        let out = spec.run().unwrap();
+        let universe = out
+            .universe
+            .as_ref()
+            .expect("exhaustive runs report the universe");
+        assert_eq!(universe.graphs, 10, "connected graphs with n <= 4");
+        assert!(universe.order_runs > 0 && universe.batch_runs > 0);
+        assert!(out.is_clean(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn explorer_backend_entry_round_trips_validates_and_runs() {
+        let mut spec = sample();
+        spec.graph = GraphSpec::BarabasiAlbert { n: 12, m: 3 };
+        spec.adversary = AdversarySpec::DegreeBatches { k: 2 };
+        spec.healer = HealerSpec::Sdash;
+        spec.backend = BackendSpec::Explorer;
+        spec.max_events = 2;
+        assert!(spec.validate().is_err(), "explorer requires audit = off");
+        spec.audit = AuditSpec::Off;
+        let text = spec.to_string();
+        assert!(text.contains("backend = explorer"), "{text}");
+        assert_eq!(ScenarioSpec::parse(&text).unwrap(), spec);
+
+        let out = spec.run().unwrap();
+        let explorer = out
+            .explorer
+            .as_ref()
+            .expect("explorer runs report the exploration");
+        assert!(explorer.batches >= 1, "{explorer:#?}");
+        assert!(explorer.classes >= 2);
+        assert_eq!(explorer.checked, 2 * explorer.classes);
+        assert!(explorer.pruned() > 0);
+        assert!(out.is_clean(), "{:?}", out.violations);
     }
 }

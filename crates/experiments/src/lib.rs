@@ -14,6 +14,7 @@
 //! | E7 | attack comparison (Section 4.2's narrative) | [`attacks`] |
 //! | E8 | simultaneous deletions (footnote 1) | [`batchexp`] |
 //! | E9 | parallel sweep fleet + theorem auditors | [`sweep`] |
+//! | E10 | exhaustive prover + schedule explorer | [`verify`] |
 //!
 //! Run them all with the `run-experiments` binary:
 //!
@@ -38,5 +39,6 @@ pub mod runner;
 pub mod specrun;
 pub mod sweep;
 pub mod theorem1;
+pub mod verify;
 
 pub use config::{AttackKind, HealerKind, Scale};

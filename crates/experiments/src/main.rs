@@ -11,7 +11,7 @@
 use selfheal_core::spec::HealerSpec;
 use selfheal_experiments::{
     attacks, batchexp, config::HealerKind, config::Scale, fig10, fig8, fig9, lowerbound, render,
-    specrun, sweep, theorem1,
+    specrun, sweep, theorem1, verify,
 };
 use selfheal_metrics::csv::write_figure_csv;
 use selfheal_metrics::Figure;
@@ -36,7 +36,8 @@ fn usage() -> ! {
         "usage: run-experiments <fig8|fig9a|fig9b|fig10|theorem1|lowerbound|attacks|batch|sweep|all> \
          [--quick|--full] [--seed N] [--threads N] [--csv DIR] [--chart] \
          [--healer dash|sdash|both] [--parity]\n\
-         \x20      run-experiments run --spec FILE.scn [--events N]"
+         \x20      run-experiments run --spec FILE.scn [--events N]\n\
+         \x20      run-experiments verify [--full] [--threads N] [--seed N]"
     );
     std::process::exit(2)
 }
@@ -116,6 +117,7 @@ fn parse_args() -> Options {
         "batch",
         "sweep",
         "run",
+        "verify",
         "all",
     ];
     if !known.contains(&opts.command.as_str()) {
@@ -166,10 +168,40 @@ fn run_spec_command(opts: &Options) -> ! {
     }
 }
 
+/// The `verify` subcommand (E10): the exhaustive small-world prover and
+/// the interleaving schedule explorer as a CI gate. Quick runs the
+/// universe to n <= 6; `--full` raises it to n <= 7. Any theorem or
+/// parity violation fails the process.
+fn verify_command(opts: &Options) -> ! {
+    let t0 = Instant::now();
+    let full = matches!(opts.scale, Scale::Full);
+    println!(
+        "# E10: exhaustive prover + schedule explorer — {}, seed {}, {} threads\n",
+        if full {
+            "full (n <= 7)"
+        } else {
+            "quick (n <= 6)"
+        },
+        opts.seed,
+        opts.threads
+    );
+    let summary = verify::run(full, opts.threads, opts.seed);
+    print!("{}", verify::render(&summary));
+    println!("done in {:.1?}", t0.elapsed());
+    if summary.clean() {
+        std::process::exit(0);
+    }
+    eprintln!("FAILED: exhaustive verification reported violations");
+    std::process::exit(1);
+}
+
 fn main() {
     let opts = parse_args();
     if opts.command == "run" {
         run_spec_command(&opts);
+    }
+    if opts.command == "verify" {
+        verify_command(&opts);
     }
     let t0 = Instant::now();
     let run = |name: &str| opts.command == name || opts.command == "all";

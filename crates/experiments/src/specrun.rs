@@ -62,6 +62,25 @@ impl RunSummary {
                 d.total_messages, d.total_delivered, d.total_dropped
             );
         }
+        if let Some(u) = &self.outcome.universe {
+            let _ = writeln!(
+                out,
+                "universe: graphs {}  healers {}  order runs {}  batch runs {}",
+                u.graphs, u.healers, u.order_runs, u.batch_runs
+            );
+        }
+        if let Some(x) = &self.outcome.explorer {
+            let _ = writeln!(
+                out,
+                "explorer: batches {}  interleavings {}  classes {}  pruned {} ({:.2}%)  checked {}",
+                x.batches,
+                x.interleavings,
+                x.classes,
+                x.pruned(),
+                100.0 * x.prune_ratio(),
+                x.checked
+            );
+        }
         let findings = self.outcome.violations.len() + r.violations.len();
         let _ = writeln!(out, "violations {findings}");
         for v in r.violations.iter().chain(&self.outcome.violations) {

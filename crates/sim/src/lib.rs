@@ -13,9 +13,10 @@
 //! - [`Simulator`] — drives a [`Protocol`] with unit-latency messages,
 //!   deterministic FIFO tie-breaking and automatic per-node accounting
 //!   ([`SimMetrics`]); reconfiguration via `delete_node`, simultaneous
-//!   `delete_batch` (interleaved neighbor notifications) and
-//!   `join_node`, with a protocol-visible quiescence barrier
-//!   ([`Protocol::on_quiescent`]) for batch-safe healing,
+//!   `delete_batch` (neighbor notifications ordered by a controllable
+//!   [`BatchSchedule`], round-robin by default) and `join_node`, with a
+//!   protocol-visible quiescence barrier ([`Protocol::on_quiescent`])
+//!   for batch-safe healing,
 //! - [`SplitMix64`] — a self-contained seedable PRNG so simulations are
 //!   bit-reproducible across platforms,
 //! - [`trace::TraceBuffer`] — optional bounded binary event log.
@@ -32,6 +33,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod rng;
 pub mod runner;
+pub mod schedule;
 pub mod scheduler;
 pub mod time;
 pub mod topology;
@@ -41,5 +43,6 @@ pub use metrics::SimMetrics;
 pub use protocol::{Ctx, DeletionInfo, LatencyModel, Protocol};
 pub use rng::SplitMix64;
 pub use runner::{QuiescenceReport, Simulator};
+pub use schedule::BatchSchedule;
 pub use time::SimTime;
 pub use topology::Topology;

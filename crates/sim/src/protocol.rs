@@ -140,9 +140,11 @@ pub trait Protocol {
     /// ([`crate::Simulator::delete_node`]) the notifications arrive in
     /// increasing id order; for a simultaneous batch
     /// ([`crate::Simulator::delete_batch`]) notifications for *different
-    /// victims interleave* (round-robin across victims), so
-    /// implementations must be batch-safe: track coordination per victim,
-    /// never through a single "last seen" slot.
+    /// victims interleave* in whatever order the active
+    /// [`BatchSchedule`](crate::BatchSchedule) dictates (round-robin
+    /// across victims by default), so implementations must be
+    /// batch-safe: track coordination per victim, never through a single
+    /// "last seen" slot, and never depend on the delivery order.
     fn on_neighbor_deleted(&mut self, ctx: &mut Ctx<'_, Self::Msg>, me: u32, info: &DeletionInfo);
 
     /// Invoked when a message is delivered to `me`.

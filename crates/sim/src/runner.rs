@@ -2,6 +2,7 @@
 
 use crate::metrics::SimMetrics;
 use crate::protocol::{Ctx, DeletionInfo, LatencyModel, Protocol};
+use crate::schedule::BatchSchedule;
 use crate::scheduler::EventQueue;
 use crate::time::SimTime;
 use crate::topology::Topology;
@@ -59,6 +60,7 @@ pub struct Simulator<P: Protocol> {
     trace: Option<TraceBuffer>,
     latency: LatencyModel,
     now: SimTime,
+    batch_schedule: BatchSchedule,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -73,6 +75,7 @@ impl<P: Protocol> Simulator<P> {
             trace: None,
             latency: LatencyModel::Unit,
             now: SimTime::ZERO,
+            batch_schedule: BatchSchedule::default(),
         };
         let live: Vec<u32> = sim.topology.live_nodes().collect();
         for v in live {
@@ -106,6 +109,19 @@ impl<P: Protocol> Simulator<P> {
             rng: crate::rng::SplitMix64::new(seed),
             max_extra,
         };
+    }
+
+    /// Choose the delivery order of batch-deletion notifications for
+    /// every subsequent [`delete_batch`](Self::delete_batch). The default
+    /// is [`BatchSchedule::RoundRobin`], the fabric's historical
+    /// interleaving.
+    pub fn set_batch_schedule(&mut self, schedule: BatchSchedule) {
+        self.batch_schedule = schedule;
+    }
+
+    /// The currently active batch-notification schedule.
+    pub fn batch_schedule(&self) -> &BatchSchedule {
+        &self.batch_schedule
     }
 
     /// Current simulation time.
@@ -156,12 +172,13 @@ impl<P: Protocol> Simulator<P> {
     /// Delete an independent set of victims *simultaneously* (the paper's
     /// footnote-1 batch model): every victim is removed from the fabric
     /// before any notification fires, and the per-neighbor notifications
-    /// then **interleave round-robin across victims** — neighbor 1 of
-    /// victim A, neighbor 1 of victim B, neighbor 2 of victim A, … — the
-    /// delivery pattern a real fabric would produce when several nodes
-    /// die in the same instant. Each notification carries
-    /// `simultaneous: true`, so batch-safe protocols defer their heals to
-    /// the [`Protocol::on_quiescent`] barrier.
+    /// then land in the order the active [`BatchSchedule`] dictates —
+    /// round-robin across victims by default (neighbor 1 of victim A,
+    /// neighbor 1 of victim B, neighbor 2 of victim A, …), the delivery
+    /// pattern a real fabric would produce when several nodes die in the
+    /// same instant. Each notification carries `simultaneous: true`, so
+    /// batch-safe protocols defer their heals to the
+    /// [`Protocol::on_quiescent`] barrier.
     ///
     /// Returns one [`DeletionInfo`] per victim, in input order.
     ///
@@ -196,27 +213,21 @@ impl<P: Protocol> Simulator<P> {
                 }
             })
             .collect();
-        // Phase 2: interleaved notifications, round-robin across victims.
-        let max_degree = infos
-            .iter()
-            .map(|i| i.former_neighbors.len())
-            .max()
-            .unwrap_or(0);
-        for slot in 0..max_degree {
-            for info in &infos {
-                let Some(&u) = info.former_neighbors.get(slot) else {
-                    continue;
-                };
-                let mut ctx = Ctx {
-                    topology: &mut self.topology,
-                    queue: &mut self.queue,
-                    metrics: &mut self.metrics,
-                    trace: self.trace.as_mut(),
-                    latency: &mut self.latency,
-                    now: self.now,
-                };
-                self.protocol.on_neighbor_deleted(&mut ctx, u, info);
-            }
+        // Phase 2: notifications land in schedule order (round-robin
+        // across victims by default).
+        let degrees: Vec<usize> = infos.iter().map(|i| i.former_neighbors.len()).collect();
+        for (v, slot) in self.batch_schedule.delivery_order(&degrees) {
+            let info = &infos[v];
+            let u = info.former_neighbors[slot];
+            let mut ctx = Ctx {
+                topology: &mut self.topology,
+                queue: &mut self.queue,
+                metrics: &mut self.metrics,
+                trace: self.trace.as_mut(),
+                latency: &mut self.latency,
+                now: self.now,
+            };
+            self.protocol.on_neighbor_deleted(&mut ctx, u, info);
         }
         infos
     }
@@ -445,6 +456,54 @@ mod tests {
         );
         // Simultaneity: the other victim was already dead in every callback.
         assert!(sim.protocol.other_victim_alive.iter().all(|&a| !a));
+    }
+
+    #[test]
+    fn batch_schedule_hook_controls_notification_order() {
+        struct Recorder {
+            calls: Vec<(u32, u32)>,
+        }
+        impl Protocol for Recorder {
+            type Msg = ();
+            fn on_neighbor_deleted(&mut self, _: &mut Ctx<'_, ()>, me: u32, info: &DeletionInfo) {
+                self.calls.push((me, info.deleted));
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: u32, _: u32, _: ()) {}
+        }
+        let build = || {
+            let topo = Topology::from_edges(7, &[(1, 0), (1, 2), (1, 3), (4, 5), (4, 6)]);
+            Simulator::new(topo, Recorder { calls: vec![] })
+        };
+
+        let mut sim = build();
+        sim.set_batch_schedule(BatchSchedule::VictimMajor);
+        sim.delete_batch(&[1, 4]);
+        assert_eq!(
+            sim.protocol.calls,
+            vec![(0, 1), (2, 1), (3, 1), (5, 4), (6, 4)]
+        );
+
+        let mut sim = build();
+        sim.set_batch_schedule(BatchSchedule::VictimOrder(vec![1, 0]));
+        sim.delete_batch(&[1, 4]);
+        assert_eq!(
+            sim.protocol.calls,
+            vec![(5, 4), (6, 4), (0, 1), (2, 1), (3, 1)]
+        );
+
+        let mut sim = build();
+        sim.set_batch_schedule(BatchSchedule::Explicit(vec![
+            (0, 2),
+            (1, 1),
+            (0, 0),
+            (1, 0),
+            (0, 1),
+        ]));
+        sim.delete_batch(&[1, 4]);
+        assert_eq!(
+            sim.protocol.calls,
+            vec![(3, 1), (6, 4), (0, 1), (5, 4), (2, 1)]
+        );
     }
 
     #[test]

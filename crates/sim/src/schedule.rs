@@ -1,0 +1,205 @@
+//! Batch-notification delivery schedules.
+//!
+//! When an independent set of victims dies simultaneously
+//! ([`Simulator::delete_batch`](crate::Simulator::delete_batch)), every
+//! former neighbor of every victim must be notified — but a real fabric
+//! gives no guarantee about the *order* those notifications land in.
+//! That order is the one degree of freedom a batch leaves open, and it is
+//! exactly where the coordinator-election and stale-comp-ID bugs live, so
+//! the fabric makes it a first-class, controllable [`BatchSchedule`]
+//! instead of a hardcoded loop.
+//!
+//! A schedule maps the batch's notification set — pair `(v, s)` meaning
+//! "former neighbor in slot `s` of victim `v` learns of `v`'s death" — to
+//! a total delivery order. The default [`BatchSchedule::RoundRobin`]
+//! reproduces the fabric's historical interleaving byte for byte; the
+//! other variants exist for the schedule explorer
+//! (`selfheal-core::explore`), which enumerates representative orders and
+//! proves the protocol's outcome independent of the choice.
+
+use crate::rng::SplitMix64;
+
+/// Delivery order of the per-neighbor notifications of one deletion
+/// batch. Set via
+/// [`Simulator::set_batch_schedule`](crate::Simulator::set_batch_schedule);
+/// applies to every subsequent [`delete_batch`](crate::Simulator::delete_batch).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum BatchSchedule {
+    /// Interleave across victims slot by slot: neighbor 1 of victim A,
+    /// neighbor 1 of victim B, neighbor 2 of victim A, … — the fabric's
+    /// historical default.
+    #[default]
+    RoundRobin,
+    /// All of victim A's neighbors, then all of victim B's, in victim
+    /// input order.
+    VictimMajor,
+    /// Victim-major in the given victim order: `VictimOrder(vec![2, 0, 1])`
+    /// notifies all of victim 2's neighbors first, then victim 0's, then
+    /// victim 1's. Indices refer to positions in the batch's victim list.
+    VictimOrder(Vec<usize>),
+    /// A fully explicit delivery sequence of `(victim index, neighbor
+    /// slot)` pairs. Must cover every notification of the batch exactly
+    /// once.
+    Explicit(Vec<(usize, usize)>),
+    /// A seeded uniform shuffle of the notification set — a deterministic
+    /// stand-in for an arbitrary adversarial fabric.
+    Shuffled(u64),
+}
+
+impl BatchSchedule {
+    /// Expand the schedule into a concrete delivery order for a batch
+    /// whose victim `i` has `degrees[i]` former neighbors.
+    ///
+    /// # Panics
+    /// Panics if the schedule does not fit the batch: a `VictimOrder`
+    /// that is not a permutation of `0..victims`, or an `Explicit`
+    /// sequence that is not an exact cover of the notification set. A
+    /// malformed schedule would silently skip notifications, so the
+    /// fabric refuses it loudly (mirroring `delete_batch`'s own victim
+    /// validation).
+    pub(crate) fn delivery_order(&self, degrees: &[usize]) -> Vec<(usize, usize)> {
+        let total: usize = degrees.iter().sum();
+        let mut order = Vec::with_capacity(total);
+        match self {
+            BatchSchedule::RoundRobin => {
+                let max_degree = degrees.iter().copied().max().unwrap_or(0);
+                for slot in 0..max_degree {
+                    for (v, &deg) in degrees.iter().enumerate() {
+                        if slot < deg {
+                            order.push((v, slot));
+                        }
+                    }
+                }
+            }
+            BatchSchedule::VictimMajor => {
+                for (v, &deg) in degrees.iter().enumerate() {
+                    for slot in 0..deg {
+                        order.push((v, slot));
+                    }
+                }
+            }
+            BatchSchedule::VictimOrder(perm) => {
+                assert_eq!(
+                    perm.len(),
+                    degrees.len(),
+                    "victim order lists {} victims but the batch has {}",
+                    perm.len(),
+                    degrees.len()
+                );
+                let mut seen = vec![false; degrees.len()];
+                for &v in perm {
+                    assert!(
+                        v < degrees.len() && !std::mem::replace(&mut seen[v], true),
+                        "victim order {perm:?} is not a permutation of 0..{}",
+                        degrees.len()
+                    );
+                    for slot in 0..degrees[v] {
+                        order.push((v, slot));
+                    }
+                }
+            }
+            BatchSchedule::Explicit(pairs) => {
+                assert_eq!(
+                    pairs.len(),
+                    total,
+                    "explicit schedule has {} deliveries but the batch has {total}",
+                    pairs.len()
+                );
+                let mut seen: Vec<Vec<bool>> = degrees.iter().map(|&d| vec![false; d]).collect();
+                for &(v, slot) in pairs {
+                    assert!(
+                        v < degrees.len() && slot < degrees[v],
+                        "explicit delivery ({v}, {slot}) is out of range for the batch"
+                    );
+                    assert!(
+                        !std::mem::replace(&mut seen[v][slot], true),
+                        "explicit delivery ({v}, {slot}) repeated"
+                    );
+                    order.push((v, slot));
+                }
+            }
+            BatchSchedule::Shuffled(seed) => {
+                order = BatchSchedule::RoundRobin.delivery_order(degrees);
+                SplitMix64::new(*seed).shuffle(&mut order);
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEGREES: [usize; 3] = [3, 1, 2];
+
+    fn as_set(mut order: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+        order.sort_unstable();
+        order
+    }
+
+    #[test]
+    fn round_robin_interleaves_slot_major() {
+        let order = BatchSchedule::RoundRobin.delivery_order(&DEGREES);
+        assert_eq!(order, vec![(0, 0), (1, 0), (2, 0), (0, 1), (2, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn victim_major_groups_by_victim() {
+        let order = BatchSchedule::VictimMajor.delivery_order(&DEGREES);
+        assert_eq!(order, vec![(0, 0), (0, 1), (0, 2), (1, 0), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn victim_order_respects_permutation() {
+        let order = BatchSchedule::VictimOrder(vec![2, 0, 1]).delivery_order(&DEGREES);
+        assert_eq!(order, vec![(2, 0), (2, 1), (0, 0), (0, 1), (0, 2), (1, 0)]);
+    }
+
+    #[test]
+    fn shuffle_is_a_seeded_permutation_of_the_notification_set() {
+        let a = BatchSchedule::Shuffled(7).delivery_order(&DEGREES);
+        let b = BatchSchedule::Shuffled(7).delivery_order(&DEGREES);
+        assert_eq!(a, b, "same seed must replay the same order");
+        assert_eq!(
+            as_set(a),
+            as_set(BatchSchedule::RoundRobin.delivery_order(&DEGREES)),
+            "shuffle must cover the notification set exactly"
+        );
+    }
+
+    #[test]
+    fn explicit_replays_verbatim() {
+        let pairs = vec![(2, 1), (0, 2), (1, 0), (0, 0), (2, 0), (0, 1)];
+        let order = BatchSchedule::Explicit(pairs.clone()).delivery_order(&DEGREES);
+        assert_eq!(order, pairs);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn victim_order_rejects_repeats() {
+        BatchSchedule::VictimOrder(vec![0, 0, 1]).delivery_order(&DEGREES);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn explicit_rejects_duplicate_deliveries() {
+        BatchSchedule::Explicit(vec![(0, 0), (0, 0), (0, 1), (0, 2), (1, 0), (2, 0)])
+            .delivery_order(&DEGREES);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn explicit_rejects_out_of_range_slots() {
+        BatchSchedule::Explicit(vec![(1, 1), (0, 0), (0, 1), (0, 2), (1, 0), (2, 0)])
+            .delivery_order(&DEGREES);
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_order() {
+        assert!(BatchSchedule::RoundRobin.delivery_order(&[]).is_empty());
+        assert!(BatchSchedule::Shuffled(3)
+            .delivery_order(&[0, 0])
+            .is_empty());
+    }
+}

@@ -49,6 +49,10 @@ pub mod prelude {
         DistEventRecord, DistScenarioReport, DistributedScenarioRunner,
     };
     pub use selfheal_core::engine::{AuditLevel, Engine, EngineReport};
+    pub use selfheal_core::exhaustive::{run_universe, SmallGraph, UniverseConfig, UniverseReport};
+    pub use selfheal_core::explore::{
+        check_seeded_orders, explore_events, ExplorerConfig, ExplorerReport,
+    };
     pub use selfheal_core::invariants::{TheoremAuditor, TheoremBounds};
     pub use selfheal_core::naive::{BinaryTreeHeal, GraphHeal, LineHeal, NoHeal};
     pub use selfheal_core::oracle::OracleDash;
@@ -68,4 +72,5 @@ pub mod prelude {
         replay, run_sweep, SweepAdversary, SweepAggregate, SweepConfig,
     };
     pub use selfheal_graph::{generators, Graph, NodeId};
+    pub use selfheal_sim::BatchSchedule;
 }

@@ -1,22 +1,25 @@
-//! Stress: deletions arriving *before* the previous round's ID broadcast
-//! has quiesced.
+//! Stress: notification and broadcast interleavings the fabric does not
+//! get to choose.
 //!
 //! The paper's model gives the healing algorithm "a small amount of time
 //! to react" between deletions — reconnection is assumed to finish, but
 //! ID propagation is only guaranteed *amortized* latency, so a fast
-//! adversary can strike while broadcasts are still in flight. Stale
-//! component IDs can then over-split the reconstruction set (an
-//! unconverged component presents several distinct IDs). The key safety
-//! property that must survive: over-splitting only adds *extra* edges —
-//! connectivity is never lost, because `N(v, G')` membership (the part
-//! that re-merges a deleted node's own tree) is tracked by adjacency, not
-//! by IDs.
+//! adversary can strike while broadcasts are still in flight, and a
+//! simultaneous batch leaves the delivery order of its death
+//! notifications to the network. Both freedoms are driven here through
+//! the fabric's first-class [`BatchSchedule`] hook: every named schedule
+//! (and, explorer-style, *every* victim parking order of a small batch)
+//! must preserve the key safety property — over-splitting from stale
+//! IDs or unlucky delivery orders only adds extra edges; connectivity is
+//! never lost, because `N(v, G')` membership is tracked by adjacency,
+//! not by IDs.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selfheal_core::distributed::DistributedDash;
+use selfheal_core::exhaustive::permutations;
 use selfheal_graph::generators::barabasi_albert;
-use selfheal_sim::{Simulator, SplitMix64, Topology};
+use selfheal_sim::{BatchSchedule, Simulator, SplitMix64, Topology};
 
 fn build_sim(n: usize, seed: u64) -> Simulator<DistributedDash> {
     let g = barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
@@ -49,8 +52,116 @@ fn survivors_connected(sim: &Simulator<DistributedDash>) -> bool {
     reached == live.len()
 }
 
-/// Delete many nodes without ever waiting for quiescence, then drain.
-/// Connectivity must hold at every step regardless of broadcast state.
+/// After a full drain, every G'-connected live pair must agree on its
+/// component ID.
+fn assert_ids_converged(sim: &Simulator<DistributedDash>, label: &str) {
+    for v in sim.topology.live_nodes() {
+        for &u in sim.protocol.gprime_neighbors(v).iter() {
+            if sim.topology.is_alive(u) {
+                assert_eq!(
+                    sim.protocol.comp_id(v),
+                    sim.protocol.comp_id(u),
+                    "{label}: G' neighbors {v},{u} disagree after drain"
+                );
+            }
+        }
+    }
+}
+
+/// Greedily pick up to `k` live, pairwise non-adjacent victims (the
+/// fabric's `delete_batch` requires an independent set), shuffled so
+/// different seeds exercise different batches.
+fn independent_victims(
+    sim: &Simulator<DistributedDash>,
+    k: usize,
+    rng: &mut SplitMix64,
+) -> Vec<u32> {
+    let mut live: Vec<u32> = sim.topology.live_nodes().collect();
+    rng.shuffle(&mut live);
+    let mut picked: Vec<u32> = Vec::with_capacity(k);
+    for v in live {
+        if picked.len() == k {
+            break;
+        }
+        if picked.iter().all(|&u| !sim.topology.has_edge(u, v)) {
+            picked.push(v);
+        }
+    }
+    picked
+}
+
+/// The named schedule registry this suite sweeps. `rapid-fire` is the
+/// legacy stress case — batches of one, never waiting for quiescence —
+/// kept as a named schedule alongside the batch-reordering ones.
+fn named_schedules() -> Vec<(&'static str, BatchSchedule)> {
+    vec![
+        ("round-robin", BatchSchedule::RoundRobin),
+        ("victim-major", BatchSchedule::VictimMajor),
+        ("shuffled(3)", BatchSchedule::Shuffled(3)),
+        ("shuffled(7)", BatchSchedule::Shuffled(7)),
+    ]
+}
+
+/// Storm of independent batches under one schedule: delete, drain (batch
+/// heals defer to the quiescence barrier), check connectivity each time.
+fn run_batch_storm(name: &str, schedule: BatchSchedule, n: usize, batch: usize, seed: u64) {
+    let mut sim = build_sim(n, seed);
+    sim.set_batch_schedule(schedule);
+    let mut rng = SplitMix64::new(seed ^ 0x5eed);
+    let mut storms = 0;
+    while sim.topology.live_count() > batch + 1 {
+        let victims = independent_victims(&sim, batch, &mut rng);
+        if victims.len() < 2 {
+            break;
+        }
+        sim.delete_batch(&victims);
+        sim.run_to_quiescence();
+        storms += 1;
+        assert!(
+            survivors_connected(&sim),
+            "{name}: disconnected after storm {storms} (victims {victims:?})"
+        );
+    }
+    assert!(storms > 5, "{name}: storm loop barely ran ({storms})");
+    assert_ids_converged(&sim, name);
+}
+
+/// Every named schedule survives a full storm of three-victim batches.
+#[test]
+fn batch_storms_stay_connected_under_every_named_schedule() {
+    for (name, schedule) in named_schedules() {
+        run_batch_storm(name, schedule, 48, 3, 11);
+    }
+}
+
+/// Explorer-driven sweep: **every** victim parking order (all `k!` of
+/// them, the DPOR class representatives the schedule explorer
+/// enumerates) of one four-victim batch heals safely and converges.
+#[test]
+fn every_victim_parking_order_of_a_batch_heals_safely() {
+    let n = 32;
+    let seed = 9u64;
+    let mut rng = SplitMix64::new(seed);
+    let victims = {
+        let sim = build_sim(n, seed);
+        independent_victims(&sim, 4, &mut rng)
+    };
+    assert_eq!(victims.len(), 4, "fixture must yield a full batch");
+    for order in permutations(victims.len()) {
+        let mut sim = build_sim(n, seed);
+        sim.set_batch_schedule(BatchSchedule::VictimOrder(order.clone()));
+        sim.delete_batch(&victims);
+        sim.run_to_quiescence();
+        let label = format!("order {order:?}");
+        assert!(survivors_connected(&sim), "{label}: disconnected");
+        assert_ids_converged(&sim, &label);
+    }
+}
+
+/// The legacy rapid-fire stress, now expressed as the `rapid-fire`
+/// named case: single deletions arriving *before* the previous round's
+/// ID broadcast has quiesced. Connectivity must hold at every step
+/// regardless of broadcast state.
 #[test]
 fn rapid_fire_deletions_never_disconnect() {
     for seed in [3u64, 7, 11] {
@@ -97,50 +208,41 @@ fn partially_drained_broadcasts_still_converge() {
     }
     sim.run_to_quiescence();
     assert!(survivors_connected(&sim));
-    // After the final drain, every G'-connected pair agrees on its ID.
-    let live: Vec<u32> = sim.topology.live_nodes().collect();
-    for &v in &live {
-        for &u in sim.protocol.gprime_neighbors(v).iter() {
-            if sim.topology.is_alive(u) {
-                assert_eq!(
-                    sim.protocol.comp_id(v),
-                    sim.protocol.comp_id(u),
-                    "G' neighbors {v},{u} disagree after drain"
-                );
-            }
-        }
-    }
+    assert_ids_converged(&sim, "partial-drain");
 }
 
-/// Degree damage under rapid fire stays within the DASH envelope: stale
-/// IDs can only over-split (more edges spread over more nodes), and the
-/// binary-tree shape still caps per-round growth.
+/// Degree damage under batch storms stays within the DASH envelope no
+/// matter which schedule delivers the notifications: stale IDs can only
+/// over-split (more edges spread over more nodes), and the binary-tree
+/// shape still caps per-round growth.
 #[test]
-fn rapid_fire_degree_growth_stays_bounded() {
+fn storm_degree_growth_stays_bounded_under_every_schedule() {
     let n = 96;
-    let seed = 13u64;
-    let mut sim = build_sim(n, seed);
-    let initial: Vec<usize> = (0..n as u32)
-        .map(|v| sim.topology.neighbors(v).len())
-        .collect();
-    let mut rng = SplitMix64::new(seed);
-    let mut max_delta = 0i64;
-    for _ in 0..n as u32 - 1 {
-        let live: Vec<u32> = sim.topology.live_nodes().collect();
-        let victim = *rng.choose(&live);
-        sim.delete_node(victim);
-        if rng.gen_range(3) == 0 {
-            sim.run_to_quiescence();
-        }
-        for v in sim.topology.live_nodes() {
-            let d = sim.topology.neighbors(v).len() as i64 - initial[v as usize] as i64;
-            max_delta = max_delta.max(d);
-        }
-    }
-    // Allow 2x the synchronous bound for the stale-ID over-splitting.
     let bound = 4.0 * (n as f64).log2();
-    assert!(
-        (max_delta as f64) <= bound,
-        "rapid-fire delta {max_delta} exceeded relaxed bound {bound}"
-    );
+    for (name, schedule) in named_schedules() {
+        let mut sim = build_sim(n, 13);
+        sim.set_batch_schedule(schedule);
+        let initial: Vec<usize> = (0..n as u32)
+            .map(|v| sim.topology.neighbors(v).len())
+            .collect();
+        let mut rng = SplitMix64::new(13 ^ 0xbeef);
+        let mut max_delta = 0i64;
+        while sim.topology.live_count() > 8 {
+            let victims = independent_victims(&sim, 3, &mut rng);
+            if victims.len() < 2 {
+                break;
+            }
+            sim.delete_batch(&victims);
+            sim.run_to_quiescence();
+            for v in sim.topology.live_nodes() {
+                let d = sim.topology.neighbors(v).len() as i64 - initial[v as usize] as i64;
+                max_delta = max_delta.max(d);
+            }
+        }
+        // Allow 2x the synchronous bound for stale-ID over-splitting.
+        assert!(
+            (max_delta as f64) <= bound,
+            "{name}: storm delta {max_delta} exceeded relaxed bound {bound}"
+        );
+    }
 }

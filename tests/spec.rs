@@ -67,8 +67,8 @@ proptest! {
         gi in 0usize..8,
         ai in 0usize..11,
         hi in 0usize..6,
-        audit_i in 0usize..4,
-        backend_i in 0usize..3,
+        audit_i in 0usize..5,
+        backend_i in 0usize..4,
         a in 1usize..200,
         b in 1usize..16,
         p in 0.0f64..1.0,
