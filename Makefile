@@ -3,7 +3,13 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test test-all bench bench-check sim-parity sweep-check spec-check verify-exhaustive doc fmt fmt-check clippy examples figures ci clean
+.PHONY: all build test test-all bench bench-check bench-baseline bench-regress sim-parity sweep-check spec-check verify-exhaustive doc fmt fmt-check clippy examples figures scale ci clean
+
+## The checked-in perf baseline this PR's trajectory is gated against.
+## Convention: one BENCH_<pr>.json per PR that moved performance; the
+## newest file is the active gate (see README "perf trajectory").
+BENCH_BASELINE ?= BENCH_7.json
+BENCH_EXPORT   := target/criterion-export.jsonl
 
 all: build
 
@@ -30,6 +36,22 @@ bench:
 ## vendored criterion stand-in hard-caps runtimes.
 bench-check:
 	$(CARGO) bench -p selfheal-bench --bench scenario
+
+## Record a new perf baseline: run the whole bench suite with the
+## criterion stand-in's JSONL export enabled, then merge every group's
+## median/MAD into $(BENCH_BASELINE) at the repo root (check it in).
+bench-baseline:
+	rm -f $(BENCH_EXPORT)
+	CRITERION_EXPORT=$(CURDIR)/$(BENCH_EXPORT) $(CARGO) bench -p selfheal-bench
+	$(CARGO) run -q --release -p selfheal-bench --bin baseline -- emit $(BENCH_EXPORT) $(BENCH_BASELINE)
+
+## Perf-regression gate: re-run the suite and compare against the
+## checked-in baseline. Fails when any benchmark's median regresses more
+## than 10% beyond a 3-MAD noise slack; renamed/removed benches warn.
+bench-regress:
+	rm -f $(BENCH_EXPORT)
+	CRITERION_EXPORT=$(CURDIR)/$(BENCH_EXPORT) $(CARGO) bench -p selfheal-bench
+	$(CARGO) run -q --release -p selfheal-bench --bin baseline -- compare $(BENCH_BASELINE) $(BENCH_EXPORT)
 
 ## Distributed-vs-centralized parity gate: the curated parity suite, the
 ## randomized parity proptests, and the distributed fabric bench (whose
@@ -102,8 +124,13 @@ examples:
 figures:
 	$(CARGO) run -q --release -p selfheal-experiments -- all --quick --csv out
 
+## E11: million-node healing throughput (both healers, churn + racks).
+## Not part of `figures`/`all` — a deliberate, ~half-minute invocation.
+scale:
+	$(CARGO) run -q --release -p selfheal-experiments -- scale
+
 ## The full CI gate.
-ci: fmt-check clippy build test-all doc bench-check sim-parity sweep-check spec-check verify-exhaustive
+ci: fmt-check clippy build test-all doc bench-check bench-regress sim-parity sweep-check spec-check verify-exhaustive
 	@echo "ci green"
 
 clean:

@@ -1,0 +1,121 @@
+//! Perf-baseline tool for the recorded benchmark trajectory.
+//!
+//! Two subcommands, driven by the `bench-baseline` / `bench-regress`
+//! make targets:
+//!
+//! ```text
+//! baseline emit <export.jsonl> <out.json>      # record a new baseline
+//! baseline compare <baseline.json> <export.jsonl>
+//! ```
+//!
+//! `emit` merges a criterion export (see `CRITERION_EXPORT` in the
+//! vendored criterion) into a sorted, byte-stable JSON baseline —
+//! checked in at the repo root as `BENCH_<pr>.json`, one file per PR
+//! that moved performance, forming the repo's recorded perf trajectory.
+//!
+//! `compare` gates a fresh export against a baseline: exit 1 if any
+//! benchmark's median regressed beyond 10% plus a 3-MAD noise slack.
+//! Benches missing from the current run (renames, removals) warn but do
+//! not fail; new benches are listed for the next baseline.
+
+use selfheal_bench::baseline::{compare, parse_export, to_json, Verdict};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, export, out] if cmd == "emit" => emit(export, out),
+        [cmd, baseline, export] if cmd == "compare" => run_compare(baseline, export),
+        _ => {
+            eprintln!("usage: baseline emit <export.jsonl> <out.json>");
+            eprintln!("       baseline compare <baseline.json> <export.jsonl>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn read(path: &str) -> Option<String> {
+    match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("baseline: cannot read {path}: {e}");
+            None
+        }
+    }
+}
+
+fn emit(export: &str, out: &str) -> ExitCode {
+    let Some(text) = read(export) else {
+        return ExitCode::FAILURE;
+    };
+    let records = parse_export(&text);
+    if records.is_empty() {
+        eprintln!("baseline: no benchmark records in {export} (was CRITERION_EXPORT set?)");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(out, to_json(&records)) {
+        eprintln!("baseline: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("baseline: wrote {} benchmarks to {out}", records.len());
+    ExitCode::SUCCESS
+}
+
+fn run_compare(baseline_path: &str, export: &str) -> ExitCode {
+    let (Some(base_text), Some(cur_text)) = (read(baseline_path), read(export)) else {
+        return ExitCode::FAILURE;
+    };
+    let base = parse_export(&base_text);
+    let current = parse_export(&cur_text);
+    if base.is_empty() {
+        eprintln!("baseline: {baseline_path} holds no records");
+        return ExitCode::FAILURE;
+    }
+    let mut regressions = 0usize;
+    for c in compare(&base, &current) {
+        match c.verdict {
+            Verdict::Regressed => {
+                regressions += 1;
+                println!(
+                    "REGRESSED  {:<48} {:>12} ns -> {:>12} ns ({:+.1}%)",
+                    c.key,
+                    c.baseline_ns,
+                    c.current_ns,
+                    pct(c.baseline_ns, c.current_ns)
+                );
+            }
+            Verdict::Improved => println!(
+                "improved   {:<48} {:>12} ns -> {:>12} ns ({:+.1}%)",
+                c.key,
+                c.baseline_ns,
+                c.current_ns,
+                pct(c.baseline_ns, c.current_ns)
+            ),
+            Verdict::Ok => println!(
+                "ok         {:<48} {:>12} ns -> {:>12} ns",
+                c.key, c.baseline_ns, c.current_ns
+            ),
+            Verdict::Missing => println!(
+                "WARN       {:<48} in baseline but not in this run (rename? removal?)",
+                c.key
+            ),
+            Verdict::New => println!(
+                "new        {:<48} {:>12} ns (not in baseline yet)",
+                c.key, c.current_ns
+            ),
+        }
+    }
+    if regressions > 0 {
+        eprintln!("baseline: {regressions} benchmark(s) regressed beyond 10% + 3 MAD");
+        return ExitCode::FAILURE;
+    }
+    println!("baseline: no regressions against {baseline_path}");
+    ExitCode::SUCCESS
+}
+
+fn pct(base: u64, cur: u64) -> f64 {
+    if base == 0 {
+        return 0.0;
+    }
+    (cur as f64 - base as f64) / base as f64 * 100.0
+}

@@ -123,11 +123,14 @@ impl Adversary for RandomAttack {
     }
 
     fn pick(&mut self, net: &HealingNetwork) -> Option<NodeId> {
-        let live: Vec<NodeId> = net.graph().live_nodes().collect();
-        if live.is_empty() {
+        // Rank-select on the graph's Fenwick live index: identical draws
+        // to choosing from the collected (ascending) live list.
+        let live = net.graph().live_node_count();
+        if live == 0 {
             None
         } else {
-            Some(*self.rng.choose(&live))
+            net.graph()
+                .nth_live(self.rng.gen_range(live as u64) as usize)
         }
     }
 }
@@ -231,8 +234,11 @@ impl EventSource for EpidemicChurn {
         // network).
         self.infected.retain(|&v| net.is_alive(v));
         if self.infected.is_empty() {
-            let live: Vec<NodeId> = net.graph().live_nodes().collect();
-            let zero = *self.rng.choose(&live);
+            let live = net.graph().live_node_count();
+            let zero = net
+                .graph()
+                .nth_live(self.rng.gen_range(live as u64) as usize)
+                .expect("rank < live count");
             self.infected.push_back(zero);
         }
         if self.mark.len() < net.graph().node_bound() {
@@ -316,9 +322,12 @@ impl EventSource for FlashCrowd {
             self.burst_pos += 1;
             self.joins_left -= 1;
             let mut neighbors = vec![hub];
-            let live: Vec<NodeId> = net.graph().live_nodes().collect();
+            let live = net.graph().live_node_count();
             for _ in 0..self.rng.gen_range(3) {
-                let cand = *self.rng.choose(&live);
+                let cand = net
+                    .graph()
+                    .nth_live(self.rng.gen_range(live as u64) as usize)
+                    .expect("rank < live count");
                 if !neighbors.contains(&cand) {
                     neighbors.push(cand);
                 }

@@ -116,6 +116,12 @@ pub struct BatchOutcome {
 /// folds via [`PropagationReport::merge`] (changed/messages add, latency
 /// takes the max) — the same rule the scenario engine's `DeleteBatch` arm
 /// uses, so batch and single-round paths can no longer diverge.
+///
+/// Broadcasts take the restricted fast path
+/// ([`HealingNetwork::propagate_min_id_uniform`]): each heal connects its
+/// reconstruction set before its broadcast seeds from exactly those
+/// members, so every `G'` component is ID-uniform when each broadcast
+/// starts and the fast path is exact.
 pub fn heal_batch<H: Healer>(
     net: &mut HealingNetwork,
     healer: &mut H,
@@ -127,7 +133,7 @@ pub fn heal_batch<H: Healer>(
     for ctx in contexts {
         let outcome = healer.heal(net, ctx);
         if broadcast {
-            propagation.merge(net.propagate_min_id(&outcome.rt_members));
+            propagation.merge(net.propagate_min_id_uniform(&outcome.rt_members));
         }
         outcomes.push(outcome);
     }

@@ -31,14 +31,26 @@ impl Healer for Dash {
     }
 
     fn heal(&mut self, net: &mut HealingNetwork, ctx: &DeletionContext) -> HealOutcome {
-        let members = rt::reconstruction_set(net, ctx);
-        let ordered = rt::order_by_delta(net, &members);
-        let edges_added = rt::connect_binary_tree(net, &ordered);
-        HealOutcome {
-            rt_members: members,
-            edges_added,
-            surrogate: None,
-        }
+        let mut out = HealOutcome::default();
+        self.heal_into(net, ctx, &mut out);
+        out
+    }
+
+    /// The allocation-free hot path: every buffer (tag scratch, δ order,
+    /// and the outcome's own vectors) is reused across rounds, so a
+    /// steady-state heal performs zero heap allocations.
+    fn heal_into(
+        &mut self,
+        net: &mut HealingNetwork,
+        ctx: &DeletionContext,
+        out: &mut HealOutcome,
+    ) {
+        out.clear();
+        let mut scratch = net.take_heal_scratch();
+        rt::reconstruction_set_into(net, ctx, &mut scratch.tagged, &mut out.rt_members);
+        rt::order_by_delta_into(net, &out.rt_members, &mut scratch.ordered);
+        rt::connect_binary_tree_into(net, &scratch.ordered, &mut out.edges_added);
+        net.put_heal_scratch(scratch);
     }
 }
 

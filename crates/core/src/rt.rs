@@ -24,24 +24,41 @@ use selfheal_graph::NodeId;
 /// Compute `UN(v, G)`: one representative (lowest initial ID) per distinct
 /// component ID among `v`'s `G`-neighbors, excluding `v`'s own component.
 pub fn unique_neighbors(net: &HealingNetwork, ctx: &DeletionContext) -> Vec<NodeId> {
-    // (comp_id, initial_id, node): pick min initial_id per comp_id.
-    let mut tagged: Vec<(u64, u64, NodeId)> = ctx
-        .g_neighbors
-        .iter()
-        .copied()
-        .filter(|&u| net.comp_id(u) != ctx.deleted_comp_id)
-        .map(|u| (net.comp_id(u), net.initial_id(u), u))
-        .collect();
-    tagged.sort_unstable();
+    let mut tagged = Vec::new();
     let mut reps = Vec::new();
+    unique_neighbors_into(net, ctx, &mut tagged, &mut reps);
+    reps
+}
+
+/// [`unique_neighbors`] on caller-owned buffers (both cleared first):
+/// `tagged` is the sort scratch, `out` receives the representatives. The
+/// hot heal path reuses both across rounds via
+/// [`HealingNetwork::take_heal_scratch`], so steady-state heals allocate
+/// nothing here.
+pub fn unique_neighbors_into(
+    net: &HealingNetwork,
+    ctx: &DeletionContext,
+    tagged: &mut Vec<(u64, u64, NodeId)>,
+    out: &mut Vec<NodeId>,
+) {
+    // (comp_id, initial_id, node): pick min initial_id per comp_id.
+    tagged.clear();
+    out.clear();
+    tagged.extend(
+        ctx.g_neighbors
+            .iter()
+            .copied()
+            .filter(|&u| net.comp_id(u) != ctx.deleted_comp_id)
+            .map(|u| (net.comp_id(u), net.initial_id(u), u)),
+    );
+    tagged.sort_unstable();
     let mut last_comp: Option<u64> = None;
-    for (comp, _, node) in tagged {
+    for &(comp, _, node) in tagged.iter() {
         if last_comp != Some(comp) {
-            reps.push(node);
+            out.push(node);
             last_comp = Some(comp);
         }
     }
-    reps
 }
 
 /// The full reconstruction set `UN(v, G) ∪ N(v, G')`, sorted by node id.
@@ -49,11 +66,25 @@ pub fn unique_neighbors(net: &HealingNetwork, ctx: &DeletionContext) -> Vec<Node
 /// The two sets are disjoint by construction (`N(v, G')` members carry
 /// `v`'s component ID, which `UN` excludes).
 pub fn reconstruction_set(net: &HealingNetwork, ctx: &DeletionContext) -> Vec<NodeId> {
-    let mut members = unique_neighbors(net, ctx);
-    members.extend_from_slice(&ctx.gprime_neighbors);
-    members.sort_unstable();
-    members.dedup();
+    let mut tagged = Vec::new();
+    let mut members = Vec::new();
+    reconstruction_set_into(net, ctx, &mut tagged, &mut members);
     members
+}
+
+/// [`reconstruction_set`] on caller-owned buffers (cleared first);
+/// `tagged` is the unique-neighbor sort scratch, `out` receives the
+/// sorted member set.
+pub fn reconstruction_set_into(
+    net: &HealingNetwork,
+    ctx: &DeletionContext,
+    tagged: &mut Vec<(u64, u64, NodeId)>,
+    out: &mut Vec<NodeId>,
+) {
+    unique_neighbors_into(net, ctx, tagged, out);
+    out.extend_from_slice(&ctx.gprime_neighbors);
+    out.sort_unstable();
+    out.dedup();
 }
 
 /// Order RT members for the complete binary tree: increasing `δ`, ties by
@@ -61,23 +92,46 @@ pub fn reconstruction_set(net: &HealingNetwork, ctx: &DeletionContext) -> Vec<No
 /// the lowest-δ node becomes the root and the highest-δ nodes become
 /// leaves (which gain at most one edge).
 pub fn order_by_delta(net: &HealingNetwork, members: &[NodeId]) -> Vec<NodeId> {
-    let mut ordered: Vec<NodeId> = members.to_vec();
-    ordered.sort_by_key(|&v| (net.delta(v), net.initial_id(v)));
+    let mut ordered = Vec::new();
+    order_by_delta_into(net, members, &mut ordered);
     ordered
+}
+
+/// [`order_by_delta`] into a caller-owned buffer (cleared first). The
+/// `(δ, initial_id)` keys are distinct per node (initial IDs are unique),
+/// so the unstable sort is deterministic.
+pub fn order_by_delta_into(net: &HealingNetwork, members: &[NodeId], out: &mut Vec<NodeId>) {
+    out.clear();
+    out.extend_from_slice(members);
+    out.sort_unstable_by_key(|&v| (net.delta(v), net.initial_id(v)));
 }
 
 /// Wire `ordered` into a complete binary tree, adding each edge to both
 /// `G` and `G'`. Returns the edges added to `G'`.
 pub fn connect_binary_tree(net: &mut HealingNetwork, ordered: &[NodeId]) -> Vec<(NodeId, NodeId)> {
-    let edges = selfheal_graph::forest::complete_binary_tree_edges(ordered);
-    let mut added = Vec::with_capacity(edges.len());
-    for &(a, b) in &edges {
+    let mut added = Vec::with_capacity(ordered.len().saturating_sub(1));
+    connect_binary_tree_into(net, ordered, &mut added);
+    added
+}
+
+/// [`connect_binary_tree`] appending the `G'`-new edges to a caller-owned
+/// buffer (NOT cleared — SDASH's fallback arm appends after its star
+/// attempt). The parent of position `i` in the complete binary tree is
+/// `(i - 1) / 2`, matching
+/// [`selfheal_graph::forest::complete_binary_tree_edges`] edge for edge
+/// without materializing the edge list.
+pub fn connect_binary_tree_into(
+    net: &mut HealingNetwork,
+    ordered: &[NodeId],
+    added: &mut Vec<(NodeId, NodeId)>,
+) {
+    for i in 1..ordered.len() {
+        let (a, b) = (ordered[(i - 1) / 2], ordered[i]);
         let (_, new_gp) = net.add_heal_edge(a, b).expect("RT endpoints must be alive");
         if new_gp {
             added.push((a, b));
         }
     }
-    added
 }
 
 #[cfg(test)]

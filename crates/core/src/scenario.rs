@@ -264,13 +264,17 @@ impl EventSource for RandomChurn {
             return None;
         }
         if self.rng.gen_range(3) == 0 {
-            // Only the join branch needs the O(n) live-node list; the
-            // 2-in-3 deletion branch works off the max-degree hub alone.
-            let live: Vec<NodeId> = net.graph().live_nodes().collect();
+            // The join branch samples live nodes by rank via the graph's
+            // Fenwick live index — same draws as choosing from the
+            // ascending collected live list, without the O(n) collect.
+            let live = net.graph().live_node_count();
             let k = 1 + self.rng.gen_range(3) as usize;
             let mut targets: Vec<NodeId> = Vec::with_capacity(k);
-            for _ in 0..k.min(live.len()) {
-                let cand = *self.rng.choose(&live);
+            for _ in 0..k.min(live) {
+                let cand = net
+                    .graph()
+                    .nth_live(self.rng.gen_range(live as u64) as usize)
+                    .expect("rank < live count");
                 if !targets.contains(&cand) {
                     targets.push(cand);
                 }
@@ -483,6 +487,9 @@ pub struct ScenarioEngine<H: Healer, S: EventSource> {
     report: ScenarioReport,
     /// Reused across rounds; steady-state deletions allocate nothing.
     ctx: DeletionContext,
+    /// Reused heal outcome (`heal_into`), the other half of the
+    /// allocation-free steady state.
+    outcome: crate::strategy::HealOutcome,
     /// Sanitized-batch scratch, reused across batch events.
     batch: Vec<NodeId>,
     /// Events in a row that changed nothing (see [`NO_PROGRESS_LIMIT`]).
@@ -509,6 +516,7 @@ impl<H: Healer, S: EventSource> ScenarioEngine<H, S> {
             audit: AuditObserver::new(AuditLevel::Off, preserves_forest),
             report: ScenarioReport::default(),
             ctx: DeletionContext::default(),
+            outcome: crate::strategy::HealOutcome::default(),
             batch: Vec::new(),
             consecutive_noops: 0,
         }
@@ -668,9 +676,17 @@ impl<H: Healer, S: EventSource> ScenarioEngine<H, S> {
         self.net
             .delete_node_into(v, &mut self.ctx)
             .expect("liveness checked above");
-        let outcome = self.healer.heal(&mut self.net, &self.ctx);
+        // The engine's heal flow keeps every G' component ID-uniform
+        // (healers connect exactly the members they then seed), so the
+        // broadcast can take the restricted fast path — see
+        // `propagate_min_id_uniform` for the invariant and why the
+        // accounting is identical. The outcome round-trips through a
+        // `mem::take` so its buffers survive the disjoint borrows.
+        let mut outcome = std::mem::take(&mut self.outcome);
+        self.healer
+            .heal_into(&mut self.net, &self.ctx, &mut outcome);
         let propagation = if self.healer.needs_id_propagation() {
-            self.net.propagate_min_id(&outcome.rt_members)
+            self.net.propagate_min_id_uniform(&outcome.rt_members)
         } else {
             PropagationReport::default()
         };
@@ -684,6 +700,7 @@ impl<H: Healer, S: EventSource> ScenarioEngine<H, S> {
         record.rt_size = outcome.rt_members.len();
         record.edges_added = outcome.edges_added.len();
         record.surrogate = outcome.surrogate;
+        self.outcome = outcome;
         record.propagation = propagation;
         record.round_max_delta = round_max_delta;
         record

@@ -45,38 +45,41 @@ impl Healer for Sdash {
     }
 
     fn heal(&mut self, net: &mut HealingNetwork, ctx: &DeletionContext) -> HealOutcome {
-        let members = rt::reconstruction_set(net, ctx);
-        if members.len() < 2 {
-            return HealOutcome {
-                rt_members: members,
-                edges_added: vec![],
-                surrogate: None,
-            };
-        }
-        if let Some(w) = surrogate_candidate(net, &members) {
-            let mut edges_added = Vec::with_capacity(members.len() - 1);
-            for &u in &members {
-                if u == w {
-                    continue;
+        let mut out = HealOutcome::default();
+        self.heal_into(net, ctx, &mut out);
+        out
+    }
+
+    /// The allocation-free hot path (see [`crate::dash::Dash`]): star
+    /// wiring needs no scratch at all, the binary-tree fallback reuses the
+    /// network's δ-order buffer.
+    fn heal_into(
+        &mut self,
+        net: &mut HealingNetwork,
+        ctx: &DeletionContext,
+        out: &mut HealOutcome,
+    ) {
+        out.clear();
+        let mut scratch = net.take_heal_scratch();
+        rt::reconstruction_set_into(net, ctx, &mut scratch.tagged, &mut out.rt_members);
+        if out.rt_members.len() >= 2 {
+            if let Some(w) = surrogate_candidate(net, &out.rt_members) {
+                for &u in &out.rt_members {
+                    if u == w {
+                        continue;
+                    }
+                    let (_, new_gp) = net.add_heal_edge(w, u).expect("RT endpoints must be alive");
+                    if new_gp {
+                        out.edges_added.push((w, u));
+                    }
                 }
-                let (_, new_gp) = net.add_heal_edge(w, u).expect("RT endpoints must be alive");
-                if new_gp {
-                    edges_added.push((w, u));
-                }
+                out.surrogate = Some(w);
+            } else {
+                rt::order_by_delta_into(net, &out.rt_members, &mut scratch.ordered);
+                rt::connect_binary_tree_into(net, &scratch.ordered, &mut out.edges_added);
             }
-            return HealOutcome {
-                rt_members: members,
-                edges_added,
-                surrogate: Some(w),
-            };
         }
-        let ordered = rt::order_by_delta(net, &members);
-        let edges_added = rt::connect_binary_tree(net, &ordered);
-        HealOutcome {
-            rt_members: members,
-            edges_added,
-            surrogate: None,
-        }
+        net.put_heal_scratch(scratch);
     }
 }
 

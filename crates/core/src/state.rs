@@ -111,6 +111,21 @@ impl PropagationScratch {
     }
 }
 
+/// Reusable buffers for the healers' allocation-free heal path
+/// ([`crate::strategy::Healer::heal_into`]). One instance lives inside
+/// the [`HealingNetwork`]; healers borrow it for the duration of a heal
+/// via [`HealingNetwork::take_heal_scratch`] /
+/// [`HealingNetwork::put_heal_scratch`] (a `mem::take` round-trip, so
+/// the buffers keep their capacity across rounds and a default-built
+/// replacement never allocates).
+#[derive(Clone, Debug, Default)]
+pub struct HealScratch {
+    /// `(comp_id, initial_id, node)` tags for unique-neighbor selection.
+    pub tagged: Vec<(u64, u64, NodeId)>,
+    /// δ-ordered reconstruction-set members for binary-tree wiring.
+    pub ordered: Vec<NodeId>,
+}
+
 /// The mutable state of a self-healing simulation.
 ///
 /// Strategies mutate it only through [`HealingNetwork::delete_node`],
@@ -134,6 +149,7 @@ pub struct HealingNetwork {
     msgs_recv: Vec<u64>,
     prop_latency_total: u64,
     scratch: PropagationScratch,
+    heal_scratch: HealScratch,
 }
 
 impl HealingNetwork {
@@ -170,7 +186,21 @@ impl HealingNetwork {
             msgs_recv: vec![0; n],
             prop_latency_total: 0,
             scratch: PropagationScratch::default(),
+            heal_scratch: HealScratch::default(),
         }
+    }
+
+    /// Borrow the network's heal-scratch buffers by value (`mem::take`):
+    /// the healer works on them while also mutating the network, then
+    /// hands them back via [`HealingNetwork::put_heal_scratch`] so their
+    /// capacity is reused next round.
+    pub fn take_heal_scratch(&mut self) -> HealScratch {
+        std::mem::take(&mut self.heal_scratch)
+    }
+
+    /// Return the buffers taken by [`HealingNetwork::take_heal_scratch`].
+    pub fn put_heal_scratch(&mut self, scratch: HealScratch) {
+        self.heal_scratch = scratch;
     }
 
     /// The real network `G`.
@@ -424,6 +454,80 @@ impl HealingNetwork {
         self.prop_latency_total += report.latency;
         report
     }
+
+    /// [`HealingNetwork::propagate_min_id`] specialized to the state every
+    /// healing flow actually maintains: **each `G'` component carries one
+    /// uniform component ID when the broadcast starts**.
+    ///
+    /// That invariant holds after every engine- or `heal_batch`-driven
+    /// round, because healers only add edges among the reconstruction-set
+    /// members they then seed the broadcast from, and each broadcast
+    /// re-uniformizes every component it touches. Under it the exact
+    /// broadcast simplifies: the minimum over the reached set equals the
+    /// minimum over the live seeds' component IDs, and the changed set is
+    /// exactly the union of seed components whose ID is above that
+    /// minimum — so the BFS can stop at the frontier of already-minimal
+    /// nodes instead of flooding whole components. Total work becomes
+    /// proportional to the number of *ID changes* (which Lemma 8 bounds by
+    /// `O(ln n)` per node for the whole run), not component size — the
+    /// difference between O(n²) and Õ(n) for a million-node kill sweep.
+    ///
+    /// Accounting (changed/messages/latency, per-node counters) is
+    /// identical to the exact broadcast whenever the invariant holds;
+    /// `tests/equivalence.rs` locks that across healers, adversaries and
+    /// seeds. Callers that hand-wire `G'` edges without broadcasting onto
+    /// them (leaving a component with mixed IDs) must use the exact
+    /// [`HealingNetwork::propagate_min_id`] instead.
+    pub fn propagate_min_id_uniform(&mut self, seeds: &[NodeId]) -> PropagationReport {
+        let mut report = PropagationReport::default();
+        let scratch = &mut self.scratch;
+        let epoch = scratch.begin(self.gp.node_bound());
+        let mut min_id = u64::MAX;
+        let mut any_live = false;
+        for &s in seeds {
+            if self.gp.is_alive(s) {
+                any_live = true;
+                min_id = min_id.min(self.comp_id[s.index()]);
+            }
+        }
+        if !any_live {
+            return report;
+        }
+        // Restricted multi-source BFS: only through nodes still above the
+        // minimum. Under the uniformity invariant this reaches exactly the
+        // nodes the exact broadcast would change, at the same depths.
+        for &s in seeds {
+            if self.gp.is_alive(s)
+                && self.comp_id[s.index()] > min_id
+                && scratch.stamp[s.index()] != epoch
+            {
+                scratch.stamp[s.index()] = epoch;
+                scratch.depth[s.index()] = 0;
+                scratch.queue.push_back(s);
+            }
+        }
+        while let Some(v) = scratch.queue.pop_front() {
+            self.comp_id[v.index()] = min_id;
+            self.id_changes[v.index()] += 1;
+            report.changed += 1;
+            report.latency = report.latency.max(scratch.depth[v.index()] as u64);
+            let deg = self.g.degree(v) as u64;
+            self.msgs_sent[v.index()] += deg;
+            report.messages += deg;
+            for &u in self.g.neighbors(v) {
+                self.msgs_recv[u.index()] += 1;
+            }
+            for &u in self.gp.neighbors(v) {
+                if scratch.stamp[u.index()] != epoch && self.comp_id[u.index()] > min_id {
+                    scratch.stamp[u.index()] = epoch;
+                    scratch.depth[u.index()] = scratch.depth[v.index()] + 1;
+                    scratch.queue.push_back(u);
+                }
+            }
+        }
+        self.prop_latency_total += report.latency;
+        report
+    }
 }
 
 #[cfg(test)]
@@ -627,6 +731,71 @@ mod tests {
         // Deleting node 1 must offer the joiner for reconnection.
         let ctx = net.delete_node(NodeId(1)).unwrap();
         assert!(ctx.g_neighbors.contains(&v));
+    }
+
+    #[test]
+    fn uniform_propagation_matches_exact_when_components_are_uniform() {
+        // Build the same healed state twice and broadcast once with each
+        // algorithm: components were uniformized by all-seed broadcasts,
+        // so the fast path must produce identical IDs and accounting.
+        let build = || {
+            let mut net = net_on_path(6);
+            net.add_heal_edge(NodeId(0), NodeId(1)).unwrap();
+            net.add_heal_edge(NodeId(1), NodeId(2)).unwrap();
+            net.propagate_min_id(&[NodeId(0), NodeId(1), NodeId(2)]);
+            net.add_heal_edge(NodeId(4), NodeId(5)).unwrap();
+            net.propagate_min_id(&[NodeId(4), NodeId(5)]);
+            // Merge the two uniform components plus singleton 3.
+            net.add_heal_edge(NodeId(2), NodeId(3)).unwrap();
+            net.add_heal_edge(NodeId(3), NodeId(4)).unwrap();
+            net
+        };
+        let seeds = [NodeId(2), NodeId(3), NodeId(4)];
+        let mut exact = build();
+        let mut fast = build();
+        let re = exact.propagate_min_id(&seeds);
+        let rf = fast.propagate_min_id_uniform(&seeds);
+        assert_eq!(re, rf);
+        for v in 0..6u32 {
+            assert_eq!(exact.comp_id(NodeId(v)), fast.comp_id(NodeId(v)));
+            assert_eq!(exact.id_changes(NodeId(v)), fast.id_changes(NodeId(v)));
+            assert_eq!(exact.traffic(NodeId(v)), fast.traffic(NodeId(v)));
+        }
+    }
+
+    #[test]
+    fn uniform_propagation_diverges_without_the_invariant() {
+        // Hand-wire a G' path whose middle node holds the component
+        // minimum without broadcasting: the component is NOT uniform, so
+        // the fast path (correctly, per its contract) must not be used —
+        // this test documents the divergence that makes the exact
+        // algorithm the public default.
+        let mut net = net_on_path(3);
+        net.add_heal_edge(NodeId(0), NodeId(1)).unwrap();
+        net.add_heal_edge(NodeId(1), NodeId(2)).unwrap();
+        // Seed only from the endpoint holding the *largest* ID.
+        let ids: Vec<u64> = (0..3u32).map(|v| net.initial_id(NodeId(v))).collect();
+        let seed = (0..3u32).max_by_key(|&v| ids[v as usize]).unwrap();
+        let mut exact = net.clone();
+        let re = exact.propagate_min_id(&[NodeId(seed)]);
+        let rf = net.propagate_min_id_uniform(&[NodeId(seed)]);
+        // Exact floods the whole component and finds the true minimum;
+        // the fast path trusts the seed's (stale) component ID.
+        assert_eq!(re.changed, 2);
+        assert_eq!(rf.changed, 0);
+    }
+
+    #[test]
+    fn heal_scratch_round_trips_and_keeps_capacity() {
+        let mut net = net_on_path(3);
+        let mut s = net.take_heal_scratch();
+        s.tagged.push((1, 2, NodeId(0)));
+        s.ordered.reserve(64);
+        let cap = s.ordered.capacity();
+        net.put_heal_scratch(s);
+        let s = net.take_heal_scratch();
+        assert_eq!(s.tagged.len(), 1);
+        assert!(s.ordered.capacity() >= cap);
     }
 
     #[test]

@@ -15,6 +15,17 @@ pub struct HealOutcome {
     pub surrogate: Option<NodeId>,
 }
 
+impl HealOutcome {
+    /// Reset to the empty outcome, keeping the vectors' capacity — the
+    /// engine reuses one outcome across rounds via
+    /// [`Healer::heal_into`].
+    pub fn clear(&mut self) {
+        self.rt_members.clear();
+        self.edges_added.clear();
+        self.surrogate = None;
+    }
+}
+
 /// A locality-aware healing strategy.
 ///
 /// The engine calls [`Healer::heal`] immediately after each deletion with
@@ -28,6 +39,20 @@ pub trait Healer {
     /// React to a deletion by adding edges via
     /// [`HealingNetwork::add_heal_edge`].
     fn heal(&mut self, net: &mut HealingNetwork, ctx: &DeletionContext) -> HealOutcome;
+
+    /// [`Healer::heal`] writing into a caller-owned outcome (cleared
+    /// first), so steady-state heal loops reuse the outcome's buffers.
+    /// The default delegates to [`Healer::heal`]; allocation-free
+    /// strategies (DASH, SDASH) override it to work entirely on reused
+    /// buffers.
+    fn heal_into(
+        &mut self,
+        net: &mut HealingNetwork,
+        ctx: &DeletionContext,
+        out: &mut HealOutcome,
+    ) {
+        *out = self.heal(net, ctx);
+    }
 
     /// Whether this strategy guarantees the healing graph `G'` remains a
     /// forest (Lemma 1 holds for DASH/SDASH and the component-aware
@@ -51,6 +76,15 @@ impl<H: Healer + ?Sized> Healer for Box<H> {
 
     fn heal(&mut self, net: &mut HealingNetwork, ctx: &DeletionContext) -> HealOutcome {
         (**self).heal(net, ctx)
+    }
+
+    fn heal_into(
+        &mut self,
+        net: &mut HealingNetwork,
+        ctx: &DeletionContext,
+        out: &mut HealOutcome,
+    ) {
+        (**self).heal_into(net, ctx, out)
     }
 
     fn preserves_forest(&self) -> bool {

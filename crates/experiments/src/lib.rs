@@ -15,6 +15,7 @@
 //! | E8 | simultaneous deletions (footnote 1) | [`batchexp`] |
 //! | E9 | parallel sweep fleet + theorem auditors | [`sweep`] |
 //! | E10 | exhaustive prover + schedule explorer | [`verify`] |
+//! | E11 | million-node healing throughput | [`scale`] |
 //!
 //! Run them all with the `run-experiments` binary:
 //!
@@ -36,6 +37,7 @@ pub mod lowerbound;
 pub mod observe;
 pub mod render;
 pub mod runner;
+pub mod scale;
 pub mod specrun;
 pub mod sweep;
 pub mod theorem1;

@@ -8,15 +8,22 @@
 //! run-experiments run --spec specs/rack_partition.scn [--events N]
 //! ```
 
+use selfheal_bench::alloc::CountingAlloc;
 use selfheal_core::spec::HealerSpec;
 use selfheal_experiments::{
     attacks, batchexp, config::HealerKind, config::Scale, fig10, fig8, fig9, lowerbound, render,
-    specrun, sweep, theorem1, verify,
+    scale, specrun, sweep, theorem1, verify,
 };
 use selfheal_metrics::csv::write_figure_csv;
 use selfheal_metrics::Figure;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Count heap allocations so the `scale` experiment can report total
+/// allocator traffic; two relaxed atomics per allocation, negligible for
+/// every other subcommand.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 struct Options {
     command: String,
@@ -37,7 +44,8 @@ fn usage() -> ! {
          [--quick|--full] [--seed N] [--threads N] [--csv DIR] [--chart] \
          [--healer dash|sdash|both] [--parity]\n\
          \x20      run-experiments run --spec FILE.scn [--events N]\n\
-         \x20      run-experiments verify [--full] [--threads N] [--seed N]"
+         \x20      run-experiments verify [--full] [--threads N] [--seed N]\n\
+         \x20      run-experiments scale [--full] [--seed N]"
     );
     std::process::exit(2)
 }
@@ -118,6 +126,7 @@ fn parse_args() -> Options {
         "sweep",
         "run",
         "verify",
+        "scale",
         "all",
     ];
     if !known.contains(&opts.command.as_str()) {
@@ -195,6 +204,26 @@ fn verify_command(opts: &Options) -> ! {
     std::process::exit(1);
 }
 
+/// The `scale` subcommand (E11): million-node healing throughput.
+/// Deliberately *not* part of `all` — `make figures` runs `all --quick`
+/// and has no business healing 10⁶ nodes — so, like `run` and `verify`,
+/// it dispatches before the figure cascade.
+fn scale_command(opts: &Options) -> ! {
+    let t0 = Instant::now();
+    println!(
+        "# E11: million-node healing throughput — {:?}, seed {}\n",
+        opts.scale, opts.seed
+    );
+    let rows = scale::run(opts.scale, opts.seed);
+    print!("{}", scale::render(&rows));
+    println!("\ndone in {:.1?}", t0.elapsed());
+    if rows.iter().all(|r| r.healed_to_empty) {
+        std::process::exit(0);
+    }
+    eprintln!("FAILED: a configuration left live nodes behind");
+    std::process::exit(1);
+}
+
 fn main() {
     let opts = parse_args();
     if opts.command == "run" {
@@ -202,6 +231,9 @@ fn main() {
     }
     if opts.command == "verify" {
         verify_command(&opts);
+    }
+    if opts.command == "scale" {
+        scale_command(&opts);
     }
     let t0 = Instant::now();
     let run = |name: &str| opts.command == name || opts.command == "all";

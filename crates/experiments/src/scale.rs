@@ -1,0 +1,227 @@
+//! E11 — million-node healing throughput (`run-experiments scale`).
+//!
+//! The scalability demonstration behind the pooled-adjacency refactor:
+//! build a BA(10⁶, 3) network and heal it to empty with both paper
+//! algorithms under two large-scale failure models —
+//!
+//! - `random-churn`: mixed joins and targeted hub-neighbor deletions
+//!   (the live count is a downward-biased random walk, so the run
+//!   terminates after ≈ 3n events);
+//! - `rack-partition(8)`: coordinated batch kills of shuffled racks.
+//!
+//! Each configuration reports wall-clock events/sec, the process's peak
+//! RSS (`VmHWM` from `/proc/self/status`; cumulative, hence monotone
+//! across rows), and the heap-allocation count during the run (non-zero
+//! only when the binary installs `selfheal_bench::alloc::CountingAlloc`,
+//! which `run-experiments` does). Unlike E1–E9 this experiment is *not*
+//! part of `run-experiments all` — a million-node sweep has no place in
+//! `make figures` — it is dispatched explicitly, like `verify`.
+
+use crate::config::Scale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfheal_bench::alloc::total_allocations;
+use selfheal_core::attack::RackPartition;
+use selfheal_core::scenario::{RandomChurn, ScenarioEngine};
+use selfheal_core::state::HealingNetwork;
+use selfheal_core::strategy::Healer;
+use selfheal_graph::generators::barabasi_albert;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// BA attachment parameter (the paper's experiments use m = 3).
+const M: usize = 3;
+/// Rack size for the partition adversary.
+const RACK: usize = 8;
+
+/// One (healer, adversary) configuration's measurements.
+#[derive(Clone, Debug)]
+pub struct ScaleRow {
+    /// Healer name (`dash` / `sdash`).
+    pub healer: &'static str,
+    /// Adversary name (`random-churn` / `rack-partition`).
+    pub adversary: &'static str,
+    /// Initial node count.
+    pub n: usize,
+    /// Events consumed healing to empty (deletes, batches, joins).
+    pub events: u64,
+    /// Nodes joined mid-run (random-churn only).
+    pub joins: u64,
+    /// Wall-clock time for the run (graph build excluded).
+    pub elapsed: Duration,
+    /// Events per second of wall-clock.
+    pub events_per_sec: f64,
+    /// Peak RSS in kB after the run (`VmHWM`; process-wide, monotone).
+    pub peak_rss_kb: Option<u64>,
+    /// Heap allocations performed during the run (0 without the
+    /// counting allocator installed).
+    pub allocations: u64,
+    /// Maximum degree increase ever observed (Theorem 1's quantity).
+    pub max_delta: i64,
+    /// Whether the network really reached zero live nodes.
+    pub healed_to_empty: bool,
+}
+
+/// Peak resident set size in kB (`VmHWM`), when the platform exposes it.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+fn run_one<H: Healer>(
+    label: &'static str,
+    healer: H,
+    n: usize,
+    seed: u64,
+    churn: bool,
+) -> ScaleRow {
+    let g = barabasi_albert(n, M, &mut StdRng::seed_from_u64(seed));
+    let net = HealingNetwork::new(g, seed);
+    let allocs_before = total_allocations();
+    let t0 = Instant::now();
+    let (report, live, adversary) = if churn {
+        let mut engine = ScenarioEngine::new(net, healer, RandomChurn::new(seed));
+        let report = engine.run_to_empty();
+        (report, engine.net.graph().live_node_count(), "random-churn")
+    } else {
+        let mut engine = ScenarioEngine::new(net, healer, RackPartition::new(seed, RACK));
+        let report = engine.run_to_empty();
+        (
+            report,
+            engine.net.graph().live_node_count(),
+            "rack-partition",
+        )
+    };
+    let elapsed = t0.elapsed();
+    let allocations = total_allocations() - allocs_before;
+    ScaleRow {
+        healer: label,
+        adversary,
+        n,
+        events: report.events,
+        joins: report.joins,
+        elapsed,
+        events_per_sec: report.events as f64 / elapsed.as_secs_f64().max(1e-9),
+        peak_rss_kb: peak_rss_kb(),
+        allocations,
+        max_delta: report.max_delta_ever,
+        healed_to_empty: live == 0,
+    }
+}
+
+/// Run E11 at `n` nodes: {dash, sdash} × {random-churn, rack-partition}.
+pub fn run_with_size(n: usize, seed: u64) -> Vec<ScaleRow> {
+    let mut rows = Vec::with_capacity(4);
+    for churn in [true, false] {
+        rows.push(run_one("dash", selfheal_core::dash::Dash, n, seed, churn));
+        rows.push(run_one(
+            "sdash",
+            selfheal_core::sdash::Sdash,
+            n,
+            seed,
+            churn,
+        ));
+    }
+    rows
+}
+
+/// Run E11 at full scale: BA(10⁶, 3), or 2·10⁶ with `--full`.
+pub fn run(scale: Scale, seed: u64) -> Vec<ScaleRow> {
+    let n = match scale {
+        Scale::Quick => 1_000_000,
+        Scale::Full => 2_000_000,
+    };
+    run_with_size(n, seed)
+}
+
+/// Fixed-width table over the measured rows.
+pub fn render(rows: &[ScaleRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<7} {:<15} {:>9} {:>10} {:>8} {:>9} {:>12} {:>12} {:>12} {:>6}",
+        "healer",
+        "adversary",
+        "n",
+        "events",
+        "joins",
+        "time_s",
+        "events/sec",
+        "peak_rss_kb",
+        "allocations",
+        "maxδ"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<7} {:<15} {:>9} {:>10} {:>8} {:>9.2} {:>12.0} {:>12} {:>12} {:>6}{}",
+            r.healer,
+            r.adversary,
+            r.n,
+            r.events,
+            r.joins,
+            r.elapsed.as_secs_f64(),
+            r.events_per_sec,
+            r.peak_rss_kb
+                .map(|kb| kb.to_string())
+                .unwrap_or_else(|| "n/a".into()),
+            r.allocations,
+            r.max_delta,
+            if r.healed_to_empty { "" } else { "  NOT EMPTY" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_heals_to_empty_on_all_four_configs() {
+        let rows = run_with_size(600, 7);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(
+                r.healed_to_empty,
+                "{}/{} left survivors",
+                r.healer, r.adversary
+            );
+            assert!(
+                r.events >= 600 / 8,
+                "{}/{}: too few events",
+                r.healer,
+                r.adversary
+            );
+            assert!(r.events_per_sec > 0.0);
+        }
+        // Both adversaries and both healers appear.
+        assert!(rows
+            .iter()
+            .any(|r| r.adversary == "random-churn" && r.healer == "dash"));
+        assert!(rows
+            .iter()
+            .any(|r| r.adversary == "rack-partition" && r.healer == "sdash"));
+    }
+
+    #[test]
+    fn vmhwm_is_readable_on_linux() {
+        if cfg!(target_os = "linux") {
+            let kb = peak_rss_kb().expect("VmHWM present in /proc/self/status");
+            assert!(kb > 0);
+        }
+    }
+
+    #[test]
+    fn render_includes_throughput_column() {
+        let rows = run_with_size(200, 3);
+        let table = render(&rows);
+        assert!(table.contains("events/sec"));
+        assert_eq!(table.lines().count(), 5);
+    }
+}

@@ -9,9 +9,177 @@
 //! `O(log deg)` binary searches and neighbor iteration yields ids in
 //! increasing order — a property the deterministic healing algorithms rely
 //! on for reproducibility.
+//!
+//! Storage is the pooled arena of [`crate::pool`]: every neighbor list is
+//! a contiguous chunk of one shared `Vec<NodeId>`, so `neighbors()` is
+//! still a real `&[NodeId]` slice but million-node runs stop paying one
+//! heap allocation (and one cache-missing pointer chase) per node. Two
+//! always-maintained indexes keep the per-event query surface sublinear:
+//! a **degree-bucket index** answers [`Graph::max_degree_node`] /
+//! [`Graph::min_degree_node`] from the extreme bucket instead of an O(n)
+//! scan, and a **Fenwick live-order index** answers [`Graph::nth_live`]
+//! (the k-th smallest live id) in O(log n) so adversaries can sample
+//! uniform live nodes without materializing the live list.
 
 use crate::errors::{GraphError, Result};
 use crate::ids::{Edge, NodeId};
+use crate::pool::{AdjPool, ChunkRef};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Exact degree buckets over the live nodes with lazily-repaired extreme
+/// hints.
+///
+/// Every live node sits in `buckets[degree(v)]`; `pos[v]` is its index in
+/// that bucket so moves are O(1) `swap_remove`s. The hints over-approximate
+/// (`max_hint ≥` true max, `min_hint ≤` true min): mutations only ever
+/// push them outward, and queries walk them back to the first non-empty
+/// bucket — each repair step is paid for by the mutation that stranded the
+/// hint, so queries are amortized O(1) plus the extreme bucket's tie scan.
+///
+/// The hints are atomics so queries keep the historical `&self` signature
+/// (`Graph::max_degree_node` is called through shared references): a hint
+/// repair is a pure narrowing of the search window, so racing relaxed
+/// stores can only lose a repair, never break the bounds.
+#[derive(Debug, Default)]
+struct DegreeIndex {
+    buckets: Vec<Vec<NodeId>>,
+    pos: Vec<u32>,
+    max_hint: AtomicUsize,
+    min_hint: AtomicUsize,
+}
+
+impl Clone for DegreeIndex {
+    fn clone(&self) -> Self {
+        DegreeIndex {
+            buckets: self.buckets.clone(),
+            pos: self.pos.clone(),
+            max_hint: AtomicUsize::new(self.max_hint.load(Ordering::Relaxed)),
+            min_hint: AtomicUsize::new(self.min_hint.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl DegreeIndex {
+    /// Index for `n` fresh live nodes, all of degree 0.
+    fn new_isolated(n: usize) -> Self {
+        DegreeIndex {
+            buckets: vec![(0..n).map(NodeId::from_index).collect()],
+            pos: (0..n).map(|i| i as u32).collect(),
+            max_hint: AtomicUsize::new(0),
+            min_hint: AtomicUsize::new(0),
+        }
+    }
+
+    fn insert(&mut self, v: NodeId, d: usize) {
+        if self.buckets.len() <= d {
+            self.buckets.resize_with(d + 1, Vec::new);
+        }
+        self.pos[v.index()] = self.buckets[d].len() as u32;
+        self.buckets[d].push(v);
+        self.max_hint.fetch_max(d, Ordering::Relaxed);
+        self.min_hint.fetch_min(d, Ordering::Relaxed);
+    }
+
+    fn remove(&mut self, v: NodeId, d: usize) {
+        let p = self.pos[v.index()] as usize;
+        debug_assert_eq!(self.buckets[d][p], v);
+        self.buckets[d].swap_remove(p);
+        if let Some(&moved) = self.buckets[d].get(p) {
+            self.pos[moved.index()] = p as u32;
+        }
+    }
+
+    fn change(&mut self, v: NodeId, from: usize, to: usize) {
+        self.remove(v, from);
+        self.insert(v, to);
+    }
+
+    /// Lowest id in the highest non-empty bucket. The caller guarantees at
+    /// least one live node.
+    fn max_node(&self) -> NodeId {
+        let mut h = self.max_hint.load(Ordering::Relaxed);
+        while h > 0 && self.buckets[h].is_empty() {
+            h -= 1;
+        }
+        self.max_hint.store(h, Ordering::Relaxed);
+        *self.buckets[h]
+            .iter()
+            .min()
+            .expect("hint repaired to a non-empty bucket")
+    }
+
+    /// Lowest id in the lowest non-empty bucket. The caller guarantees at
+    /// least one live node.
+    fn min_node(&self) -> NodeId {
+        let mut h = self.min_hint.load(Ordering::Relaxed);
+        while self.buckets[h].is_empty() {
+            h += 1;
+        }
+        self.min_hint.store(h, Ordering::Relaxed);
+        *self.buckets[h]
+            .iter()
+            .min()
+            .expect("hint repaired to a non-empty bucket")
+    }
+}
+
+/// Fenwick (binary-indexed) tree over the alive bits, for O(log n)
+/// rank/select on live nodes. Grows by doubling with an O(n) rebuild.
+#[derive(Clone, Debug, Default)]
+struct LiveIndex {
+    /// 1-indexed partial sums; `tree.len() == cap + 1`.
+    tree: Vec<u32>,
+    cap: usize,
+}
+
+impl LiveIndex {
+    /// Linear-time build over the first `n` alive bits with capacity `cap`.
+    fn rebuild(&mut self, cap: usize, alive: &[bool]) {
+        self.cap = cap;
+        self.tree.clear();
+        self.tree.resize(cap + 1, 0);
+        for (i, &a) in alive.iter().enumerate() {
+            if a {
+                self.tree[i + 1] += 1;
+            }
+        }
+        for i in 1..=cap {
+            let j = i + (i & i.wrapping_neg());
+            if j <= cap {
+                let t = self.tree[i];
+                self.tree[j] += t;
+            }
+        }
+    }
+
+    fn add(&mut self, i: usize, delta: i32) {
+        let mut i = i + 1;
+        while i <= self.cap {
+            self.tree[i] = (self.tree[i] as i32 + delta) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Slot index of the k-th (0-indexed) live node in increasing order.
+    /// The caller guarantees `k <` the number of live nodes.
+    fn select(&self, k: usize) -> usize {
+        let mut pos = 0usize;
+        let mut rem = (k + 1) as u32;
+        let mut pw = self.cap.next_power_of_two();
+        if pw > self.cap {
+            pw /= 2;
+        }
+        while pw > 0 {
+            let next = pos + pw;
+            if next <= self.cap && self.tree[next] < rem {
+                rem -= self.tree[next];
+                pos = next;
+            }
+            pw /= 2;
+        }
+        pos // tree is 1-indexed: `pos` live entries precede slot `pos`.
+    }
+}
 
 /// A dynamic, simple, undirected graph with tombstoned node deletion.
 ///
@@ -32,24 +200,36 @@ use crate::ids::{Edge, NodeId};
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Graph {
-    /// Sorted adjacency list per node slot (dead slots are empty).
-    adj: Vec<Vec<NodeId>>,
+    /// One arena backing every neighbor list (see [`crate::pool`]).
+    pool: AdjPool,
+    /// Per-slot chunk handle (dead slots hold the empty handle).
+    adj: Vec<ChunkRef>,
     /// Liveness flag per slot.
     alive: Vec<bool>,
     /// Number of live nodes.
     live_count: usize,
     /// Number of live edges.
     edge_count: usize,
+    /// Degree buckets for O(extreme-bucket) max/min-degree queries.
+    degrees: DegreeIndex,
+    /// Fenwick index for O(log n) k-th-live-node selection.
+    live_index: LiveIndex,
 }
 
 impl Graph {
     /// Create a graph with `n` live, isolated nodes (ids `0..n`).
     pub fn new(n: usize) -> Self {
+        let alive = vec![true; n];
+        let mut live_index = LiveIndex::default();
+        live_index.rebuild(n, &alive);
         Graph {
-            adj: vec![Vec::new(); n],
-            alive: vec![true; n],
+            pool: AdjPool::default(),
+            adj: vec![ChunkRef::default(); n],
+            alive,
             live_count: n,
             edge_count: 0,
+            degrees: DegreeIndex::new_isolated(n),
+            live_index,
         }
     }
 
@@ -107,9 +287,17 @@ impl Graph {
     /// Allocate a fresh live node and return its id.
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId::from_index(self.adj.len());
-        self.adj.push(Vec::new());
+        self.adj.push(ChunkRef::default());
         self.alive.push(true);
         self.live_count += 1;
+        self.degrees.pos.push(0);
+        self.degrees.insert(id, 0);
+        if self.alive.len() > self.live_index.cap {
+            let cap = (self.live_index.cap * 2).max(self.alive.len()).max(16);
+            self.live_index.rebuild(cap, &self.alive);
+        } else {
+            self.live_index.add(id.index(), 1);
+        }
         id
     }
 
@@ -127,7 +315,7 @@ impl Graph {
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
         if self.contains(v) {
-            &self.adj[v.index()]
+            self.pool.slice(&self.adj[v.index()])
         } else {
             &[]
         }
@@ -136,7 +324,12 @@ impl Graph {
     /// Whether the edge `(u, v)` exists (both endpoints live).
     #[inline]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.contains(u) && self.adj[u.index()].binary_search(&v).is_ok()
+        self.contains(u)
+            && self
+                .pool
+                .slice(&self.adj[u.index()])
+                .binary_search(&v)
+                .is_ok()
     }
 
     /// Insert the undirected edge `(u, v)`.
@@ -151,16 +344,25 @@ impl Graph {
         }
         self.check_alive(u)?;
         self.check_alive(v)?;
-        let pos_u = match self.adj[u.index()].binary_search(&v) {
+        let pos_u = match self.pool.slice(&self.adj[u.index()]).binary_search(&v) {
             Ok(_) => return Err(GraphError::EdgeExists(u, v)),
             Err(pos) => pos,
         };
         // This cannot be Ok if the u-side search wasn't: adjacency is symmetric.
-        let pos_v = self.adj[v.index()]
+        let pos_v = self
+            .pool
+            .slice(&self.adj[v.index()])
             .binary_search(&u)
             .expect_err("asymmetric adjacency detected");
-        self.adj[u.index()].insert(pos_u, v);
-        self.adj[v.index()].insert(pos_v, u);
+        let (du, dv) = (self.adj[u.index()].len(), self.adj[v.index()].len());
+        let mut r = self.adj[u.index()];
+        self.pool.insert_at(&mut r, pos_u, v);
+        self.adj[u.index()] = r;
+        let mut r = self.adj[v.index()];
+        self.pool.insert_at(&mut r, pos_v, u);
+        self.adj[v.index()] = r;
+        self.degrees.change(u, du, du + 1);
+        self.degrees.change(v, dv, dv + 1);
         self.edge_count += 1;
         Ok(())
     }
@@ -183,14 +385,25 @@ impl Graph {
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<()> {
         self.check_alive(u)?;
         self.check_alive(v)?;
-        let pos_u = self.adj[u.index()]
+        let pos_u = self
+            .pool
+            .slice(&self.adj[u.index()])
             .binary_search(&v)
             .map_err(|_| GraphError::EdgeMissing(u, v))?;
-        let pos_v = self.adj[v.index()]
+        let pos_v = self
+            .pool
+            .slice(&self.adj[v.index()])
             .binary_search(&u)
             .map_err(|_| GraphError::EdgeMissing(u, v))?;
-        self.adj[u.index()].remove(pos_u);
-        self.adj[v.index()].remove(pos_v);
+        let (du, dv) = (self.adj[u.index()].len(), self.adj[v.index()].len());
+        let mut r = self.adj[u.index()];
+        self.pool.remove_at(&mut r, pos_u);
+        self.adj[u.index()] = r;
+        let mut r = self.adj[v.index()];
+        self.pool.remove_at(&mut r, pos_v);
+        self.adj[v.index()] = r;
+        self.degrees.change(u, du, du - 1);
+        self.degrees.change(v, dv, dv - 1);
         self.edge_count -= 1;
         Ok(())
     }
@@ -212,20 +425,31 @@ impl Graph {
     pub fn remove_node_into(&mut self, v: NodeId, neighbors: &mut Vec<NodeId>) -> Result<()> {
         neighbors.clear();
         self.check_alive(v)?;
-        neighbors.extend_from_slice(&self.adj[v.index()]);
-        // Release the dead slot's buffer: tombstoned nodes never come
-        // back, so retaining capacity there would pin O(m) memory over a
-        // run-to-empty sweep.
-        self.adj[v.index()] = Vec::new();
+        neighbors.extend_from_slice(self.pool.slice(&self.adj[v.index()]));
+        // Release the dead slot's chunk to the pool's free list:
+        // tombstoned nodes never come back, so the chunk is immediately
+        // reusable and the arena's high-water mark stays bounded by the
+        // peak live adjacency.
+        let mut r = self.adj[v.index()];
+        self.pool.clear(&mut r);
+        self.adj[v.index()] = r;
+        self.degrees.remove(v, neighbors.len());
         for &u in neighbors.iter() {
-            let pos = self.adj[u.index()]
+            let pos = self
+                .pool
+                .slice(&self.adj[u.index()])
                 .binary_search(&v)
                 .expect("asymmetric adjacency detected");
-            self.adj[u.index()].remove(pos);
+            let du = self.adj[u.index()].len();
+            let mut r = self.adj[u.index()];
+            self.pool.remove_at(&mut r, pos);
+            self.adj[u.index()] = r;
+            self.degrees.change(u, du, du - 1);
         }
         self.edge_count -= neighbors.len();
         self.alive[v.index()] = false;
         self.live_count -= 1;
+        self.live_index.add(v.index(), -1);
         Ok(())
     }
 
@@ -238,11 +462,25 @@ impl Graph {
             .map(|(i, _)| NodeId::from_index(i))
     }
 
+    /// The k-th (0-indexed) live node in increasing id order, in O(log n).
+    ///
+    /// Agrees exactly with `live_nodes().nth(k)`: sampling
+    /// `nth_live(rng.gen_range(live_node_count()))` draws the same node a
+    /// collect-then-index of the live list would, without the O(n) scan.
+    pub fn nth_live(&self, k: usize) -> Option<NodeId> {
+        if k >= self.live_count {
+            return None;
+        }
+        Some(NodeId::from_index(self.live_index.select(k)))
+    }
+
     /// Iterator over all live edges, each reported once with `lo < hi`.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.adj.iter().enumerate().flat_map(move |(i, nbrs)| {
+        self.adj.iter().enumerate().flat_map(move |(i, r)| {
             let u = NodeId::from_index(i);
-            nbrs.iter()
+            self.pool
+                .slice(r)
+                .iter()
                 .filter(move |&&w| u < w)
                 .map(move |&w| Edge::new(u, w))
         })
@@ -255,56 +493,58 @@ impl Graph {
     /// ("for all nodes x, y, z such that x is a neighbor of y and y is a
     /// neighbor of z, x knows z").
     pub fn neighbors_of_neighbors(&self, v: NodeId) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = Vec::new();
+        let mut out = Vec::new();
+        self.neighbors_of_neighbors_into(v, &mut out);
+        out
+    }
+
+    /// [`Graph::neighbors_of_neighbors`] writing into a caller-owned
+    /// buffer (cleared first), so per-deletion NoN walks can reuse one
+    /// allocation across rounds.
+    pub fn neighbors_of_neighbors_into(&self, v: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
         for &u in self.neighbors(v) {
             out.push(u);
             out.extend(self.neighbors(u).iter().copied().filter(|&w| w != v));
         }
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     /// The live node with the maximum degree (ties broken by lowest id).
     ///
-    /// Returns `None` when the graph has no live nodes.
+    /// Returns `None` when the graph has no live nodes. Answered from the
+    /// degree-bucket index: amortized O(1) hint repair plus a scan of the
+    /// single extreme bucket (instead of the former O(n) full scan).
     pub fn max_degree_node(&self) -> Option<NodeId> {
-        let mut best: Option<(usize, NodeId)> = None;
-        for v in self.live_nodes() {
-            let d = self.degree(v);
-            match best {
-                Some((bd, _)) if bd >= d => {}
-                _ => best = Some((d, v)),
-            }
+        if self.live_count == 0 {
+            return None;
         }
-        best.map(|(_, v)| v)
+        Some(self.degrees.max_node())
     }
 
     /// The live node with the minimum degree (ties broken by lowest id).
     pub fn min_degree_node(&self) -> Option<NodeId> {
-        let mut best: Option<(usize, NodeId)> = None;
-        for v in self.live_nodes() {
-            let d = self.degree(v);
-            match best {
-                Some((bd, _)) if bd <= d => {}
-                _ => best = Some((d, v)),
-            }
+        if self.live_count == 0 {
+            return None;
         }
-        best.map(|(_, v)| v)
+        Some(self.degrees.min_node())
     }
 
     /// Sum of degrees over all live nodes (= `2 * edge_count`).
     pub fn degree_sum(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum()
+        self.adj.iter().map(ChunkRef::len).sum()
     }
 
     /// Internal consistency check used by tests and `debug_assert!`s:
-    /// adjacency symmetric & sorted, dead nodes isolated, counters correct.
+    /// adjacency symmetric & sorted, dead nodes isolated, counters and
+    /// both indexes correct.
     pub fn validate(&self) -> Result<()> {
         let mut edges = 0usize;
         let mut live = 0usize;
-        for (i, nbrs) in self.adj.iter().enumerate() {
+        for (i, r) in self.adj.iter().enumerate() {
             let v = NodeId::from_index(i);
+            let nbrs = self.pool.slice(r);
             if self.alive[i] {
                 live += 1;
             } else if !nbrs.is_empty() {
@@ -325,7 +565,12 @@ impl Graph {
                 if !self.is_alive(u) {
                     return Err(GraphError::NodeDead(u));
                 }
-                if self.adj[u.index()].binary_search(&v).is_err() {
+                if self
+                    .pool
+                    .slice(&self.adj[u.index()])
+                    .binary_search(&v)
+                    .is_err()
+                {
                     return Err(GraphError::EdgeMissing(u, v));
                 }
                 edges += 1;
@@ -334,6 +579,36 @@ impl Graph {
         debug_assert_eq!(edges % 2, 0);
         if edges / 2 != self.edge_count || live != self.live_count {
             return Err(GraphError::EmptyGraph); // counter drift
+        }
+        // Degree-bucket index: every live node in its degree's bucket at
+        // its recorded position, no stale entries, hints still bounding.
+        let mut indexed = 0usize;
+        for (d, bucket) in self.degrees.buckets.iter().enumerate() {
+            for &v in bucket {
+                if !self.is_alive(v)
+                    || self.degree(v) != d
+                    || self.degrees.pos[v.index()] as usize >= bucket.len()
+                    || bucket[self.degrees.pos[v.index()] as usize] != v
+                {
+                    return Err(GraphError::EmptyGraph); // index drift
+                }
+                indexed += 1;
+            }
+            if !bucket.is_empty()
+                && (d > self.degrees.max_hint.load(Ordering::Relaxed)
+                    || d < self.degrees.min_hint.load(Ordering::Relaxed))
+            {
+                return Err(GraphError::EmptyGraph); // hint no longer bounds
+            }
+        }
+        if indexed != self.live_count {
+            return Err(GraphError::EmptyGraph); // index drift
+        }
+        // Fenwick live index: rank/select must agree with the alive bits.
+        for (k, v) in self.live_nodes().enumerate() {
+            if self.live_index.select(k) != v.index() {
+                return Err(GraphError::EmptyGraph); // index drift
+            }
         }
         Ok(())
     }
@@ -481,6 +756,18 @@ mod tests {
     }
 
     #[test]
+    fn neighbors_of_neighbors_into_reuses_buffer() {
+        let g = path(5);
+        let mut out = vec![NodeId(99)]; // stale content must be cleared
+        g.neighbors_of_neighbors_into(NodeId(2), &mut out);
+        assert_eq!(out, vec![NodeId(0), NodeId(1), NodeId(3), NodeId(4)]);
+        let cap = out.capacity();
+        g.neighbors_of_neighbors_into(NodeId(0), &mut out);
+        assert_eq!(out, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(out.capacity(), cap, "buffer must be reused, not replaced");
+    }
+
+    #[test]
     fn max_and_min_degree_nodes() {
         let mut g = Graph::new(4);
         g.add_edge(NodeId(0), NodeId(1)).unwrap();
@@ -495,6 +782,52 @@ mod tests {
     }
 
     #[test]
+    fn degree_extremes_track_mutations() {
+        // Exercise the lazily-repaired hints: push the max up, delete the
+        // hub (hint now over-estimates), then query — and symmetrically
+        // drain the min bucket.
+        let mut g = Graph::new(6);
+        for v in 1..6u32 {
+            g.add_edge(NodeId(0), NodeId(v)).unwrap();
+        }
+        assert_eq!(g.max_degree_node(), Some(NodeId(0)));
+        g.remove_node(NodeId(0)).unwrap();
+        // All survivors are isolated again.
+        assert_eq!(g.max_degree_node(), Some(NodeId(1)));
+        assert_eq!(g.min_degree_node(), Some(NodeId(1)));
+        g.add_edge(NodeId(2), NodeId(3)).unwrap();
+        assert_eq!(g.max_degree_node(), Some(NodeId(2)));
+        assert_eq!(g.min_degree_node(), Some(NodeId(1)));
+        g.remove_node(NodeId(1)).unwrap();
+        g.remove_node(NodeId(4)).unwrap();
+        g.remove_node(NodeId(5)).unwrap();
+        // Only the edge (2,3) remains: min degree is now 1.
+        assert_eq!(g.min_degree_node(), Some(NodeId(2)));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn nth_live_matches_live_nodes_order() {
+        let mut g = Graph::new(10);
+        for v in [0u32, 3, 7, 9] {
+            g.remove_node(NodeId(v)).unwrap();
+        }
+        let live: Vec<NodeId> = g.live_nodes().collect();
+        for (k, &v) in live.iter().enumerate() {
+            assert_eq!(g.nth_live(k), Some(v));
+        }
+        assert_eq!(g.nth_live(live.len()), None);
+        // Joins grow the index (through a rebuild once capacity doubles).
+        for _ in 0..20 {
+            g.add_node();
+        }
+        let live: Vec<NodeId> = g.live_nodes().collect();
+        assert_eq!(g.nth_live(live.len() - 1), Some(*live.last().unwrap()));
+        assert_eq!(g.nth_live(0), Some(NodeId(1)));
+        g.validate().unwrap();
+    }
+
+    #[test]
     fn neighbors_sorted_after_random_insertions() {
         let mut g = Graph::new(10);
         for v in [7u32, 3, 9, 1, 5] {
@@ -502,5 +835,16 @@ mod tests {
         }
         let nbrs = g.neighbors(NodeId(0));
         assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn clone_preserves_pooled_storage() {
+        let mut g = path(6);
+        g.remove_node(NodeId(2)).unwrap();
+        let c = g.clone();
+        for v in 0..6u32 {
+            assert_eq!(g.neighbors(NodeId(v)), c.neighbors(NodeId(v)));
+        }
+        c.validate().unwrap();
     }
 }

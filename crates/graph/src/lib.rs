@@ -39,6 +39,7 @@ pub mod ids;
 pub mod io;
 pub mod parallel;
 pub mod paths;
+pub mod pool;
 pub mod properties;
 pub mod subgraph;
 pub mod traversal;

@@ -1,0 +1,289 @@
+//! Pooled adjacency storage: one arena for every neighbor list.
+//!
+//! `Vec<Vec<NodeId>>` adjacency costs one heap allocation per node and
+//! scatters neighbor lists across the heap, so the hot healing loops
+//! (`propagate_min_id`, `delete_node_into`, the DASH/SDASH rewiring
+//! walks) chase a fresh pointer per `neighbors()` call. [`AdjPool`]
+//! replaces that with a single `Vec<NodeId>` arena carved into
+//! power-of-two **chunks** (capacities `4 << class`): each node owns one
+//! contiguous chunk described by a [`ChunkRef`] `{offset, len, class}`,
+//! so a neighbor list is still one real `&[NodeId]` slice — the public
+//! `Graph` API is unchanged — but all lists live in one allocation.
+//!
+//! Freed chunks (node deletions, growth reallocations) go on a per-class
+//! **intrusive free list**: the arena offset of the next free chunk is
+//! stored in the freed chunk's own first slot (every chunk holds ≥ 4
+//! `u32`-sized entries, so the link always fits). Growth is amortized
+//! doubling: a full chunk reallocates into the next class, copies, and
+//! frees the old chunk for reuse. The arena itself never shrinks — its
+//! high-water mark is the peak total adjacency size, and after that
+//! steady-state churn is allocation-free.
+
+use crate::ids::NodeId;
+
+/// Sentinel arena offset meaning "no chunk" / "end of free list".
+const NIL: u32 = u32::MAX;
+
+/// Smallest chunk capacity (class 0). Must be ≥ 1 so the intrusive
+/// free-list link fits in slot 0; 4 keeps tiny-degree nodes compact
+/// while bounding the class count (`4 << 27` already exceeds `u32` ids).
+const MIN_CAP: u32 = 4;
+
+/// Handle to one node's chunk in an [`AdjPool`].
+///
+/// `Default` is the empty handle: no chunk allocated, length 0. The
+/// arena allocates lazily on first insert, so building a graph with `n`
+/// isolated nodes touches the pool not at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkRef {
+    off: u32,
+    len: u32,
+    class: u8,
+}
+
+impl Default for ChunkRef {
+    fn default() -> Self {
+        ChunkRef {
+            off: NIL,
+            len: 0,
+            class: 0,
+        }
+    }
+}
+
+impl ChunkRef {
+    /// Number of values stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The arena of adjacency chunks. See the module docs for the layout.
+#[derive(Clone, Debug, Default)]
+pub struct AdjPool {
+    /// The single backing allocation for every chunk.
+    slots: Vec<NodeId>,
+    /// Head of the free list per size class (`NIL` when empty); the next
+    /// link of a free chunk lives in its own slot 0.
+    free_heads: Vec<u32>,
+}
+
+/// Capacity of a size class.
+#[inline]
+fn cap_of(class: u8) -> u32 {
+    MIN_CAP << class
+}
+
+impl AdjPool {
+    /// The values of a chunk, as one contiguous slice.
+    #[inline]
+    pub fn slice(&self, r: &ChunkRef) -> &[NodeId] {
+        if r.off == NIL {
+            &[]
+        } else {
+            &self.slots[r.off as usize..(r.off + r.len) as usize]
+        }
+    }
+
+    /// Total arena entries (live + free chunks) — the memory high-water
+    /// mark in `NodeId` units.
+    pub fn arena_len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Pop a free chunk of `class`, or carve a fresh one off the arena.
+    fn alloc(&mut self, class: u8) -> u32 {
+        if let Some(&head) = self.free_heads.get(class as usize) {
+            if head != NIL {
+                self.free_heads[class as usize] = self.slots[head as usize].0;
+                return head;
+            }
+        }
+        let off = self.slots.len();
+        assert!(
+            off + cap_of(class) as usize <= NIL as usize,
+            "adjacency arena exceeds u32 offsets"
+        );
+        self.slots.resize(off + cap_of(class) as usize, NodeId(NIL));
+        off as u32
+    }
+
+    /// Push a chunk onto its class's free list (intrusive link in slot 0).
+    fn free(&mut self, off: u32, class: u8) {
+        if self.free_heads.len() <= class as usize {
+            self.free_heads.resize(class as usize + 1, NIL);
+        }
+        self.slots[off as usize] = NodeId(self.free_heads[class as usize]);
+        self.free_heads[class as usize] = off;
+    }
+
+    /// Reallocate `r` into the next size class, copying its values.
+    fn grow(&mut self, r: &mut ChunkRef) {
+        let new_class = if r.off == NIL { 0 } else { r.class + 1 };
+        let new_off = self.alloc(new_class);
+        if r.off != NIL {
+            self.slots
+                .copy_within(r.off as usize..(r.off + r.len) as usize, new_off as usize);
+            self.free(r.off, r.class);
+        }
+        r.off = new_off;
+        r.class = new_class;
+    }
+
+    /// Insert `value` at `pos` (≤ len), shifting the tail right; grows the
+    /// chunk into the next size class when full.
+    pub fn insert_at(&mut self, r: &mut ChunkRef, pos: usize, value: NodeId) {
+        debug_assert!(pos <= r.len as usize);
+        if r.off == NIL || r.len == cap_of(r.class) {
+            self.grow(r);
+        }
+        let base = r.off as usize;
+        self.slots
+            .copy_within(base + pos..base + r.len as usize, base + pos + 1);
+        self.slots[base + pos] = value;
+        r.len += 1;
+    }
+
+    /// Remove and return the value at `pos` (< len), shifting the tail left.
+    pub fn remove_at(&mut self, r: &mut ChunkRef, pos: usize) -> NodeId {
+        debug_assert!(pos < r.len as usize);
+        let base = r.off as usize;
+        let value = self.slots[base + pos];
+        self.slots
+            .copy_within(base + pos + 1..base + r.len as usize, base + pos);
+        r.len -= 1;
+        value
+    }
+
+    /// Release the chunk entirely (tombstoned node): the chunk returns to
+    /// the free list for reuse and `r` becomes the empty handle.
+    pub fn clear(&mut self, r: &mut ChunkRef) {
+        if r.off != NIL {
+            self.free(r.off, r.class);
+        }
+        *r = ChunkRef::default();
+    }
+
+    /// Number of chunks currently on free lists (test/diagnostic hook).
+    pub fn free_chunk_count(&self) -> usize {
+        let mut count = 0;
+        for (class, &head) in self.free_heads.iter().enumerate() {
+            let mut off = head;
+            let mut guard = 0usize;
+            while off != NIL {
+                count += 1;
+                off = self.slots[off as usize].0;
+                guard += 1;
+                assert!(
+                    guard <= self.slots.len() / cap_of(class as u8) as usize + 1,
+                    "cycle in free list of class {class}"
+                );
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(r: &AdjPool, c: &ChunkRef) -> Vec<u32> {
+        r.slice(c).iter().map(|n| n.0).collect()
+    }
+
+    #[test]
+    fn empty_ref_is_an_empty_slice() {
+        let pool = AdjPool::default();
+        let r = ChunkRef::default();
+        assert!(r.is_empty());
+        assert_eq!(pool.slice(&r), &[] as &[NodeId]);
+        assert_eq!(pool.arena_len(), 0);
+    }
+
+    #[test]
+    fn insert_shifts_and_grows_through_classes() {
+        let mut pool = AdjPool::default();
+        let mut r = ChunkRef::default();
+        // Insert 0..20 at the front in reverse so shifting is exercised.
+        for v in (0..20u32).rev() {
+            pool.insert_at(&mut r, 0, NodeId(v));
+        }
+        assert_eq!(r.len(), 20);
+        assert_eq!(ids(&pool, &r), (0..20).collect::<Vec<_>>());
+        // 20 values need a class-3 chunk (cap 32); classes 0..=2 were
+        // grown through and freed.
+        assert_eq!(pool.free_chunk_count(), 3);
+    }
+
+    #[test]
+    fn remove_at_returns_value_and_shifts() {
+        let mut pool = AdjPool::default();
+        let mut r = ChunkRef::default();
+        for v in 0..6u32 {
+            pool.insert_at(&mut r, v as usize, NodeId(v));
+        }
+        assert_eq!(pool.remove_at(&mut r, 2), NodeId(2));
+        assert_eq!(pool.remove_at(&mut r, 0), NodeId(0));
+        assert_eq!(ids(&pool, &r), vec![1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn freed_chunks_are_reused_not_leaked() {
+        let mut pool = AdjPool::default();
+        let mut a = ChunkRef::default();
+        for v in 0..4u32 {
+            pool.insert_at(&mut a, 0, NodeId(v));
+        }
+        let high_water = pool.arena_len();
+        pool.clear(&mut a);
+        assert_eq!(a, ChunkRef::default());
+        // A same-class allocation must reuse the freed chunk: the arena
+        // does not grow.
+        let mut b = ChunkRef::default();
+        pool.insert_at(&mut b, 0, NodeId(9));
+        assert_eq!(pool.arena_len(), high_water);
+        assert_eq!(ids(&pool, &b), vec![9]);
+        assert_eq!(pool.free_chunk_count(), 0);
+    }
+
+    #[test]
+    fn many_lists_interleaved_stay_disjoint() {
+        let mut pool = AdjPool::default();
+        let mut refs: Vec<ChunkRef> = vec![ChunkRef::default(); 16];
+        for round in 0..40u32 {
+            for (i, r) in refs.iter_mut().enumerate() {
+                pool.insert_at(r, r.len(), NodeId(round * 100 + i as u32));
+            }
+        }
+        for (i, r) in refs.iter().enumerate() {
+            let got = ids(&pool, r);
+            let want: Vec<u32> = (0..40).map(|round| round * 100 + i as u32).collect();
+            assert_eq!(got, want, "list {i} corrupted");
+        }
+    }
+
+    #[test]
+    fn clear_then_regrow_cycles_the_free_lists() {
+        let mut pool = AdjPool::default();
+        let mut r = ChunkRef::default();
+        for _ in 0..3 {
+            for v in 0..50u32 {
+                let end = r.len();
+                pool.insert_at(&mut r, end, NodeId(v));
+            }
+            pool.clear(&mut r);
+        }
+        // Steady state: the second and third cycles reuse the first
+        // cycle's chunks, so the arena is no bigger than one cycle's
+        // growth chain (4 + 8 + 16 + 32 + 64).
+        assert_eq!(pool.arena_len(), 4 + 8 + 16 + 32 + 64);
+    }
+}

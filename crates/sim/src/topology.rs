@@ -35,9 +35,23 @@ impl Topology {
 
     /// Build from an undirected edge list over `n` nodes.
     ///
-    /// Duplicate edges and self-loops are ignored.
+    /// Duplicate edges and self-loops are ignored. A degree-counting
+    /// first pass sizes every adjacency column up front, so the sorted
+    /// inserts below never reallocate — building a mirror of a large
+    /// `selfheal-graph` network costs one allocation per node, not
+    /// O(log degree) growth reallocations each.
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
         let mut t = Topology::new(n);
+        let mut degree = vec![0usize; n];
+        for &(a, b) in edges {
+            if a != b && (a as usize) < n && (b as usize) < n {
+                degree[a as usize] += 1;
+                degree[b as usize] += 1;
+            }
+        }
+        for (col, d) in t.adj.iter_mut().zip(degree) {
+            col.reserve_exact(d);
+        }
         for &(a, b) in edges {
             t.add_edge(a, b);
         }
@@ -114,9 +128,26 @@ impl Topology {
     /// # Panics
     /// Panics if `v` is already dead or out of range.
     pub fn kill(&mut self, v: u32) -> Vec<u32> {
+        let mut nbrs = Vec::new();
+        self.kill_into(v, &mut nbrs);
+        nbrs
+    }
+
+    /// [`Topology::kill`] writing the former neighbors into a
+    /// caller-owned buffer (cleared first), mirroring the core crate's
+    /// `_into` hot-path convention so delete-heavy simulation runs reuse
+    /// one buffer across kills. The dead node's own column is freed —
+    /// tombstoned slots are never revisited, so holding its capacity
+    /// would only leak.
+    ///
+    /// # Panics
+    /// Panics if `v` is already dead or out of range.
+    pub fn kill_into(&mut self, v: u32, out: &mut Vec<u32>) {
         assert!(self.is_alive(v), "kill of dead or invalid node {v}");
-        let nbrs = std::mem::take(&mut self.adj[v as usize]);
-        for &u in &nbrs {
+        out.clear();
+        out.extend_from_slice(&self.adj[v as usize]);
+        drop(std::mem::take(&mut self.adj[v as usize]));
+        for &u in out.iter() {
             let pos = self.adj[u as usize]
                 .binary_search(&v)
                 .expect("asymmetric adjacency");
@@ -124,7 +155,6 @@ impl Topology {
         }
         self.alive[v as usize] = false;
         self.live -= 1;
-        nbrs
     }
 
     /// Iterator over live node indices.

@@ -177,6 +177,111 @@ fn sdash_equivalence_on_star() {
     assert_equivalent_run_with(star_graph(16), 29, 16, true);
 }
 
+/// Uniform-component broadcast vs. the exact BFS. The engine and
+/// `heal_batch` route every post-heal broadcast through
+/// [`HealingNetwork::propagate_min_id_uniform`], which is exact only
+/// under the invariant that every `G'` component is ID-uniform when the
+/// broadcast starts. These sweeps drive twin networks — one broadcasting
+/// exactly, one through the restricted fast path — across healers, victim
+/// policies and seeds, and require *identical* reports and identical
+/// per-node observable state after every round.
+fn assert_uniform_propagation_equivalent(
+    g: Graph,
+    seed: u64,
+    sdash: bool,
+    pick: impl Fn(&HealingNetwork, usize) -> Option<NodeId>,
+) {
+    let mut exact = HealingNetwork::new(g.clone(), seed);
+    let mut fast = HealingNetwork::new(g, seed);
+    let mut dash = Dash;
+    let mut sd = Sdash;
+    for round in 0.. {
+        let Some(victim) = pick(&exact, round) else {
+            break;
+        };
+        let ctx_e = exact.delete_node(victim).unwrap();
+        let ctx_f = fast.delete_node(victim).unwrap();
+        let (out_e, out_f) = if sdash {
+            (sd.heal(&mut exact, &ctx_e), sd.heal(&mut fast, &ctx_f))
+        } else {
+            (dash.heal(&mut exact, &ctx_e), dash.heal(&mut fast, &ctx_f))
+        };
+        assert_eq!(out_e.rt_members, out_f.rt_members, "round {round}: RT");
+        assert_eq!(out_e.edges_added, out_f.edges_added, "round {round}: edges");
+        let rep_e = exact.propagate_min_id(&out_e.rt_members);
+        let rep_f = fast.propagate_min_id_uniform(&out_f.rt_members);
+        assert_eq!(rep_e, rep_f, "round {round}: propagation reports differ");
+        for v in exact.graph().live_nodes() {
+            assert_eq!(
+                exact.comp_id(v),
+                fast.comp_id(v),
+                "round {round}: comp of {v}"
+            );
+            assert_eq!(
+                exact.id_changes(v),
+                fast.id_changes(v),
+                "round {round}: id changes of {v}"
+            );
+            assert_eq!(
+                exact.messages_sent(v),
+                fast.messages_sent(v),
+                "round {round}: messages of {v}"
+            );
+        }
+    }
+}
+
+fn max_degree_pick(net: &HealingNetwork, _round: usize) -> Option<NodeId> {
+    net.graph().max_degree_node()
+}
+
+#[test]
+fn uniform_propagation_equivalent_on_max_degree_sweeps() {
+    for seed in [3u64, 11, 41] {
+        let g = barabasi_albert(72, 3, &mut StdRng::seed_from_u64(seed));
+        assert_uniform_propagation_equivalent(g, seed, false, max_degree_pick);
+    }
+}
+
+#[test]
+fn uniform_propagation_equivalent_for_sdash() {
+    for seed in [5u64, 19] {
+        let g = barabasi_albert(64, 3, &mut StdRng::seed_from_u64(seed));
+        assert_uniform_propagation_equivalent(g, seed, true, max_degree_pick);
+    }
+    assert_uniform_propagation_equivalent(star_graph(24), 7, true, max_degree_pick);
+}
+
+#[test]
+fn uniform_propagation_equivalent_under_random_victims() {
+    // Pseudo-random victim order (deterministic hash of the round), which
+    // exercises mid-graph merges rather than hub-first cascades.
+    for seed in [2u64, 13] {
+        let g = barabasi_albert(56, 2, &mut StdRng::seed_from_u64(seed));
+        assert_uniform_propagation_equivalent(g, seed, false, |net, round| {
+            let live: Vec<NodeId> = net.graph().live_nodes().collect();
+            if live.is_empty() {
+                None
+            } else {
+                let idx = (round.wrapping_mul(2654435761) ^ round >> 3) % live.len();
+                Some(live[idx])
+            }
+        });
+    }
+}
+
+#[test]
+fn uniform_propagation_equivalent_on_paths_and_trees() {
+    assert_uniform_propagation_equivalent(
+        selfheal_graph::generators::path_graph(30),
+        9,
+        false,
+        max_degree_pick,
+    );
+    let tree = selfheal_graph::generators::KaryTree::new(3, 4);
+    assert_uniform_propagation_equivalent(tree.graph, 15, false, max_degree_pick);
+}
+
 /// Asynchrony robustness: under adversarial per-message jitter the ID
 /// broadcast may take different routes (and more adoptions), but the
 /// *fixed point* — topology, healing forest and final component IDs — is

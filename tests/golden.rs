@@ -97,6 +97,58 @@ fn golden_ba_fingerprint() -> u64 {
     79_390
 }
 
+/// Byte-identity of the full healing *trajectory*, not just the final
+/// aggregates: every round's victim, reconstruction set, added edges and
+/// propagation accounting is folded into one FNV-1a fingerprint. The
+/// pooled-adjacency store, the degree-bucket extremes, the Fenwick live
+/// sampler and the restricted broadcast all sit under this hash — any
+/// deviation in any round of either healer moves it.
+#[test]
+fn golden_trajectory_fingerprint_is_byte_identical() {
+    fn fnv(h: &mut u64, x: u64) {
+        *h ^= x;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let fingerprint = |sdash: bool| -> u64 {
+        let g = barabasi_albert(100, 3, &mut StdRng::seed_from_u64(2008));
+        let mut net = HealingNetwork::new(g, 2008);
+        let mut dash = Dash;
+        let mut sd = Sdash;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        while let Some(v) = net.graph().max_degree_node() {
+            let ctx = net.delete_node(v).unwrap();
+            let outcome = if sdash {
+                selfheal_core::strategy::Healer::heal(&mut sd, &mut net, &ctx)
+            } else {
+                selfheal_core::strategy::Healer::heal(&mut dash, &mut net, &ctx)
+            };
+            let rep = net.propagate_min_id_uniform(&outcome.rt_members);
+            fnv(&mut h, v.0 as u64);
+            for &m in &outcome.rt_members {
+                fnv(&mut h, m.0 as u64 + 1);
+            }
+            for &(a, b) in &outcome.edges_added {
+                fnv(&mut h, (a.0 as u64) << 32 | b.0 as u64);
+            }
+            fnv(&mut h, rep.changed);
+            fnv(&mut h, rep.messages);
+            fnv(&mut h, rep.latency);
+        }
+        h
+    };
+    assert_eq!(
+        (fingerprint(false), fingerprint(true)),
+        golden_trajectory_expected(),
+        "healing trajectory diverged from the pre-refactor stream"
+    );
+}
+
+fn golden_trajectory_expected() -> (u64, u64) {
+    // Captured from the Vec<Vec<_>> adjacency era; the pooled store must
+    // reproduce it bit for bit.
+    (3_217_964_881_233_481_011, 224_464_964_141_436_817)
+}
+
 /// The unified event-driven engine must reproduce the legacy goldens
 /// *exactly* — same RNG streams, tie-breaking, and accounting — proving
 /// the refactor changed structure, not behavior.

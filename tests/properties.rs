@@ -276,6 +276,57 @@ proptest! {
         prop_assert_eq!(sub.graph.live_node_count(), biggest);
     }
 
+    /// The pooled-adjacency `Graph` is observationally identical to a
+    /// naive `Vec<Vec<NodeId>>` reference model under arbitrary
+    /// interleavings of edge insertions/removals, node deaths and node
+    /// births — same neighbor slices (sorted), same degree extremes
+    /// (lowest-id tie-break), same live-rank order, same NoN sets.
+    #[test]
+    fn pooled_graph_matches_reference_model(
+        n in 1usize..20,
+        ops in prop::collection::vec((0u8..6, 0usize..64, 0usize..64), 1..120),
+    ) {
+        let mut g = selfheal_graph::Graph::new(n);
+        let mut model = ReferenceGraph::new(n);
+        for (op, a, b) in ops {
+            let bound = g.node_bound();
+            let (u, v) = (NodeId::from_index(a % bound), NodeId::from_index(b % bound));
+            match op {
+                0 | 1 => {
+                    let model_added = model.ensure_edge(u, v);
+                    match g.ensure_edge(u, v) {
+                        Ok(added) => prop_assert_eq!(Some(added), model_added, "ensure {u}-{v}"),
+                        Err(_) => prop_assert_eq!(None, model_added, "ensure {u}-{v} errored"),
+                    }
+                }
+                2 => {
+                    let model_ok = model.remove_edge(u, v);
+                    prop_assert_eq!(g.remove_edge(u, v).is_ok(), model_ok, "remove {u}-{v}");
+                }
+                3 => {
+                    let model_nbrs = model.remove_node(u);
+                    match g.remove_node(u) {
+                        Ok(nbrs) => prop_assert_eq!(Some(nbrs), model_nbrs, "kill {u}"),
+                        Err(_) => prop_assert_eq!(None, model_nbrs, "kill {u} errored"),
+                    }
+                }
+                4 => {
+                    prop_assert_eq!(g.add_node(), model.add_node());
+                }
+                _ => {
+                    // Churn: kill then immediately re-add, the join pattern
+                    // the million-node experiment leans on.
+                    if model.remove_node(u).is_some() {
+                        g.remove_node(u).unwrap();
+                        prop_assert_eq!(g.add_node(), model.add_node());
+                    }
+                }
+            }
+            model.assert_matches(&g)?;
+        }
+        g.validate().unwrap();
+    }
+
     /// CSR snapshots preserve BFS distances from the dynamic graph.
     #[test]
     fn csr_distances_match_graph(n in 2usize..40, p in 0.05f64..0.4, seed in 0u64..500) {
@@ -288,6 +339,112 @@ proptest! {
             let dense = csr.dense_index(v).unwrap();
             prop_assert_eq!(gd[v.index()], cd[dense]);
         }
+    }
+}
+
+/// Naive `Vec<Vec<NodeId>>` adjacency model the pooled `Graph` is judged
+/// against in `pooled_graph_matches_reference_model`. Mutators return
+/// `None`/`false` exactly when the real API reports an error, so the
+/// proptest also locks the error surface.
+struct ReferenceGraph {
+    adj: Vec<Vec<NodeId>>,
+    alive: Vec<bool>,
+}
+
+impl ReferenceGraph {
+    fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            alive: vec![true; n],
+        }
+    }
+
+    fn live(&self, v: NodeId) -> bool {
+        self.alive.get(v.index()).copied().unwrap_or(false)
+    }
+
+    /// `Some(added)` when the edge insert is legal, `None` when it errors.
+    fn ensure_edge(&mut self, u: NodeId, v: NodeId) -> Option<bool> {
+        if u == v || !self.live(u) || !self.live(v) {
+            return None;
+        }
+        if self.adj[u.index()].contains(&v) {
+            return Some(false);
+        }
+        for (a, b) in [(u, v), (v, u)] {
+            let pos = self.adj[a.index()].partition_point(|&w| w < b);
+            self.adj[a.index()].insert(pos, b);
+        }
+        Some(true)
+    }
+
+    fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if !self.live(u) || !self.live(v) || !self.adj[u.index()].contains(&v) {
+            return false;
+        }
+        self.adj[u.index()].retain(|&w| w != v);
+        self.adj[v.index()].retain(|&w| w != u);
+        true
+    }
+
+    fn remove_node(&mut self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.live(v) {
+            return None;
+        }
+        let nbrs = std::mem::take(&mut self.adj[v.index()]);
+        for &u in &nbrs {
+            self.adj[u.index()].retain(|&w| w != v);
+        }
+        self.alive[v.index()] = false;
+        Some(nbrs)
+    }
+
+    fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.alive.push(true);
+        NodeId::from_index(self.adj.len() - 1)
+    }
+
+    fn assert_matches(&self, g: &selfheal_graph::Graph) -> Result<(), TestCaseError> {
+        prop_assert_eq!(g.node_bound(), self.adj.len());
+        let live: Vec<NodeId> = (0..self.adj.len())
+            .map(NodeId::from_index)
+            .filter(|&v| self.live(v))
+            .collect();
+        prop_assert_eq!(g.live_node_count(), live.len());
+        let degree_sum: usize = live.iter().map(|&v| self.adj[v.index()].len()).sum();
+        prop_assert_eq!(g.edge_count(), degree_sum / 2);
+        prop_assert_eq!(g.live_nodes().collect::<Vec<_>>(), live.clone());
+        let mut non = Vec::new();
+        for (i, &v) in live.iter().enumerate() {
+            prop_assert_eq!(g.nth_live(i), Some(v), "live rank {}", i);
+            prop_assert_eq!(g.degree(v), self.adj[v.index()].len(), "degree {}", v);
+            prop_assert_eq!(g.neighbors(v), &self.adj[v.index()][..], "adjacency {}", v);
+            g.neighbors_of_neighbors_into(v, &mut non);
+            let mut expect: Vec<NodeId> = self.adj[v.index()]
+                .iter()
+                .flat_map(|&u| {
+                    std::iter::once(u)
+                        .chain(self.adj[u.index()].iter().copied().filter(|&w| w != v))
+                })
+                .collect();
+            expect.sort_unstable();
+            expect.dedup();
+            prop_assert_eq!(&non, &expect, "NoN set of {}", v);
+        }
+        prop_assert_eq!(g.nth_live(live.len()), None);
+        // Degree extremes: lowest-id winner of an ascending scan.
+        let max = live
+            .iter()
+            .copied()
+            .max_by_key(|&v| (self.adj[v.index()].len(), std::cmp::Reverse(v)));
+        let min = live
+            .iter()
+            .copied()
+            .min_by_key(|&v| (self.adj[v.index()].len(), v));
+        prop_assert_eq!(g.max_degree_node(), max);
+        prop_assert_eq!(g.min_degree_node(), min);
+        Ok(())
     }
 }
 

@@ -33,6 +33,7 @@ impl Criterion {
         println!("\ngroup {name}");
         BenchmarkGroup {
             _criterion: self,
+            group: name.to_string(),
             sample_size: 10,
         }
     }
@@ -42,7 +43,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(name, 10, f);
+        run_one("", name, 10, f);
         self
     }
 }
@@ -50,6 +51,7 @@ impl Criterion {
 /// A named collection of benchmarks sharing sampling settings.
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
+    group: String,
     sample_size: usize,
 }
 
@@ -75,7 +77,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&id.to_string(), self.sample_size, f);
+        run_one(&self.group, &id.to_string(), self.sample_size, f);
         self
     }
 
@@ -89,7 +91,9 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &T),
     {
-        run_one(&id.to_string(), self.sample_size, |b| f(b, input));
+        run_one(&self.group, &id.to_string(), self.sample_size, |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -137,25 +141,44 @@ impl Bencher {
     }
 
     /// Times `routine` on fresh state from `setup`; only `routine` counts.
+    ///
+    /// Each recorded sample is the mean over a batch of iterations sized
+    /// (from the warm-up's observed mean) so one batch measures ≈ 1ms of
+    /// routine time. Single-iteration samples of a microsecond-scale
+    /// routine are dominated by scheduler noise; batching keeps the
+    /// run-to-run medians stable enough for the `bench-regress` gate's
+    /// 10% + 3-MAD tolerance to be meaningful. Slow routines degrade to
+    /// batches of one, i.e. the old behavior.
     pub fn iter_with_setup<S, O, I, R>(&mut self, mut setup: S, mut routine: R)
     where
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
         let deadline = Instant::now() + WARMUP_CAP;
+        let mut warm_time = Duration::ZERO;
+        let mut warm_iters: u32 = 0;
         loop {
             let input = setup();
+            let start = Instant::now();
             std::hint::black_box(routine(input));
+            warm_time += start.elapsed();
+            warm_iters += 1;
             if Instant::now() >= deadline {
                 break;
             }
         }
+        let mean_ns = (warm_time.as_nanos() / u128::from(warm_iters.max(1))).max(1);
+        let batch = (1_000_000 / mean_ns).clamp(1, 10_000) as u32;
         let deadline = Instant::now() + MEASURE_CAP;
         for _ in 0..self.sample_size {
-            let input = setup();
-            let start = Instant::now();
-            std::hint::black_box(routine(input));
-            self.samples.push(start.elapsed());
+            let mut batch_time = Duration::ZERO;
+            for _ in 0..batch {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                batch_time += start.elapsed();
+            }
+            self.samples.push(batch_time / batch);
             if Instant::now() >= deadline {
                 break;
             }
@@ -163,7 +186,7 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, name: &str, sample_size: usize, mut f: F) {
     let mut bencher = Bencher {
         samples: Vec::new(),
         sample_size,
@@ -184,6 +207,46 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
         max,
         bencher.samples.len()
     );
+    export_sample(group, name, &bencher.samples);
+}
+
+/// When `CRITERION_EXPORT` names a file, append one JSONL record per
+/// benchmark: `{"group", "bench", "median_ns", "mad_ns", "samples"}`.
+/// Bench targets run as separate processes, so append (not truncate) is
+/// the only mode that lets one `cargo bench` invocation accumulate a
+/// whole suite; the consumer (`selfheal-bench`'s `baseline` tool) merges
+/// duplicates by keeping the last record.
+fn export_sample(group: &str, name: &str, sorted: &[Duration]) {
+    let Ok(path) = std::env::var("CRITERION_EXPORT") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let median = sorted[sorted.len() / 2].as_nanos() as u64;
+    let mut deviations: Vec<u64> = sorted
+        .iter()
+        .map(|d| (d.as_nanos() as i128 - median as i128).unsigned_abs() as u64)
+        .collect();
+    deviations.sort_unstable();
+    let mad = deviations[deviations.len() / 2];
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let line = format!(
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{},\"mad_ns\":{},\"samples\":{}}}\n",
+        esc(group),
+        esc(name),
+        median,
+        mad,
+        sorted.len()
+    );
+    use std::io::Write;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = f.write_all(line.as_bytes());
+    }
 }
 
 /// Opaque value barrier; re-exported for call sites that import it from

@@ -81,6 +81,57 @@ impl Strategy for core::ops::Range<f64> {
     }
 }
 
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $v:ident),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A / a, B / b),
+    (A / a, B / b, C / c),
+    (A / a, B / b, C / c, D / d)
+);
+
+/// Collection strategies (`prop::collection::vec` in real proptest).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A strategy producing `Vec`s with lengths drawn from `len` and
+    /// elements drawn independently from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Vectors of `element` values with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Mirror of real proptest's `prelude::prop` module path, so property
+/// tests can say `prop::collection::vec(...)`.
+pub mod prop {
+    pub use crate::collection;
+}
+
 /// FNV-1a, used to seed each property from its own name.
 pub fn seed_for(test_name: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -99,7 +150,7 @@ pub fn rng_for(test_name: &str) -> StdRng {
 /// Everything a property-test file needs in one import.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        prop, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
         TestCaseError, TestCaseResult,
     };
 }
