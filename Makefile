@@ -3,12 +3,12 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test test-all bench bench-check bench-baseline bench-regress sim-parity sweep-check spec-check verify-exhaustive doc fmt fmt-check clippy examples figures scale ci clean
+.PHONY: all build test test-all bench bench-check bench-baseline bench-regress sim-parity sweep-check spec-check verify-exhaustive lint-custom loom-check loom-check-full doc fmt fmt-check clippy examples figures scale ci clean
 
 ## The checked-in perf baseline this PR's trajectory is gated against.
 ## Convention: one BENCH_<pr>.json per PR that moved performance; the
 ## newest file is the active gate (see README "perf trajectory").
-BENCH_BASELINE ?= BENCH_7.json
+BENCH_BASELINE ?= BENCH_8.json
 BENCH_EXPORT   := target/criterion-export.jsonl
 
 all: build
@@ -96,6 +96,34 @@ spec-check:
 verify-exhaustive:
 	$(CARGO) run -q --release -p selfheal-experiments -- verify --quick --threads 4
 
+## Workspace invariant linter (crates/lint): deterministic-crate
+## collection discipline, relaxed-ordering / unsafe / panic justification
+## comments, and the parallel_fold dispatch-loop contract. Runs the
+## linter's own test-suite (scanner units, exact-diagnostic fixtures,
+## workspace self-check) first, then the CLI over the workspace — any
+## finding exits nonzero with `path:line: [rule] message` diagnostics.
+lint-custom:
+	$(CARGO) test -q -p selfheal-lint
+	$(CARGO) run -q --release -p selfheal-lint -- .
+
+## Concurrency model check: build the workspace with `--cfg loom` so the
+## graph/bench atomics and channels swap to the vendored model checker,
+## then exhaustively enumerate interleavings (DPOR sleep-set pruned) of
+## the DegreeIndex hint protocol, parallel_fold's dispatch/fan-in, and
+## the CountingAlloc counters. The default tier keeps to 2 threads per
+## model (seconds); a separate target dir avoids thrashing the normal
+## build cache. Includes the vendored checker's own self-tests.
+loom-check:
+	RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom $(CARGO) test --release -q -p loom
+	RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom $(CARGO) test --release -q -p selfheal-graph --test loom -- --nocapture
+	RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom $(CARGO) test --release -q -p selfheal-bench --test loom -- --nocapture
+
+## Opt-in full tier: 3-thread models (tens of thousands of
+## interleavings, ~10s).
+loom-check-full:
+	LOOM_FULL=1 RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom $(CARGO) test --release -q -p selfheal-graph --test loom -- --nocapture
+	LOOM_FULL=1 RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom $(CARGO) test --release -q -p selfheal-bench --test loom -- --nocapture
+
 ## API docs for the workspace crates only.
 doc:
 	$(CARGO) doc --no-deps --workspace
@@ -130,7 +158,7 @@ scale:
 	$(CARGO) run -q --release -p selfheal-experiments -- scale
 
 ## The full CI gate.
-ci: fmt-check clippy build test-all doc bench-check bench-regress sim-parity sweep-check spec-check verify-exhaustive
+ci: fmt-check clippy build test-all doc bench-check bench-regress sim-parity sweep-check spec-check verify-exhaustive lint-custom loom-check
 	@echo "ci green"
 
 clean:

@@ -23,6 +23,14 @@ pub mod alloc {
 
     use std::alloc::{GlobalAlloc, Layout, System};
     use std::cell::Cell;
+
+    // Under `--cfg loom` the totals become the model checker's mock
+    // atomics so `crates/bench/tests/loom.rs` can explore the counter
+    // protocol; CountingAlloc must NOT be installed as the global
+    // allocator in such a build (mock ops inside `alloc` would recurse).
+    #[cfg(loom)]
+    use loom::sync::atomic::{AtomicU64, Ordering};
+    #[cfg(not(loom))]
     use std::sync::atomic::{AtomicU64, Ordering};
 
     static TOTAL_ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
@@ -39,20 +47,27 @@ pub mod alloc {
 
     // SAFETY: defers entirely to `System`; the wrapper only bumps counters.
     unsafe impl GlobalAlloc for CountingAlloc {
+        // SAFETY: same contract as `System::alloc` — the caller's layout
+        // obligations pass through unchanged; counting never allocates.
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             record(layout.size());
             System.alloc(layout)
         }
 
+        // SAFETY: delegation only — `ptr`/`layout` obligations are
+        // exactly `System::dealloc`'s.
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
             System.dealloc(ptr, layout)
         }
 
+        // SAFETY: same contract as `System::realloc`; the counter bump
+        // touches no memory the contract governs.
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             record(new_size);
             System.realloc(ptr, layout, new_size)
         }
 
+        // SAFETY: same contract as `System::alloc_zeroed`.
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
             record(layout.size());
             System.alloc_zeroed(layout)
@@ -60,9 +75,26 @@ pub mod alloc {
     }
 
     fn record(bytes: usize) {
+        // dispatch-ok: commutative statistics counters, not a work queue
+        // — no claimed index feeds back into control flow.
+        // relaxed-ok: counter bumps commute and nothing is ordered after
+        // them; totals are read after the threads of interest join.
+        // Exactness under contention is proven by
+        // `crates/bench/tests/loom.rs` (`make loom-check`).
         TOTAL_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // dispatch-ok: as above — a byte-total accumulator.
+        // relaxed-ok: as above; fetch_add never loses updates.
         TOTAL_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
         THREAD_ALLOCATIONS.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Model-checker entry to the exact counter path `GlobalAlloc`
+    /// takes, minus the real allocation: lets the loom test drive
+    /// `record` from competing threads without installing the
+    /// allocator.
+    #[cfg(loom)]
+    pub fn record_event(bytes: usize) {
+        record(bytes);
     }
 
     /// Allocations made by the calling thread since it started.
@@ -76,6 +108,9 @@ pub mod alloc {
 
     /// Process-wide allocation count across all threads.
     pub fn total_allocations() -> u64 {
+        // relaxed-ok: monotonic counter read for reporting; readers
+        // tolerate a stale value and exactness-after-join is covered by
+        // the loom test.
         TOTAL_ALLOCATIONS.load(Ordering::Relaxed)
     }
 
@@ -83,6 +118,8 @@ pub mod alloc {
     /// are not subtracted — this measures allocator traffic, not live
     /// heap).
     pub fn total_bytes_allocated() -> u64 {
+        // relaxed-ok: same reporting-read contract as
+        // [`total_allocations`].
         TOTAL_BYTES.load(Ordering::Relaxed)
     }
 }

@@ -1,0 +1,80 @@
+//! Exhaustive interleaving check for the `CountingAlloc` counter
+//! protocol (run via `make loom-check`): the process-wide relaxed
+//! `fetch_add` totals must lose no update under any interleaving of
+//! allocating threads, and the per-thread cells must attribute exactly.
+//!
+//! The test drives `record_event`, the loom-only entry to the same
+//! counter path `GlobalAlloc::alloc` takes, because installing the
+//! counting allocator globally in a loom build would route the mock
+//! atomics' own bookkeeping through itself.
+#![cfg(loom)]
+
+use selfheal_bench::alloc::{
+    record_event, thread_allocations, total_allocations, total_bytes_allocated,
+};
+
+#[test]
+fn counter_totals_are_exact_under_any_interleaving() {
+    let report = loom::model(|| {
+        // The totals are process statics shared across model runs, so
+        // assert on deltas from a base read at the start of each run.
+        let base_allocs = total_allocations();
+        let base_bytes = total_bytes_allocated();
+        let handles: Vec<_> = [16usize, 64]
+            .into_iter()
+            .map(|bytes| {
+                loom::thread::spawn(move || {
+                    record_event(bytes);
+                    // Fresh OS thread per run: its cell starts at zero
+                    // and must see exactly its own event.
+                    assert_eq!(thread_allocations(), 1);
+                })
+            })
+            .collect();
+        record_event(8);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total_allocations() - base_allocs, 3);
+        assert_eq!(total_bytes_allocated() - base_bytes, 16 + 64 + 8);
+        assert_eq!(thread_allocations(), 1, "main thread cell unpolluted");
+    });
+    println!(
+        "loom CountingAlloc protocol: {} interleavings explored, {} pruned, max depth {}",
+        report.schedules, report.pruned, report.max_depth
+    );
+    assert!(report.schedules > 1, "recorders must actually race");
+}
+
+#[test]
+fn full_counter_totals_three_recorders() {
+    // Opt-in wider tier, mirroring `verify --full`: `make loom-check-full`.
+    if std::env::var_os("LOOM_FULL").is_none() {
+        eprintln!(
+            "skipped: full-tier loom config (opt in with LOOM_FULL=1 / make loom-check-full)"
+        );
+        return;
+    }
+    let report = loom::model(|| {
+        let base_allocs = total_allocations();
+        let base_bytes = total_bytes_allocated();
+        let handles: Vec<_> = [16usize, 64, 256]
+            .into_iter()
+            .map(|bytes| {
+                loom::thread::spawn(move || {
+                    record_event(bytes);
+                    assert_eq!(thread_allocations(), 1);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total_allocations() - base_allocs, 3);
+        assert_eq!(total_bytes_allocated() - base_bytes, 16 + 64 + 256);
+    });
+    println!(
+        "loom CountingAlloc protocol (full, 3 recorders): {} interleavings explored, {} pruned, max depth {}",
+        report.schedules, report.pruned, report.max_depth
+    );
+}

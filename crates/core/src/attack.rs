@@ -238,6 +238,8 @@ impl EventSource for EpidemicChurn {
             let zero = net
                 .graph()
                 .nth_live(self.rng.gen_range(live as u64) as usize)
+                // panic-ok: `gen_range(live)` yields a rank strictly
+                // below the live count, so select cannot miss.
                 .expect("rank < live count");
             self.infected.push_back(zero);
         }
@@ -269,6 +271,8 @@ impl EventSource for EpidemicChurn {
                 }
             }
         }
+        // panic-ok: the empty case re-seeds the queue a few lines up, so
+        // the pop always has an element.
         let victim = self.infected.pop_front().expect("seeded above");
         Some(NetworkEvent::Delete(victim))
     }
@@ -327,6 +331,7 @@ impl EventSource for FlashCrowd {
                 let cand = net
                     .graph()
                     .nth_live(self.rng.gen_range(live as u64) as usize)
+                    // panic-ok: rank drawn strictly below the live count.
                     .expect("rank < live count");
                 if !neighbors.contains(&cand) {
                     neighbors.push(cand);

@@ -93,6 +93,8 @@ pub(crate) fn delete_validated_batch(
 ) -> Vec<DeletionContext> {
     let mut contexts = Vec::with_capacity(victims.len());
     for &v in victims {
+        // panic-ok: crate-internal helper whose one contract (documented
+        // above) is that every victim is live and distinct.
         contexts.push(net.delete_node(v).expect("caller guarantees live victims"));
     }
     contexts

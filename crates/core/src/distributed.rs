@@ -205,6 +205,8 @@ impl DistributedDash {
         // reconnection edges without exceeding the set's current max δ,
         // wire a star around it.
         let surrogate = if self.mode == HealMode::Sdash && members.len() >= 2 {
+            // panic-ok: `members.len() >= 2` just checked, so the max
+            // over a non-empty iterator exists.
             let max_delta = members.iter().map(|&u| self.delta(ctx, u)).max().unwrap();
             let extra = members.len() as i64 - 1;
             members
@@ -240,6 +242,8 @@ impl DistributedDash {
             .iter()
             .map(|&u| self.comp_id[u as usize])
             .min()
+            // panic-ok: step 5 only runs for non-empty reconstruction
+            // sets (the empty case returned earlier).
             .unwrap();
         for &u in &members {
             if self.comp_id[u as usize] > min_id {

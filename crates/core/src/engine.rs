@@ -50,6 +50,8 @@ impl RoundRecord {
         );
         RoundRecord {
             round: rec.round,
+            // panic-ok: this adapter only sees Delete records (asserted
+            // above via `rec.victims == 1`), which always carry a victim.
             deleted: rec.deleted.expect("delete events carry their victim"),
             rt_size: rec.rt_size,
             edges_added: rec.edges_added,

@@ -47,7 +47,7 @@ use crate::spec::{HealerSpec, SpecError};
 use crate::state::HealingNetwork;
 use selfheal_graph::parallel::{default_threads, parallel_fold};
 use selfheal_graph::{Graph, NodeId};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Largest universe the prover accepts (`7! = 5040` relabelings per
 /// canonicalization is the feasibility edge).
@@ -97,6 +97,8 @@ impl SmallGraph {
         let mut g = Graph::new(self.n);
         for (i, j) in self.edges() {
             g.add_edge(NodeId(i as u32), NodeId(j as u32))
+                // panic-ok: `edges()` only yields pairs below `self.n`,
+                // which is exactly the node range `Graph::new(n)` allots.
                 .expect("mask edges are in range");
         }
         g
@@ -158,7 +160,11 @@ fn canonical(n: usize, mask: u32, perms: &[Vec<usize>]) -> u32 {
 /// # Panics
 /// Panics if `n` is 0 or exceeds [`MAX_NODES`].
 pub fn connected_graphs(n: usize) -> Vec<SmallGraph> {
+    // panic-ok: documented in the `# Panics` section above — `n` out of
+    // `1..=MAX_NODES` is a caller bug, not a recoverable state.
     assert!((1..=MAX_NODES).contains(&n), "n must be in 1..={MAX_NODES}");
+    // panic-ok: `enumerate_levels(n)` always returns `n` levels and the
+    // assert above pins `n >= 1`.
     enumerate_levels(n).pop().expect("levels are non-empty")
 }
 
@@ -171,7 +177,7 @@ fn enumerate_levels(max_n: usize) -> Vec<Vec<SmallGraph>> {
     let mut levels: Vec<Vec<SmallGraph>> = vec![vec![SmallGraph { n: 1, mask: 0 }]];
     for n in 2..=max_n {
         let perms = permutations(n);
-        let mut seen: HashSet<u32> = HashSet::new();
+        let mut seen: BTreeSet<u32> = BTreeSet::new();
         for parent in &levels[n - 2] {
             for subset in 1u32..(1 << (n - 1)) {
                 let mut mask = parent.mask;
@@ -183,11 +189,12 @@ fn enumerate_levels(max_n: usize) -> Vec<Vec<SmallGraph>> {
                 seen.insert(canonical(n, mask, &perms));
             }
         }
-        let mut level: Vec<SmallGraph> = seen
+        // BTreeSet iterates in ascending mask order, so the level is
+        // already sorted — no post-sort needed.
+        let level: Vec<SmallGraph> = seen
             .into_iter()
             .map(|mask| SmallGraph { n, mask })
             .collect();
-        level.sort_unstable();
         levels.push(level);
     }
     levels
@@ -466,7 +473,7 @@ mod tests {
         for n in 2..=5 {
             let perms = permutations(n);
             let level = connected_graphs(n);
-            let mut seen = HashSet::new();
+            let mut seen = BTreeSet::new();
             for sg in &level {
                 assert!(is_connected(&sg.to_graph()), "0x{:x} disconnected", sg.mask);
                 assert_eq!(
@@ -485,7 +492,7 @@ mod tests {
         for (k, count) in [(0usize, 1usize), (1, 1), (3, 6), (5, 120)] {
             let perms = permutations(k);
             assert_eq!(perms.len(), count);
-            let distinct: HashSet<Vec<usize>> = perms.into_iter().collect();
+            let distinct: BTreeSet<Vec<usize>> = perms.into_iter().collect();
             assert_eq!(distinct.len(), count);
         }
     }

@@ -60,6 +60,8 @@ impl<H: Healer> Driver<H> {
         let ctx = self
             .net
             .delete_node(v)
+            // panic-ok: the level attack draws victims from the live
+            // set it maintains, so a dead victim is a driver bug.
             .expect("attack deletes live nodes only");
         let outcome = self.healer.heal(&mut self.net, &ctx);
         self.net.propagate_min_id(&outcome.rt_members);

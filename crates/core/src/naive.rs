@@ -39,6 +39,8 @@ impl Healer for GraphHeal {
         let ordered = order_by_initial_id(net, &ctx.g_neighbors);
         let mut edges_added = Vec::new();
         for (a, b) in complete_binary_tree_edges(&ordered) {
+            // panic-ok: the deletion context's surviving neighbors are
+            // alive by construction when heal runs.
             let (_, new_gp) = net.add_heal_edge(a, b).expect("neighbors must be alive");
             if new_gp {
                 edges_added.push((a, b));
@@ -91,6 +93,8 @@ impl Healer for LineHeal {
         let ordered = order_by_initial_id(net, &members);
         let mut edges_added = Vec::new();
         for (a, b) in line_edges(&ordered) {
+            // panic-ok: reconstruction-set members are surviving nodes
+            // by definition of the RT.
             let (_, new_gp) = net.add_heal_edge(a, b).expect("RT endpoints must be alive");
             if new_gp {
                 edges_added.push((a, b));

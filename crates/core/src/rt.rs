@@ -127,6 +127,8 @@ pub fn connect_binary_tree_into(
 ) {
     for i in 1..ordered.len() {
         let (a, b) = (ordered[(i - 1) / 2], ordered[i]);
+        // panic-ok: `ordered` holds reconstruction-set members, all of
+        // which survived the deletion that triggered this heal.
         let (_, new_gp) = net.add_heal_edge(a, b).expect("RT endpoints must be alive");
         if new_gp {
             added.push((a, b));

@@ -274,6 +274,7 @@ impl EventSource for RandomChurn {
                 let cand = net
                     .graph()
                     .nth_live(self.rng.gen_range(live as u64) as usize)
+                    // panic-ok: rank drawn strictly below the live count.
                     .expect("rank < live count");
                 if !targets.contains(&cand) {
                     targets.push(cand);
@@ -675,6 +676,8 @@ impl<H: Healer, S: EventSource> ScenarioEngine<H, S> {
         record.victims = 1;
         self.net
             .delete_node_into(v, &mut self.ctx)
+            // panic-ok: the step dispatcher verified `v` is alive before
+            // routing the delete here.
             .expect("liveness checked above");
         // The engine's heal flow keeps every G' component ID-uniform
         // (healers connect exactly the members they then seed), so the
@@ -771,6 +774,8 @@ impl<H: Healer, S: EventSource> ScenarioEngine<H, S> {
         let joined = self
             .net
             .join_node(&self.batch)
+            // panic-ok: `self.batch` was filtered to live, deduplicated
+            // targets immediately above.
             .expect("sanitized join targets are alive and distinct");
         self.report.joins += 1;
         record.joined = Some(joined);

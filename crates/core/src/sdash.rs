@@ -30,6 +30,8 @@ fn surrogate_candidate(net: &HealingNetwork, members: &[NodeId]) -> Option<NodeI
     if members.len() < 2 {
         return members.first().copied();
     }
+    // panic-ok: the `members.len() < 2` case returned above, so the max
+    // over a non-empty iterator exists.
     let max_delta = members.iter().map(|&v| net.delta(v)).max().unwrap();
     let extra = members.len() as i64 - 1;
     members
@@ -68,6 +70,8 @@ impl Healer for Sdash {
                     if u == w {
                         continue;
                     }
+                    // panic-ok: surrogate star endpoints come from the
+                    // reconstruction set, all survivors.
                     let (_, new_gp) = net.add_heal_edge(w, u).expect("RT endpoints must be alive");
                     if new_gp {
                         out.edges_added.push((w, u));

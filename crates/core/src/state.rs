@@ -243,6 +243,8 @@ impl HealingNetwork {
         let v2 = self.gp.add_node();
         debug_assert_eq!(v, v2);
         for &u in neighbors {
+            // panic-ok: every `u` passed the liveness/duplication checks
+            // at the top of this function before any mutation began.
             self.g.add_edge(v, u).expect("validated above");
         }
         let fresh_id = self.total_created as u64;
@@ -436,6 +438,8 @@ impl HealingNetwork {
             .iter()
             .map(|&v| self.comp_id[v.index()])
             .min()
+            // panic-ok: the empty-reach case returned above, so the
+            // minimum over a non-empty traversal exists.
             .unwrap();
         for &v in &scratch.reached {
             if self.comp_id[v.index()] > min_id {

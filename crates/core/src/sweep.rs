@@ -449,7 +449,7 @@ mod tests {
         assert_eq!(a, run_seed(1, 0));
         assert_ne!(a, run_seed(1, 1));
         assert_ne!(a, run_seed(2, 0));
-        let seeds: std::collections::HashSet<u64> = (0..1000).map(|i| run_seed(7, i)).collect();
+        let seeds: std::collections::BTreeSet<u64> = (0..1000).map(|i| run_seed(7, i)).collect();
         assert_eq!(seeds.len(), 1000, "per-run seeds must not collide");
     }
 

@@ -16,7 +16,6 @@
 //! figure makes is preserved.
 
 use crate::config::{trial_seed, AttackKind, HealerKind, Scale, BA_ATTACHMENT};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selfheal_core::scenario::ScenarioEngine;
@@ -55,22 +54,22 @@ pub fn run(scale: Scale, base_seed: u64, threads: usize) -> Figure {
     for healer in HealerKind::figure_set() {
         let mut series = Series::new(healer.name());
         for &n in &scale.stretch_sizes() {
-            let results: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(trials));
-            let next = std::sync::atomic::AtomicUsize::new(0);
             let workers = threads.max(1).min(trials.max(1));
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if t >= trials {
-                            break;
-                        }
-                        let s = run_stretch_trial(n, healer, trial_seed(base_seed, n, t));
-                        results.lock().push(s);
-                    });
-                }
-            });
-            let values = results.into_inner();
+            let mut pairs = selfheal_graph::parallel::parallel_fold(
+                trials,
+                workers,
+                Vec::new,
+                |mut acc, t| {
+                    acc.push((t, run_stretch_trial(n, healer, trial_seed(base_seed, n, t))));
+                    acc
+                },
+                |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            );
+            pairs.sort_by_key(|&(t, _)| t);
+            let values: Vec<f64> = pairs.into_iter().map(|(_, s)| s).collect();
             series.push(SeriesPoint::from_trials(n as f64, &values));
         }
         fig.push(series);

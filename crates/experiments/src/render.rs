@@ -9,6 +9,8 @@ pub fn figure_table(fig: &Figure) -> String {
         .iter()
         .flat_map(|s| s.points.iter().map(|p| p.x))
         .collect();
+    // panic-ok: series x-coordinates are graph sizes, never NaN, so the
+    // partial comparison always succeeds.
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     xs.dedup();
     let mut headers = vec![fig.x_label.clone()];

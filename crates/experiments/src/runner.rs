@@ -3,7 +3,6 @@
 //! threads.
 
 use crate::config::{trial_seed, AttackKind, HealerKind, BA_ATTACHMENT};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selfheal_core::scenario::ScenarioEngine;
@@ -77,24 +76,22 @@ pub fn run_trials(
     trials: usize,
     threads: usize,
 ) -> Vec<TrialStats> {
-    let results: Mutex<Vec<(usize, TrialStats)>> = Mutex::new(Vec::with_capacity(trials));
-    let next = std::sync::atomic::AtomicUsize::new(0);
     let threads = threads.max(1).min(trials.max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if t >= trials {
-                    break;
-                }
-                let stats = run_trial(n, healer, attack, trial_seed(base_seed, n, t));
-                results.lock().push((t, stats));
-            });
-        }
-    });
-    let mut out = results.into_inner();
-    out.sort_by_key(|&(t, _)| t);
-    out.into_iter().map(|(_, s)| s).collect()
+    let mut pairs = selfheal_graph::parallel::parallel_fold(
+        trials,
+        threads,
+        Vec::new,
+        |mut acc, t| {
+            acc.push((t, run_trial(n, healer, attack, trial_seed(base_seed, n, t))));
+            acc
+        },
+        |mut a, mut b| {
+            a.append(&mut b);
+            a
+        },
+    );
+    pairs.sort_by_key(|&(t, _)| t);
+    pairs.into_iter().map(|(_, s)| s).collect()
 }
 
 /// Extract one field of a trial batch as `f64`s (for aggregation).

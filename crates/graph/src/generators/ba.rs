@@ -33,6 +33,8 @@ pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Grap
     for i in 0..=m {
         for j in 0..i {
             let (u, v) = (NodeId::from_index(i), NodeId::from_index(j));
+            // panic-ok: seed-clique indices are in range and distinct by
+            // loop construction.
             g.add_edge(u, v).unwrap();
             endpoints.push(u);
             endpoints.push(v);
@@ -49,6 +51,8 @@ pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Grap
             }
         }
         for &u in &picked {
+            // panic-ok: `picked` holds distinct earlier nodes and `v` is
+            // the fresh node, so the edge is always valid and new.
             g.add_edge(v, u).unwrap();
             endpoints.push(v);
             endpoints.push(u);

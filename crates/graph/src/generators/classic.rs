@@ -8,6 +8,7 @@ pub fn path_graph(n: usize) -> Graph {
     let mut g = Graph::new(n);
     for i in 1..n {
         g.add_edge(NodeId::from_index(i - 1), NodeId::from_index(i))
+            // panic-ok: consecutive in-range indices, each edge fresh.
             .unwrap();
     }
     g
@@ -17,6 +18,8 @@ pub fn path_graph(n: usize) -> Graph {
 pub fn cycle_graph(n: usize) -> Graph {
     let mut g = path_graph(n);
     if n >= 3 {
+        // panic-ok: the closing edge is new (a path has no wraparound)
+        // and both endpoints are in range.
         g.add_edge(NodeId::from_index(n - 1), NodeId(0)).unwrap();
     }
     g
@@ -26,6 +29,7 @@ pub fn cycle_graph(n: usize) -> Graph {
 pub fn star_graph(n: usize) -> Graph {
     let mut g = Graph::new(n);
     for i in 1..n {
+        // panic-ok: hub-to-spoke edges are in range and each is fresh.
         g.add_edge(NodeId(0), NodeId::from_index(i)).unwrap();
     }
     g
@@ -37,6 +41,8 @@ pub fn complete_graph(n: usize) -> Graph {
     for i in 0..n {
         for j in (i + 1)..n {
             g.add_edge(NodeId::from_index(i), NodeId::from_index(j))
+                // panic-ok: `j > i` keeps endpoints distinct, in range,
+                // and each unordered pair visited once.
                 .unwrap();
         }
     }
@@ -50,10 +56,12 @@ pub fn grid_graph(rows: usize, cols: usize) -> Graph {
         for c in 0..cols {
             let v = NodeId::from_index(r * cols + c);
             if c + 1 < cols {
+                // panic-ok: bounds-checked grid neighbor, visited once.
                 g.add_edge(v, NodeId::from_index(r * cols + c + 1)).unwrap();
             }
             if r + 1 < rows {
                 g.add_edge(v, NodeId::from_index((r + 1) * cols + c))
+                    // panic-ok: bounds-checked grid neighbor, visited once.
                     .unwrap();
             }
         }

@@ -19,6 +19,8 @@ pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph 
         for j in (i + 1)..n {
             if p >= 1.0 || rng.gen_bool(p) {
                 g.add_edge(NodeId::from_index(i), NodeId::from_index(j))
+                    // panic-ok: `j > i` keeps endpoints distinct and each
+                    // pair is visited once.
                     .unwrap();
             }
         }
@@ -49,6 +51,8 @@ pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Grap
             all.swap(k, pick);
             let (i, j) = all[k];
             g.add_edge(NodeId::from_index(i), NodeId::from_index(j))
+                // panic-ok: partial Fisher–Yates draws each distinct
+                // pair at most once from the full pair universe.
                 .unwrap();
         }
         return g;
@@ -61,6 +65,7 @@ pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Grap
             continue;
         }
         if g.ensure_edge(NodeId::from_index(i), NodeId::from_index(j))
+            // panic-ok: `i != j` checked above and both are below `n`.
             .unwrap()
         {
             added += 1;

@@ -38,6 +38,7 @@ impl KaryTree {
             let parent = (i - 1) / arity;
             graph
                 .add_edge(NodeId::from_index(parent), NodeId::from_index(i))
+                // panic-ok: `parent < i < n`, each child linked once.
                 .unwrap();
             levels[i] = levels[parent] + 1;
         }

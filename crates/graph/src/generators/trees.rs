@@ -11,6 +11,7 @@ pub fn random_recursive_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
     for i in 1..n {
         let parent = rng.gen_range(0..i);
         g.add_edge(NodeId::from_index(parent), NodeId::from_index(i))
+            // panic-ok: `parent < i < n`, each node attached once.
             .unwrap();
     }
     g
@@ -24,12 +25,15 @@ pub fn preferential_attachment_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> G
         return g;
     }
     let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n);
+    // panic-ok: `n > 1` checked above; the seed edge is fresh.
     g.add_edge(NodeId(0), NodeId(1)).unwrap();
     endpoints.push(NodeId(0));
     endpoints.push(NodeId(1));
     for i in 2..n {
         let v = NodeId::from_index(i);
         let u = endpoints[rng.gen_range(0..endpoints.len())];
+        // panic-ok: `v` is fresh so the edge to any earlier node is new
+        // and in range.
         g.add_edge(v, u).unwrap();
         endpoints.push(v);
         endpoints.push(u);

@@ -20,6 +20,8 @@ pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut 
         for d in 1..=(k / 2) {
             let j = (i + d) % n;
             g.ensure_edge(NodeId::from_index(i), NodeId::from_index(j))
+                // panic-ok: ring-lattice endpoints are in range and
+                // distinct for `k < n` (ensure_edge tolerates repeats).
                 .unwrap();
         }
     }
@@ -39,7 +41,10 @@ pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut 
             for _ in 0..32 {
                 let w = NodeId::from_index(rng.gen_range(0..n));
                 if w != u && !g.has_edge(u, w) {
+                    // panic-ok: `(u, v)` is the lattice edge being
+                    // rewired, present until this removal.
                     g.remove_edge(u, v).unwrap();
+                    // panic-ok: `w != u` and absence checked above.
                     g.add_edge(u, w).unwrap();
                     break;
                 }

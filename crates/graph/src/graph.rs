@@ -24,6 +24,12 @@
 use crate::errors::{GraphError, Result};
 use crate::ids::{Edge, NodeId};
 use crate::pool::{AdjPool, ChunkRef};
+// Under `--cfg loom` the hint atomics become the model checker's mocks,
+// so every load/store/fetch_max below is an explored schedule point
+// (`make loom-check`; see vendor/loom and crates/graph/tests/loom.rs).
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Exact degree buckets over the live nodes with lazily-repaired extreme
@@ -53,7 +59,12 @@ impl Clone for DegreeIndex {
         DegreeIndex {
             buckets: self.buckets.clone(),
             pos: self.pos.clone(),
+            // relaxed-ok: any conservative snapshot is valid — a hint is
+            // only a search start, and a concurrent repair can at worst
+            // be lost, leaving the clone's hint equally conservative.
+            // Proven by `crates/graph/tests/loom.rs` (`make loom-check`).
             max_hint: AtomicUsize::new(self.max_hint.load(Ordering::Relaxed)),
+            // relaxed-ok: as above.
             min_hint: AtomicUsize::new(self.min_hint.load(Ordering::Relaxed)),
         }
     }
@@ -76,7 +87,12 @@ impl DegreeIndex {
         }
         self.pos[v.index()] = self.buckets[d].len() as u32;
         self.buckets[d].push(v);
+        // relaxed-ok: insert holds `&mut self`, so no query races this
+        // store; fetch_max/fetch_min keep the hints conservative
+        // (`max_hint ≥` true max, `min_hint ≤` true min) and the loom
+        // model checks the full hint protocol under `make loom-check`.
         self.max_hint.fetch_max(d, Ordering::Relaxed);
+        // relaxed-ok: as above.
         self.min_hint.fetch_min(d, Ordering::Relaxed);
     }
 
@@ -97,28 +113,40 @@ impl DegreeIndex {
     /// Lowest id in the highest non-empty bucket. The caller guarantees at
     /// least one live node.
     fn max_node(&self) -> NodeId {
+        // relaxed-ok: stale reads only start the walk too high — the
+        // hint invariant (`max_hint ≥` true max) still holds; verified
+        // exhaustively by `crates/graph/tests/loom.rs`.
         let mut h = self.max_hint.load(Ordering::Relaxed);
         while h > 0 && self.buckets[h].is_empty() {
             h -= 1;
         }
+        // relaxed-ok: lazy repair; racing stores can only lose a repair
+        // (leaving a conservative hint), never break the bounds.
         self.max_hint.store(h, Ordering::Relaxed);
         *self.buckets[h]
             .iter()
             .min()
+            // panic-ok: documented precondition — the caller guarantees a
+            // live node, so the downward walk must hit a non-empty bucket.
             .expect("hint repaired to a non-empty bucket")
     }
 
     /// Lowest id in the lowest non-empty bucket. The caller guarantees at
     /// least one live node.
     fn min_node(&self) -> NodeId {
+        // relaxed-ok: mirror of [`Self::max_node`] — stale reads start
+        // the walk too low but `min_hint ≤` true min still holds.
         let mut h = self.min_hint.load(Ordering::Relaxed);
         while self.buckets[h].is_empty() {
             h += 1;
         }
+        // relaxed-ok: lazy repair, losable without harm (see max_node).
         self.min_hint.store(h, Ordering::Relaxed);
         *self.buckets[h]
             .iter()
             .min()
+            // panic-ok: documented precondition — the caller guarantees a
+            // live node, so the upward walk must hit a non-empty bucket.
             .expect("hint repaired to a non-empty bucket")
     }
 }
@@ -439,6 +467,9 @@ impl Graph {
                 .pool
                 .slice(&self.adj[u.index()])
                 .binary_search(&v)
+                // panic-ok: adjacency symmetry is a structural invariant
+                // every mutation maintains; asymmetry means memory
+                // corruption and must not be papered over.
                 .expect("asymmetric adjacency detected");
             let du = self.adj[u.index()].len();
             let mut r = self.adj[u.index()];
@@ -594,10 +625,13 @@ impl Graph {
                 }
                 indexed += 1;
             }
-            if !bucket.is_empty()
-                && (d > self.degrees.max_hint.load(Ordering::Relaxed)
-                    || d < self.degrees.min_hint.load(Ordering::Relaxed))
-            {
+            // relaxed-ok: validation reads on a quiescent graph (`&self`,
+            // no concurrent mutators by borrow rules); a conservative
+            // hint value is exactly what the bound check wants.
+            let max_hint = self.degrees.max_hint.load(Ordering::Relaxed);
+            // relaxed-ok: as above.
+            let min_hint = self.degrees.min_hint.load(Ordering::Relaxed);
+            if !bucket.is_empty() && (d > max_hint || d < min_hint) {
                 return Err(GraphError::EmptyGraph); // hint no longer bounds
             }
         }

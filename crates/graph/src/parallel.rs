@@ -9,7 +9,18 @@
 
 use crate::csr::Csr;
 use std::num::NonZeroUsize;
+
+// Under `--cfg loom` the dispatch counter, the fan-in channel (via the
+// crossbeam stand-in), and scoped threads are the model checker's mocks,
+// making every claim/send/join a schedule point (`make loom-check`).
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(loom)]
+use loom::thread::scope;
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(not(loom))]
+use std::thread::scope;
 
 /// A sensible default worker count: available parallelism capped at 8
 /// (the sweeps here saturate memory bandwidth long before 8 cores).
@@ -52,7 +63,7 @@ where
     }
     let next = AtomicUsize::new(0);
     let (tx, rx) = crossbeam::channel::bounded::<A>(threads);
-    std::thread::scope(|scope| {
+    scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let next = &next;
@@ -61,12 +72,20 @@ where
             scope.spawn(move || {
                 let mut acc = init();
                 loop {
+                    // relaxed-ok: fetch_add claims each index exactly
+                    // once whatever the interleaving; no payload is
+                    // published through this counter (results travel via
+                    // the channel). Exhaustively checked by
+                    // `crates/graph/tests/loom.rs` (`make loom-check`).
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n_items {
                         break;
                     }
                     acc = fold(acc, i);
                 }
+                // panic-ok: the receiver lives until every worker has
+                // sent (the scope joins workers before `rx` drops), so a
+                // send failure is unreachable short of a poisoned scope.
                 tx.send(acc).expect("result channel closed early");
             });
         }
@@ -128,16 +147,25 @@ pub fn parallel_apsp(csr: &Csr, threads: usize) -> Vec<Vec<u32>> {
     // block but doubles peak memory by staging rows; APSP matrices are the
     // biggest allocation in the workspace, so in-place wins.
     struct RowsPtr(*mut Vec<u32>);
+    // SAFETY: the pointer is only dereferenced at indices claimed
+    // exactly once through the atomic counter, so no two threads ever
+    // alias the same row; the buffer outlives the scope.
     unsafe impl Send for RowsPtr {}
+    // SAFETY: shared access is index-disjoint by the same claim
+    // protocol; `&RowsPtr` hands out no aliased `&mut`.
     unsafe impl Sync for RowsPtr {}
     let rows = RowsPtr(out.as_mut_ptr());
-    std::thread::scope(|scope| {
+    scope(|scope| {
         for _ in 0..threads {
             let next = &next;
             let rows = &rows;
             scope.spawn(move || {
                 let mut queue = Vec::new();
                 loop {
+                    // relaxed-ok: unique index claim as in
+                    // `parallel_fold`; the rows written through the
+                    // claimed index are published by the scope join, not
+                    // by this counter.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;

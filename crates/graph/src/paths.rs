@@ -60,6 +60,8 @@ pub fn shortest_path(g: &Graph, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
             .iter()
             .copied()
             .find(|&w| dist[w.index()] + 1 == d)
+            // panic-ok: any node at BFS distance `d > 0` was discovered
+            // through a neighbor at distance `d - 1`.
             .expect("BFS predecessor must exist");
         path.push(prev);
         cur = prev;

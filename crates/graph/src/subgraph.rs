@@ -35,6 +35,8 @@ pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> Subgraph {
         for &u in g.neighbors(v) {
             let du = dense[u.index()];
             if du != u32::MAX && (du as usize) > i {
+                // panic-ok: dense indices are in range by construction
+                // and `du > i` visits each induced edge exactly once.
                 sub.add_edge(NodeId::from_index(i), NodeId(du)).unwrap();
             }
         }
@@ -56,6 +58,8 @@ pub fn largest_component(g: &Graph) -> Vec<NodeId> {
     let sizes = cc.sizes();
     let best = (0..cc.count)
         .max_by_key(|&c| (sizes[c], std::cmp::Reverse(c)))
+        // panic-ok: the empty-graph case returned above, so at least
+        // one component exists.
         .unwrap();
     g.live_nodes()
         .filter(|&v| cc.component_of(v) == Some(best))

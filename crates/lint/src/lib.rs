@@ -1,0 +1,80 @@
+//! `selfheal-lint`: token-level linter for the workspace's determinism
+//! and memory-model contracts (`make lint-custom`).
+//!
+//! The byte-parity guarantees this repo keeps (golden figures, sweep
+//! aggregates identical across thread counts, the exhaustive census)
+//! rest on source-level conventions no off-the-shelf tool enforces:
+//! ordered collections in the deterministic crates, justified relaxed
+//! atomics, SAFETY comments, panic-free library code, and a single
+//! blessed work-dispatch primitive. This crate enforces them with a
+//! hand-rolled scanner ([`scan`]) and rule set ([`rules`]) — no `syn`,
+//! matching the workspace's vendored-stand-in culture.
+//!
+//! Scope: `src/` plus every `crates/*/src/` tree. `vendor/`, `tests/`,
+//! `benches/`, `examples/`, and `#[cfg(test)] mod` regions are out of
+//! scope — the contracts are about shipped library code.
+
+pub mod rules;
+pub mod scan;
+
+pub use rules::Diagnostic;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lint one file's content. `path` is the workspace-relative path used
+/// for rule scoping and diagnostics.
+pub fn lint_file(path: &str, content: &str) -> Vec<Diagnostic> {
+    rules::check(path, &scan::scan(content))
+}
+
+/// Every `.rs` file under workspace `root` that the contracts cover:
+/// `src/` and `crates/*/src/`, recursively.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        for m in members {
+            collect_rs(&m.join("src"), &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`; diagnostics carry
+/// `root`-relative forward-slash paths.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut all = Vec::new();
+    for file in workspace_files(root)? {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = fs::read_to_string(&file)?;
+        all.extend(lint_file(&rel, &content));
+    }
+    Ok(all)
+}

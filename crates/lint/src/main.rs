@@ -1,0 +1,44 @@
+//! CLI for the workspace linter: `selfheal-lint [ROOT]`.
+//!
+//! Prints one `path:line: [rule] message` diagnostic per finding and
+//! exits nonzero if any fire — `make lint-custom` runs this over the
+//! repo root as a CI gate.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root_arg = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let root = Path::new(&root_arg);
+    let files = match selfheal_lint::workspace_files(root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("selfheal-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let diagnostics = match selfheal_lint::lint_workspace(root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("selfheal-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if diagnostics.is_empty() {
+        println!(
+            "selfheal-lint: {} files clean (det-collections, relaxed-ordering, \
+             safety-comment, no-panic, dispatch-loop)",
+            files.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    eprintln!(
+        "selfheal-lint: {} finding(s) in {} files",
+        diagnostics.len(),
+        files.len()
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,341 @@
+//! Token-level line scanner: a tiny stateful lexer that splits each
+//! source line into *code* (string/char literal contents blanked,
+//! comments removed) and *comment text*, while tracking brace depth and
+//! `#[cfg(test)] mod` regions.
+//!
+//! Deliberately not a parser (no `syn` — the workspace vendors stand-ins
+//! rather than pulling dependencies): the lint rules only need to know
+//! whether a token occurs in real code, whether the line is inside test
+//! code, and what the nearby comments say. Handles nested block
+//! comments, escapes, raw strings (`r#".."#`, any hash count), byte
+//! strings, char literals vs. lifetimes.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Source text with comments removed and literal contents blanked
+    /// (replaced by spaces, so byte offsets still line up).
+    pub code: String,
+    /// Concatenated text of every comment piece on the line.
+    pub comment: String,
+    /// Inside a `#[cfg(test)] mod` region (or a `tests` module).
+    pub is_test: bool,
+}
+
+impl Line {
+    /// A line carrying no code at all — only comment, attribute, or
+    /// whitespace. Used for "directive in the preceding comment block"
+    /// checks.
+    pub fn is_code_free(&self) -> bool {
+        let t = self.code.trim();
+        t.is_empty() || (t.starts_with("#[") || t.starts_with("#![")) && t.ends_with(']')
+    }
+}
+
+/// Scan a whole file into per-line code/comment splits.
+pub fn scan(content: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    // Cross-line lexer state.
+    let mut block_comment_depth = 0usize;
+    let mut raw_string_hashes: Option<usize> = None;
+    // Test-region state: brace depths at which a `#[cfg(test)] mod`
+    // opened; the region ends when depth drops back.
+    let mut depth = 0usize;
+    let mut test_region_starts: Vec<usize> = Vec::new();
+    let mut pending_cfg_test = false;
+
+    for raw in content.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            if block_comment_depth > 0 {
+                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    block_comment_depth -= 1;
+                    i += 2;
+                } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                    block_comment_depth += 1;
+                    i += 2;
+                } else {
+                    comment.push(bytes[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            if let Some(h) = raw_string_hashes {
+                if bytes[i] == '"'
+                    && bytes[i + 1..].iter().take(h).filter(|&&c| c == '#').count() == h
+                {
+                    raw_string_hashes = None;
+                    code.push('"');
+                    for _ in 0..h {
+                        code.push('#');
+                    }
+                    i += 1 + h;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+            let c = bytes[i];
+            match c {
+                '/' if bytes.get(i + 1) == Some(&'/') => {
+                    comment.push_str(&raw[char_offset(raw, i + 2)..]);
+                    break;
+                }
+                '/' if bytes.get(i + 1) == Some(&'*') => {
+                    block_comment_depth += 1;
+                    i += 2;
+                }
+                '"' => {
+                    code.push('"');
+                    i += 1;
+                    while i < bytes.len() {
+                        if bytes[i] == '\\' {
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                        } else if bytes[i] == '"' {
+                            code.push('"');
+                            i += 1;
+                            break;
+                        } else {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+                'r' | 'b' if starts_raw_string(&bytes, i) => {
+                    // r"..", r#"..."#, br".., rb is not a thing; skip
+                    // the prefix then count hashes.
+                    code.push(bytes[i]);
+                    i += 1;
+                    if bytes.get(i) == Some(&'"') || bytes.get(i) == Some(&'#') {
+                        // fallthrough below
+                    } else {
+                        // b of br
+                        code.push(bytes[i]);
+                        i += 1;
+                    }
+                    let mut hashes = 0usize;
+                    while bytes.get(i) == Some(&'#') {
+                        code.push('#');
+                        hashes += 1;
+                        i += 1;
+                    }
+                    debug_assert_eq!(bytes.get(i), Some(&'"'));
+                    code.push('"');
+                    i += 1;
+                    raw_string_hashes = Some(hashes);
+                }
+                'b' if bytes.get(i + 1) == Some(&'\'') => {
+                    // Byte char literal b'x'.
+                    code.push('b');
+                    i += 1;
+                }
+                '\'' => {
+                    // Char literal or lifetime. `'x'` / `'\..'` are
+                    // literals; `'ident` (no closing quote right after)
+                    // is a lifetime.
+                    if bytes.get(i + 1) == Some(&'\\') {
+                        code.push('\'');
+                        i += 2; // skip \ and the escaped char
+                        while i < bytes.len() && bytes[i] != '\'' {
+                            code.push(' ');
+                            i += 1;
+                        }
+                        code.push('\'');
+                        i += 1;
+                    } else if bytes.get(i + 2) == Some(&'\'') {
+                        code.push('\'');
+                        code.push(' ');
+                        code.push('\'');
+                        i += 3;
+                    } else {
+                        // Lifetime: keep the ident (harmless).
+                        code.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+
+        // Test-region bookkeeping over the stripped code.
+        let trimmed = code.trim();
+        if trimmed.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        } else if !trimmed.is_empty() && !trimmed.starts_with("#[") {
+            if pending_cfg_test && trimmed.starts_with("mod ") {
+                test_region_starts.push(depth);
+            }
+            pending_cfg_test = false;
+        }
+        let in_test = !test_region_starts.is_empty();
+        for ch in code.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if test_region_starts.last() == Some(&depth) {
+                        test_region_starts.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        out.push(Line {
+            code,
+            comment,
+            is_test: in_test,
+        });
+    }
+    out
+}
+
+/// Byte offset of the `idx`-th char in `s` (lines are short; linear is
+/// fine).
+fn char_offset(s: &str, idx: usize) -> usize {
+    s.char_indices().nth(idx).map(|(o, _)| o).unwrap_or(s.len())
+}
+
+/// Does `r"`, `r#"`, `br"`, or `br#"` start at `i`? Guards against
+/// identifiers ending in `r` (the caller only asks at a fresh token
+/// position, but `i == 0` or a non-ident char before is required).
+fn starts_raw_string(bytes: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = bytes[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let rest = &bytes[i..];
+    let after_prefix = match rest {
+        ['r', ..] => &rest[1..],
+        ['b', 'r', ..] => &rest[2..],
+        _ => return false,
+    };
+    let mut k = 0;
+    while after_prefix.get(k) == Some(&'#') {
+        k += 1;
+    }
+    after_prefix.get(k) == Some(&'"')
+}
+
+/// Whole-word occurrence check: `needle` appears in `hay` with no
+/// identifier character on either side.
+pub fn has_token(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(p) = hay[start..].find(needle) {
+        let at = start + p;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let end = at + needle.len();
+        let after_ok = !hay[end..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        scan(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_and_captured() {
+        let lines = scan("let x = 1; // SAFETY: trailing note");
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert!(lines[0].comment.contains("SAFETY: trailing note"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let c = codes(r#"let s = "unsafe .unwrap() // not a comment";"#);
+        assert!(!c[0].contains("unsafe"));
+        assert!(!c[0].contains("unwrap"));
+        assert!(!c[0].contains("//"));
+        // The quotes themselves survive, keeping offsets aligned.
+        assert_eq!(c[0].matches('"').count(), 2);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let c = codes(r#"let s = "a\"unsafe\"b"; let t = 1;"#);
+        assert!(!c[0].contains("unsafe"));
+        assert!(c[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_span_lines() {
+        let src = "let s = r#\"line one unsafe\nline two .unwrap()\n\"#; let after = 1;";
+        let c = codes(src);
+        assert!(!c[0].contains("unsafe"));
+        assert!(!c[1].contains("unwrap"));
+        assert!(c[2].contains("let after = 1;"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a /* one /* two */ still comment */ b\n/* open\nclose */ c";
+        let c = codes(src);
+        assert_eq!(c[0].replace(' ', ""), "ab");
+        assert_eq!(c[1].trim(), "");
+        assert_eq!(c[2].replace(' ', ""), "c");
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let c = codes("let q = 'u'; fn f<'a>(x: &'a str) {}");
+        assert!(!c[0].contains("'u'"));
+        assert!(c[0].contains("'a"), "lifetime must survive: {}", c[0]);
+        let c = codes(r"let e = '\n'; let b = b'x';");
+        assert!(!c[0].contains('n'), "escaped char blanked: {}", c[0]);
+    }
+
+    #[test]
+    fn cfg_test_mod_regions_are_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}";
+        let lines = scan(src);
+        assert!(!lines[0].is_test);
+        assert!(lines[3].is_test, "inside the test mod");
+        assert!(!lines[5].is_test, "after the test mod closes");
+    }
+
+    #[test]
+    fn attribute_lines_are_code_free() {
+        let lines = scan("#[derive(Clone)]\n// comment\n\nlet x = 1;");
+        assert!(lines[0].is_code_free());
+        assert!(lines[1].is_code_free());
+        assert!(lines[2].is_code_free());
+        assert!(!lines[3].is_code_free());
+    }
+
+    #[test]
+    fn token_boundaries_are_respected() {
+        assert!(has_token("a.fetch_add(1)", "fetch_add"));
+        assert!(!has_token("a.fetch_add_wrapping(1)", "fetch_add"));
+        assert!(!has_token("prefetch_add(1)", "fetch_add"));
+        assert!(has_token("HashMap::new()", "HashMap"));
+        assert!(!has_token("MyHashMap::new()", "HashMap"));
+        assert!(has_token("unsafe {", "unsafe"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Exact-diagnostic tests for every lint rule over the checked-in
+//! fixture pairs: the good fixture must lint clean, the bad fixture
+//! must produce exactly the expected `(rule, line)` findings.
+
+use selfheal_lint::lint_file;
+
+/// Lint a fixture as if it lived at `path` inside the workspace.
+fn findings(path: &str, content: &str) -> Vec<(String, usize)> {
+    lint_file(path, content)
+        .into_iter()
+        .map(|d| (d.rule.to_string(), d.line))
+        .collect()
+}
+
+fn assert_clean(path: &str, content: &str) {
+    let diags = lint_file(path, content);
+    assert!(
+        diags.is_empty(),
+        "expected clean fixture at {path}, got:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn det_collections_rule() {
+    assert_clean(
+        "crates/core/src/det_good.rs",
+        include_str!("fixtures/det_good.rs"),
+    );
+    assert_eq!(
+        findings(
+            "crates/core/src/det_bad.rs",
+            include_str!("fixtures/det_bad.rs")
+        ),
+        vec![
+            ("det-collections".to_string(), 2),
+            ("det-collections".to_string(), 4),
+        ]
+    );
+    // The same source outside a deterministic crate is not in scope.
+    assert_clean(
+        "crates/metrics/src/det_bad.rs",
+        include_str!("fixtures/det_bad.rs"),
+    );
+}
+
+#[test]
+fn relaxed_ordering_rule() {
+    assert_clean(
+        "crates/core/src/relaxed_good.rs",
+        include_str!("fixtures/relaxed_good.rs"),
+    );
+    assert_eq!(
+        findings(
+            "crates/core/src/relaxed_bad.rs",
+            include_str!("fixtures/relaxed_bad.rs")
+        ),
+        vec![("relaxed-ordering".to_string(), 5)]
+    );
+}
+
+#[test]
+fn safety_comment_rule() {
+    assert_clean(
+        "crates/core/src/safety_good.rs",
+        include_str!("fixtures/safety_good.rs"),
+    );
+    assert_eq!(
+        findings(
+            "crates/core/src/safety_bad.rs",
+            include_str!("fixtures/safety_bad.rs")
+        ),
+        vec![
+            ("safety-comment".to_string(), 4),
+            ("safety-comment".to_string(), 9),
+        ]
+    );
+}
+
+#[test]
+fn no_panic_rule() {
+    assert_clean(
+        "crates/core/src/panic_good.rs",
+        include_str!("fixtures/panic_good.rs"),
+    );
+    assert_eq!(
+        findings(
+            "crates/core/src/panic_bad.rs",
+            include_str!("fixtures/panic_bad.rs")
+        ),
+        vec![
+            ("no-panic".to_string(), 4),
+            ("no-panic".to_string(), 8),
+            ("no-panic".to_string(), 13),
+        ]
+    );
+    // Binary entry points own their exit behavior.
+    assert_clean(
+        "crates/experiments/src/main.rs",
+        include_str!("fixtures/panic_bad.rs"),
+    );
+    assert_clean(
+        "crates/experiments/src/bin/tool.rs",
+        include_str!("fixtures/panic_bad.rs"),
+    );
+}
+
+#[test]
+fn dispatch_loop_rule() {
+    assert_clean(
+        "crates/core/src/dispatch_good.rs",
+        include_str!("fixtures/dispatch_good.rs"),
+    );
+    assert_eq!(
+        findings(
+            "crates/core/src/dispatch_bad.rs",
+            include_str!("fixtures/dispatch_bad.rs")
+        ),
+        vec![("dispatch-loop".to_string(), 8)]
+    );
+    // The one blessed home for dispatch loops.
+    assert_clean(
+        "crates/graph/src/parallel.rs",
+        include_str!("fixtures/dispatch_bad.rs"),
+    );
+}
+
+#[test]
+fn bad_fixtures_fail_the_cli_contract() {
+    // `make lint-custom` relies on any finding producing a nonzero
+    // exit; the equivalent library-level contract is: every bad
+    // fixture yields at least one diagnostic with a readable message.
+    for (path, content) in [
+        (
+            "crates/core/src/det_bad.rs",
+            include_str!("fixtures/det_bad.rs"),
+        ),
+        (
+            "crates/core/src/relaxed_bad.rs",
+            include_str!("fixtures/relaxed_bad.rs"),
+        ),
+        (
+            "crates/core/src/safety_bad.rs",
+            include_str!("fixtures/safety_bad.rs"),
+        ),
+        (
+            "crates/core/src/panic_bad.rs",
+            include_str!("fixtures/panic_bad.rs"),
+        ),
+        (
+            "crates/core/src/dispatch_bad.rs",
+            include_str!("fixtures/dispatch_bad.rs"),
+        ),
+    ] {
+        let diags = lint_file(path, content);
+        assert!(!diags.is_empty(), "{path} must fail the lint");
+        for d in diags {
+            let rendered = d.to_string();
+            assert!(
+                rendered.starts_with(&format!("{path}:"))
+                    && rendered.contains(&format!("[{}]", d.rule)),
+                "diagnostic must be `path:line: [rule] message`: {rendered}"
+            );
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Deterministic-collections rule: violations.
+use std::collections::HashMap;
+
+pub fn leaky(m: &HashMap<u32, u32>) -> Vec<u32> {
+    // Iteration order escapes into the result: nondeterministic.
+    m.keys().copied().collect()
+}

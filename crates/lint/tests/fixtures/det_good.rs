@@ -1,0 +1,27 @@
+//! Deterministic-collections rule: compliant variants.
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+// det-ok: keys are drained through a sort before any iteration order
+// can leak into output.
+use std::collections::HashMap;
+
+pub fn ordered(m: &BTreeMap<u32, u32>, s: &BTreeSet<u32>) -> usize {
+    m.len() + s.len()
+}
+
+pub fn justified_inline(m: &HashMap<u32, u32>) -> usize { // det-ok: len() only, no iteration
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is out of contract scope: hash collections are fine.
+    use std::collections::HashSet;
+
+    #[test]
+    fn scratch() {
+        let s: HashSet<u32> = HashSet::new();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,10 @@
+//! Dispatch-loop rule: compliant variants.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+pub fn count_event() {
+    // dispatch-ok: commutative statistics counter, not a work queue.
+    // relaxed-ok: no ordering needed between independent bumps.
+    EVENTS.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,15 @@
+//! No-panic rule: violations.
+
+pub fn blind_unwrap(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}
+
+pub fn blind_expect(v: &[u32]) -> u32 {
+    v.first().copied().expect("oops")
+}
+
+pub fn explicit(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}

@@ -1,0 +1,24 @@
+//! No-panic rule: compliant variants.
+
+pub fn fallible(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn justified(v: &[u32]) -> u32 {
+    // panic-ok: the caller upholds non-emptiness (checked at the API
+    // boundary); an empty slice here is a bug, not an input.
+    v.first().copied().expect("non-empty by construction")
+}
+
+pub fn string_mention() -> &'static str {
+    "call .unwrap() at your own risk" // strings are not code
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v = [1u32];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}

@@ -1,0 +1,6 @@
+//! Relaxed-ordering rule: violation — no justification anywhere near.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn unjustified(h: &AtomicUsize) -> usize {
+    h.load(Ordering::Relaxed)
+}

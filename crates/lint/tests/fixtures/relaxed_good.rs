@@ -1,0 +1,16 @@
+//! Relaxed-ordering rule: compliant variants.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn hinted(h: &AtomicUsize) -> usize {
+    // relaxed-ok: monotone over-approximating hint; readers repair it
+    // and only ever narrow toward the true bound.
+    h.load(Ordering::Relaxed)
+}
+
+pub fn same_line(h: &AtomicUsize) {
+    h.store(0, Ordering::Relaxed); // relaxed-ok: reset before any reader exists
+}
+
+pub fn strict(h: &AtomicUsize) -> usize {
+    h.load(Ordering::SeqCst)
+}

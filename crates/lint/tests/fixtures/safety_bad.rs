@@ -1,0 +1,9 @@
+//! Safety-comment rule: violations.
+
+pub fn undocumented(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}
+
+pub struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {}

@@ -1,0 +1,16 @@
+//! Safety-comment rule: compliant variants.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    // SAFETY: caller-checked non-empty slice; index 0 is in bounds.
+    unsafe { *v.get_unchecked(0) }
+}
+
+pub fn same_line(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) } // SAFETY: guarded by the caller
+}
+
+pub struct Wrapper(*mut u8);
+
+// SAFETY: the pointer is only dereferenced while the owning allocation
+// is alive, under the dispatch counter's exclusive-claim protocol.
+unsafe impl Send for Wrapper {}

@@ -1,0 +1,29 @@
+//! The shipped workspace must lint clean: this is the same check
+//! `make lint-custom` gates CI on, run as a regular test so a plain
+//! `cargo test` also catches contract regressions.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root");
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let diags = selfheal_lint::lint_workspace(root).expect("workspace walk");
+    assert!(
+        diags.is_empty(),
+        "workspace must lint clean, got {} finding(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -109,8 +109,12 @@ impl Histogram {
             None => "empty".to_string(),
             Some(max) => format!(
                 "p50={} p90={} p99={} max={max}",
+                // panic-ok: `max()` returned Some, so the histogram is
+                // non-empty and every quantile exists (same below).
                 self.quantile(0.5).unwrap(),
+                // panic-ok: as above.
                 self.quantile(0.9).unwrap(),
+                // panic-ok: as above.
                 self.quantile(0.99).unwrap(),
             ),
         }

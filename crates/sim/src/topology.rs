@@ -150,6 +150,8 @@ impl Topology {
         for &u in out.iter() {
             let pos = self.adj[u as usize]
                 .binary_search(&v)
+                // panic-ok: adjacency symmetry is a structural invariant
+                // of every mutation; asymmetry is unrecoverable.
                 .expect("asymmetric adjacency");
             self.adj[u as usize].remove(pos);
         }

@@ -8,6 +8,16 @@
 //! stand-in is a rename.
 
 /// Multi-producer channels, mirroring `crossbeam::channel`.
+///
+/// Under `--cfg loom` the channel is the model checker's mock instead,
+/// so sends and receives become schedule points (see `vendor/loom`).
+#[cfg(loom)]
+pub mod channel {
+    pub use loom::sync::channel::{bounded, Receiver, SendError, Sender};
+}
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+#[cfg(not(loom))]
 pub mod channel {
     /// Sending half; clonable, blocks when the channel is full.
     pub type Sender<T> = std::sync::mpsc::SyncSender<T>;

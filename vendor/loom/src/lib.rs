@@ -1,0 +1,55 @@
+//! Offline stand-in for `loom`: a model checker for the workspace's
+//! concurrent protocols.
+//!
+//! [`model`] runs a closure repeatedly, exploring **every** interleaving
+//! of the operations its threads perform on mock shared objects
+//! ([`sync::atomic`] atomics, [`sync::channel`] channels, [`thread`]
+//! spawns/joins). Exploration is a depth-first search over scheduling
+//! decisions, driven by replay: each run follows a recorded prefix of
+//! choices and extends it; backtracking flips the deepest decision with
+//! an untried alternative. Redundant interleavings are pruned with
+//! *sleep sets* (Godefroid), the same partial-order-reduction family as
+//! the DPOR schedule explorer in `selfheal-core::explore`: two adjacent
+//! operations that commute (different objects, or both loads) never have
+//! both orders explored.
+//!
+//! # Scope and fidelity
+//!
+//! - The exploration is **sequentially consistent**: every run is some
+//!   total order of the operations. Weak-memory effects that relaxed
+//!   atomics permit on real hardware (stale loads, store reordering) are
+//!   *not* modeled; what the checker proves is that the protocol has no
+//!   lost updates, torn transitions, or order-dependent outcomes under
+//!   any operation interleaving. The workspace's `Relaxed` sites are all
+//!   single-location monotone hints or commutative counters, for which
+//!   per-location coherence (which SC exploration covers) is the entire
+//!   soundness argument — see `ARCHITECTURE.md` "Static analysis &
+//!   memory model".
+//! - Threads under test must synchronize **only** through the mock
+//!   primitives. A `std::sync::Mutex` held across a mock operation can
+//!   hang the scheduler (the blocked thread is invisible to it).
+//! - Outside [`model`], every mock primitive degrades to its `std`
+//!   behavior, so a `--cfg loom` build runs normal code unchanged.
+//!
+//! # Example
+//!
+//! ```ignore
+//! let report = loom::model(|| {
+//!     let n = std::sync::Arc::new(loom::sync::atomic::AtomicUsize::new(0));
+//!     let h = {
+//!         let n = n.clone();
+//!         loom::thread::spawn(move || { n.fetch_add(1, Ordering::Relaxed); })
+//!     };
+//!     n.fetch_add(1, Ordering::Relaxed);
+//!     h.join().unwrap();
+//!     assert_eq!(n.load(Ordering::Relaxed), 2); // holds in EVERY interleaving
+//! });
+//! println!("{} schedules, {} pruned", report.schedules, report.pruned);
+//! ```
+
+mod model;
+mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use model::{model, Report};

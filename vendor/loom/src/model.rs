@@ -1,0 +1,108 @@
+//! The exploration driver: run the closure under every schedule.
+
+use std::panic;
+use std::sync::Arc;
+
+use crate::sched::{install_quiet_abort_hook, run_thread, Node, Scheduler, Tid};
+
+/// Runaway-exploration backstop; honest protocols with 2–3 threads
+/// explore orders of magnitude fewer schedules than this.
+const MAX_RUNS: u64 = 1_000_000;
+
+/// Exploration statistics returned by [`model`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Report {
+    /// Complete schedules executed to the end.
+    pub schedules: u64,
+    /// Runs cut short plus alternatives skipped by sleep-set pruning.
+    pub pruned: u64,
+    /// Deepest decision stack seen across all runs.
+    pub max_depth: usize,
+}
+
+/// Exhaustively explore every interleaving of `f`'s mock operations.
+///
+/// `f` runs once per schedule; a failing run (assertion panic, deadlock,
+/// divergent replay) re-raises its panic here after printing the
+/// schedule that produced it. Returns exploration statistics otherwise.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_abort_hook();
+    let f = Arc::new(f);
+    let mut stack: Vec<Node> = Vec::new();
+    let mut report = Report::default();
+    let mut runs: u64 = 0;
+
+    loop {
+        runs += 1;
+        assert!(
+            runs <= MAX_RUNS,
+            "loom: exploration exceeded {MAX_RUNS} runs — unbounded nondeterminism?"
+        );
+
+        let sched = Arc::new(Scheduler::new(std::mem::take(&mut stack)));
+        let tid0: Tid = 0;
+        let handle = {
+            let sched = sched.clone();
+            let f = f.clone();
+            std::thread::spawn(move || run_thread(sched, tid0, || f()))
+        };
+        sched.wait_all_terminated();
+        // The root thread unwinds with an AbortToken on failure; either
+        // way it has already reported through the scheduler.
+        let _ = handle.join();
+
+        let mut out = sched.collect();
+        report.pruned += out.pruned;
+        report.max_depth = report.max_depth.max(out.stack.len());
+        if let Some(p) = out.panic {
+            eprintln!("loom: failing schedule ({} decisions):", out.stack.len());
+            for (d, node) in out.stack.iter().enumerate() {
+                eprintln!(
+                    "  #{d}: thread {} ran {:?} (enabled: {:?})",
+                    node.chosen,
+                    node.op_of(node.chosen),
+                    node.enabled
+                );
+            }
+            panic::resume_unwind(p);
+        }
+        if !out.sleep_aborted {
+            report.schedules += 1;
+        }
+
+        // Backtrack: flip the deepest decision with an untried,
+        // non-sleeping alternative; pop exhausted nodes.
+        loop {
+            match out.stack.last_mut() {
+                None => return report,
+                Some(node) => {
+                    node.explored.push(node.chosen);
+                    let next = node
+                        .enabled
+                        .iter()
+                        .copied()
+                        .find(|t| !node.explored.contains(t) && !node.sleep.contains(t));
+                    match next {
+                        Some(t) => {
+                            node.chosen = t;
+                            break;
+                        }
+                        None => {
+                            // Count alternatives sleep sets let us skip.
+                            report.pruned += node
+                                .enabled
+                                .iter()
+                                .filter(|t| node.sleep.contains(t) && !node.explored.contains(t))
+                                .count() as u64;
+                            out.stack.pop();
+                        }
+                    }
+                }
+            }
+        }
+        stack = out.stack;
+    }
+}

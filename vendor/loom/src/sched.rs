@@ -1,0 +1,464 @@
+//! The cooperative scheduler behind [`crate::model`].
+//!
+//! Exactly one model thread is *active* at any time. A thread arriving
+//! at a schedule point (every mock atomic/channel/join operation) parks
+//! itself; when every live thread is parked the last arrival runs the
+//! decision logic, which either replays the recorded choice at this
+//! depth or — past the replayed prefix — picks the first enabled thread
+//! not in the sleep set, pushing a fresh decision [`Node`] onto the DFS
+//! stack. The granted thread wakes, performs its operation, and runs to
+//! its next point.
+//!
+//! Aborted runs (sleep-set dead ends, deadlocks, a test assertion
+//! failing) tear down by waking every parked thread with a panic whose
+//! payload is the private [`AbortToken`]; the panic hook suppresses its
+//! output and thread wrappers recognize it as teardown, not failure.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+pub(crate) type Tid = usize;
+
+/// DFS depth guard: a single run exceeding this many scheduling
+/// decisions almost certainly means a livelock in the modeled code.
+pub(crate) const MAX_DEPTH: usize = 20_000;
+
+/// One operation on a mock shared object, identified by address.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Op {
+    Load(usize),
+    Store(usize),
+    /// Atomic read-modify-write (`fetch_add`, `fetch_max`, ...).
+    Rmw(usize),
+    Send(usize),
+    Recv(usize),
+    Join(Tid),
+    /// Initial schedule point of a spawned thread, emitted before any
+    /// user code runs. Serializes thread prologues so first-use object
+    /// ids stay deterministic (see [`super::sched::Scheduler::fresh_obj_id`]).
+    Spawn(Tid),
+}
+
+/// Do `a` and `b` commute? Adjacent independent operations lead to the
+/// same state in either order, so only one order needs exploring.
+pub(crate) fn indep(a: Op, b: Op) -> bool {
+    use Op::*;
+    match (a, b) {
+        // Joins and spawn prologues read no shared state; their
+        // position among other operations is unobservable.
+        (Join(_) | Spawn(_), _) | (_, Join(_) | Spawn(_)) => true,
+        // Two loads commute even on the same object.
+        (Load(_), Load(_)) => true,
+        (Load(x), Store(y) | Rmw(y)) | (Store(x) | Rmw(x), Load(y)) => x != y,
+        (Store(x) | Rmw(x), Store(y) | Rmw(y)) => x != y,
+        // Channel operations conflict exactly when they share a channel.
+        (Send(x) | Recv(x), Send(y) | Recv(y)) => x != y,
+        // An atomic and a channel are always distinct objects.
+        (Send(_) | Recv(_), Load(_) | Store(_) | Rmw(_))
+        | (Load(_) | Store(_) | Rmw(_), Send(_) | Recv(_)) => true,
+    }
+}
+
+/// When a parked thread's pending operation may be granted.
+pub(crate) enum Readiness {
+    Always,
+    WhenTerminated(Tid),
+    /// Arbitrary predicate (channel receive); must not touch mock
+    /// objects or the scheduler.
+    When(Box<dyn Fn() -> bool + Send>),
+}
+
+struct ThreadState {
+    parked: bool,
+    terminated: bool,
+    pending: Option<(Op, Readiness)>,
+}
+
+impl ThreadState {
+    fn new() -> Self {
+        ThreadState {
+            parked: false,
+            terminated: false,
+            pending: None,
+        }
+    }
+}
+
+/// One scheduling decision on the DFS stack.
+#[derive(Debug)]
+pub(crate) struct Node {
+    /// Threads whose pending operation was grantable, ascending.
+    pub(crate) enabled: Vec<Tid>,
+    /// Pending operation of each enabled thread (aligned with `enabled`).
+    pub(crate) ops: Vec<Op>,
+    /// Sleep set: enabled threads whose subtree here is provably
+    /// redundant (covered by an earlier sibling of an ancestor).
+    pub(crate) sleep: Vec<Tid>,
+    /// Choices already fully explored at this node.
+    pub(crate) explored: Vec<Tid>,
+    /// The choice the current/most recent run follows.
+    pub(crate) chosen: Tid,
+}
+
+impl Node {
+    pub(crate) fn op_of(&self, t: Tid) -> Option<Op> {
+        self.enabled
+            .iter()
+            .position(|&u| u == t)
+            .map(|i| self.ops[i])
+    }
+}
+
+pub(crate) struct RunState {
+    threads: Vec<ThreadState>,
+    live: usize,
+    parked: usize,
+    granted: Option<Tid>,
+    abort: bool,
+    /// The run died at a fully-slept decision (normal pruning).
+    sleep_aborted: bool,
+    /// First real panic observed (test assertion, deadlock, ...).
+    panic: Option<Box<dyn Any + Send>>,
+    /// DFS stack: replayed prefix plus this run's fresh decisions.
+    stack: Vec<Node>,
+    /// Next decision index.
+    depth: usize,
+    /// Alternatives pruned by sleep-set dead ends during this run.
+    pruned: u64,
+    /// Mock objects identified so far (see [`Scheduler::fresh_obj_id`]).
+    next_obj: usize,
+}
+
+/// Per-run outcome handed back to the exploration driver.
+pub(crate) struct RunOutcome {
+    pub(crate) stack: Vec<Node>,
+    pub(crate) pruned: u64,
+    pub(crate) sleep_aborted: bool,
+    pub(crate) panic: Option<Box<dyn Any + Send>>,
+}
+
+pub(crate) struct Scheduler {
+    m: Mutex<RunState>,
+    cv: Condvar,
+}
+
+/// Panic payload used to unwind parked threads during run teardown.
+pub(crate) struct AbortToken;
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, Tid)>> = const { RefCell::new(None) };
+}
+
+/// The current model context of this OS thread, if any.
+pub(crate) fn cur_ctx() -> Option<(Arc<Scheduler>, Tid)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<(Arc<Scheduler>, Tid)>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Install (once per process) a panic hook that silences [`AbortToken`]
+/// unwinds — they are scheduler teardown, not failures — and defers to
+/// the previous hook for everything else.
+pub(crate) fn install_quiet_abort_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<AbortToken>().is_some() {
+                return;
+            }
+            // Cascading panics on model threads during teardown (e.g.
+            // std's "a scoped thread panicked" re-raise) are noise; the
+            // first real panic was already printed and recorded.
+            if let Some((sched, _)) = cur_ctx() {
+                if sched.is_aborting() {
+                    return;
+                }
+            }
+            prev(info);
+        }));
+    });
+}
+
+impl Scheduler {
+    pub(crate) fn new(stack: Vec<Node>) -> Self {
+        Scheduler {
+            m: Mutex::new(RunState {
+                threads: vec![ThreadState::new()],
+                live: 1,
+                parked: 0,
+                granted: None,
+                abort: false,
+                sleep_aborted: false,
+                panic: None,
+                stack,
+                depth: 0,
+                pruned: 0,
+                next_obj: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Register a freshly spawned model thread; called by the spawner
+    /// (which is the active thread) before the OS thread starts.
+    pub(crate) fn register_thread(&self) -> Tid {
+        let mut st = self.m.lock().unwrap_or_else(|e| e.into_inner());
+        let tid = st.threads.len();
+        st.threads.push(ThreadState::new());
+        st.live += 1;
+        tid
+    }
+
+    /// Park at a schedule point and block until granted (or aborted).
+    pub(crate) fn point(&self, me: Tid, op: Op, ready: Readiness) {
+        let st = self.m.lock().unwrap_or_else(|e| e.into_inner());
+        self.park(st, me, op, ready);
+    }
+
+    /// Join fast path: no schedule point when the target has already
+    /// terminated (the operation would commute with everything anyway).
+    pub(crate) fn join_point(&self, me: Tid, target: Tid) {
+        let st = self.m.lock().unwrap_or_else(|e| e.into_inner());
+        if st.abort {
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+        if st.threads[target].terminated {
+            return;
+        }
+        self.park(st, me, Op::Join(target), Readiness::WhenTerminated(target));
+    }
+
+    fn park(&self, mut st: std::sync::MutexGuard<'_, RunState>, me: Tid, op: Op, ready: Readiness) {
+        if st.abort {
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+        st.threads[me].pending = Some((op, ready));
+        st.threads[me].parked = true;
+        st.parked += 1;
+        if st.parked == st.live {
+            self.decide(&mut st);
+        }
+        loop {
+            if st.abort {
+                drop(st);
+                panic::panic_any(AbortToken);
+            }
+            if st.granted == Some(me) {
+                st.granted = None;
+                st.threads[me].parked = false;
+                st.threads[me].pending = None;
+                st.parked -= 1;
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A model thread finished (normally or unwinding).
+    pub(crate) fn on_terminate(&self, me: Tid) {
+        let mut st = self.m.lock().unwrap_or_else(|e| e.into_inner());
+        st.threads[me].terminated = true;
+        st.live -= 1;
+        if st.live == 0 {
+            self.cv.notify_all();
+        } else if !st.abort && st.parked == st.live {
+            self.decide(&mut st);
+        }
+    }
+
+    /// Record the first real panic and tear the run down. [`AbortToken`]
+    /// payloads and panics during an abort are teardown noise.
+    pub(crate) fn record_panic(&self, p: Box<dyn Any + Send>) {
+        if p.downcast_ref::<AbortToken>().is_some() {
+            return;
+        }
+        let mut st = self.m.lock().unwrap_or_else(|e| e.into_inner());
+        if !st.abort {
+            st.panic = Some(p);
+            st.abort = true;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Is the current run tearing down?
+    pub(crate) fn is_aborting(&self) -> bool {
+        self.m.lock().unwrap_or_else(|e| e.into_inner()).abort
+    }
+
+    /// Deterministic identity for a mock object first touched during
+    /// this run. Exactly one thread is active between schedule points,
+    /// so the creation/first-use order — hence the id — is a function
+    /// of the schedule alone, making ids stable under replay (raw
+    /// addresses are not: allocations move between runs). Tagged with
+    /// low bits `01` so ids never collide with the aligned-address
+    /// fallback used outside a model.
+    pub(crate) fn fresh_obj_id(&self) -> usize {
+        let mut st = self.m.lock().unwrap_or_else(|e| e.into_inner());
+        st.next_obj += 1;
+        st.next_obj * 4 + 1
+    }
+
+    /// Block until every model thread of the current run terminated.
+    pub(crate) fn wait_all_terminated(&self) {
+        let mut st = self.m.lock().unwrap_or_else(|e| e.into_inner());
+        while st.live > 0 {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Harvest the run's outcome (stack, pruning stats, panic).
+    pub(crate) fn collect(&self) -> RunOutcome {
+        let mut st = self.m.lock().unwrap_or_else(|e| e.into_inner());
+        RunOutcome {
+            stack: std::mem::take(&mut st.stack),
+            pruned: st.pruned,
+            sleep_aborted: st.sleep_aborted,
+            panic: st.panic.take(),
+        }
+    }
+
+    /// All threads are parked: pick who runs next.
+    fn decide(&self, st: &mut RunState) {
+        debug_assert_eq!(st.parked, st.live);
+        let term: Vec<bool> = st.threads.iter().map(|t| t.terminated).collect();
+        let mut enabled: Vec<Tid> = Vec::new();
+        let mut ops: Vec<Op> = Vec::new();
+        for tid in 0..st.threads.len() {
+            let t = &st.threads[tid];
+            if !t.parked || t.terminated {
+                continue;
+            }
+            if let Some((op, ready)) = &t.pending {
+                let ok = match ready {
+                    Readiness::Always => true,
+                    Readiness::WhenTerminated(j) => term[*j],
+                    Readiness::When(f) => f(),
+                };
+                if ok {
+                    enabled.push(tid);
+                    ops.push(*op);
+                }
+            }
+        }
+        if enabled.is_empty() {
+            self.fail(st, "loom: deadlock — every live thread is blocked");
+            return;
+        }
+        let chosen = if st.depth < st.stack.len() {
+            // Replay: the program must produce the same decision
+            // structure as the run that recorded this prefix.
+            let node = &st.stack[st.depth];
+            if node.enabled != enabled || node.ops != ops {
+                self.fail(
+                    st,
+                    "loom: nondeterministic execution — a replayed run diverged from its prefix",
+                );
+                return;
+            }
+            st.stack[st.depth].chosen
+        } else {
+            // Fresh decision: inherit the sleep set from the parent —
+            // everything the parent already explored (or slept) whose
+            // operation commutes with the choice that led here.
+            let sleep: Vec<Tid> = match st.stack.last() {
+                None => Vec::new(),
+                Some(parent) => {
+                    let cop = parent
+                        .op_of(parent.chosen)
+                        .expect("chosen is always enabled");
+                    let mut s: Vec<Tid> = parent
+                        .sleep
+                        .iter()
+                        .chain(parent.explored.iter())
+                        .copied()
+                        .filter(|&u| u != parent.chosen)
+                        .filter(|&u| enabled.contains(&u))
+                        .filter(|&u| parent.op_of(u).is_some_and(|uop| indep(uop, cop)))
+                        .collect();
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                }
+            };
+            match enabled.iter().copied().find(|t| !sleep.contains(t)) {
+                None => {
+                    // Every enabled alternative is asleep: this whole
+                    // subtree is covered elsewhere. Normal pruning.
+                    st.pruned += enabled.len() as u64;
+                    st.sleep_aborted = true;
+                    st.abort = true;
+                    self.cv.notify_all();
+                    return;
+                }
+                Some(t) => {
+                    if st.stack.len() >= MAX_DEPTH {
+                        self.fail(st, "loom: run exceeded the scheduling-depth budget");
+                        return;
+                    }
+                    st.stack.push(Node {
+                        enabled,
+                        ops,
+                        sleep,
+                        explored: Vec::new(),
+                        chosen: t,
+                    });
+                    t
+                }
+            }
+        };
+        st.depth += 1;
+        st.granted = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    fn fail(&self, st: &mut RunState, msg: &str) {
+        if !st.abort {
+            st.panic = Some(Box::new(msg.to_string()));
+            st.abort = true;
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Body wrapper for every model thread: installs the context, traps
+/// panics, and reports termination.
+pub(crate) fn run_thread<T>(sched: Arc<Scheduler>, tid: Tid, f: impl FnOnce() -> T) -> T {
+    set_ctx(Some((sched.clone(), tid)));
+    let r = panic::catch_unwind(panic::AssertUnwindSafe(f));
+    set_ctx(None);
+    match r {
+        Ok(v) => {
+            sched.on_terminate(tid);
+            v
+        }
+        Err(p) => {
+            sched.record_panic(p);
+            sched.on_terminate(tid);
+            panic::resume_unwind(Box::new(AbortToken))
+        }
+    }
+}
+
+/// Emit a schedule point for the current thread, if inside a model.
+pub(crate) fn hook(op: Op) {
+    if let Some((sched, tid)) = cur_ctx() {
+        sched.point(tid, op, Readiness::Always);
+    }
+}
+
+/// Emit a schedule point with a custom readiness predicate.
+pub(crate) fn hook_ready(op: Op, ready: Box<dyn Fn() -> bool + Send>) -> bool {
+    if let Some((sched, tid)) = cur_ctx() {
+        sched.point(tid, op, Readiness::When(ready));
+        true
+    } else {
+        false
+    }
+}

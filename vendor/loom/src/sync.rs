@@ -1,0 +1,325 @@
+//! Mock synchronization primitives: [`atomic`] integers and a bounded
+//! [`channel`], each emitting a schedule point per operation when used
+//! inside [`crate::model`] and degrading to plain `std` behavior
+//! outside it.
+
+pub mod atomic {
+    //! Drop-in `AtomicUsize`/`AtomicU64` whose every operation is a
+    //! scheduling decision under the model. The `Ordering` argument is
+    //! accepted for source compatibility; exploration itself is
+    //! sequentially consistent (see the crate docs).
+
+    pub use std::sync::atomic::Ordering;
+
+    use std::sync::OnceLock;
+
+    use crate::sched::{cur_ctx, hook, Op};
+
+    macro_rules! mock_atomic {
+        ($name:ident, $raw:ty, $int:ty) => {
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $raw,
+                id: OnceLock<usize>,
+            }
+
+            impl $name {
+                #[must_use]
+                pub const fn new(v: $int) -> Self {
+                    Self {
+                        inner: <$raw>::new(v),
+                        id: OnceLock::new(),
+                    }
+                }
+
+                /// Replay-stable identity: first-use order under the
+                /// model (see `Scheduler::fresh_obj_id`), raw address
+                /// outside it.
+                fn addr(&self) -> usize {
+                    *self.id.get_or_init(|| match cur_ctx() {
+                        Some((sched, _)) => sched.fresh_obj_id(),
+                        None => self as *const _ as usize,
+                    })
+                }
+
+                pub fn load(&self, order: Ordering) -> $int {
+                    hook(Op::Load(self.addr()));
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, v: $int, order: Ordering) {
+                    hook(Op::Store(self.addr()));
+                    self.inner.store(v, order);
+                }
+
+                pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                    hook(Op::Rmw(self.addr()));
+                    self.inner.fetch_add(v, order)
+                }
+
+                pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
+                    hook(Op::Rmw(self.addr()));
+                    self.inner.fetch_sub(v, order)
+                }
+
+                pub fn fetch_max(&self, v: $int, order: Ordering) -> $int {
+                    hook(Op::Rmw(self.addr()));
+                    self.inner.fetch_max(v, order)
+                }
+
+                pub fn fetch_min(&self, v: $int, order: Ordering) -> $int {
+                    hook(Op::Rmw(self.addr()));
+                    self.inner.fetch_min(v, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    hook(Op::Rmw(self.addr()));
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    mock_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    mock_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+}
+
+pub mod channel {
+    //! Bounded MPSC channel with the `vendor/crossbeam` surface
+    //! (`bounded`, `Sender`, `Receiver`), modeled so that sends and
+    //! receives on the same channel are scheduling decisions.
+    //!
+    //! The payload queue and the schedulable metadata are split so the
+    //! readiness closure handed to the scheduler stays `'static` even
+    //! when `T` is not.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    use crate::sched::{cur_ctx, hook_ready, Op};
+
+    /// Send on a channel whose receiver is gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like std's: no `T: Debug` bound, the payload is elided.
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a closed channel")
+        }
+    }
+
+    /// Receive on an empty channel whose senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// `T`-free schedulable state: captured by `'static` readiness
+    /// closures. `len` mirrors `queue.len()` exactly (updated under the
+    /// queue's critical section ordering: meta is always locked first).
+    struct Meta {
+        len: usize,
+        cap: usize,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    struct Shared<T> {
+        meta: Arc<Mutex<Meta>>,
+        queue: Mutex<VecDeque<T>>,
+        id: OnceLock<usize>,
+    }
+
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Create a bounded channel with capacity `cap` (min 1).
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            meta: Arc::new(Mutex::new(Meta {
+                len: 0,
+                cap: cap.max(1),
+                senders: 1,
+                receiver_alive: true,
+            })),
+            queue: Mutex::new(VecDeque::new()),
+            id: OnceLock::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .meta
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.shared
+                .meta
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders -= 1;
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared
+                .meta
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receiver_alive = false;
+        }
+    }
+
+    impl<T> Shared<T> {
+        /// Replay-stable channel identity (see `atomic`'s `addr`).
+        fn chan_id(&self) -> usize {
+            *self.id.get_or_init(|| match cur_ctx() {
+                Some((sched, _)) => sched.fresh_obj_id(),
+                None => Arc::as_ptr(&self.meta) as usize,
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until there is room (a schedule point under the model;
+        /// a spin-yield outside it), then enqueue.
+        pub fn send(&self, v: T) -> Result<(), SendError<T>> {
+            let meta = self.shared.meta.clone();
+            let ready: Box<dyn Fn() -> bool + Send> = Box::new(move || {
+                let m = meta.lock().unwrap_or_else(|e| e.into_inner());
+                m.len < m.cap || !m.receiver_alive
+            });
+            if !hook_ready(Op::Send(self.shared.chan_id()), ready) {
+                // Outside a model: busy-wait for room.
+                loop {
+                    let m = self.shared.meta.lock().unwrap_or_else(|e| e.into_inner());
+                    if m.len < m.cap || !m.receiver_alive {
+                        break;
+                    }
+                    drop(m);
+                    std::thread::yield_now();
+                }
+            }
+            let mut m = self.shared.meta.lock().unwrap_or_else(|e| e.into_inner());
+            if !m.receiver_alive {
+                return Err(SendError(v));
+            }
+            m.len += 1;
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(v);
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value is available (or all senders are gone).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let meta = self.shared.meta.clone();
+            let ready: Box<dyn Fn() -> bool + Send> = Box::new(move || {
+                let m = meta.lock().unwrap_or_else(|e| e.into_inner());
+                m.len > 0 || m.senders == 0
+            });
+            if !hook_ready(Op::Recv(self.shared.chan_id()), ready) {
+                loop {
+                    let m = self.shared.meta.lock().unwrap_or_else(|e| e.into_inner());
+                    if m.len > 0 || m.senders == 0 {
+                        break;
+                    }
+                    drop(m);
+                    std::thread::yield_now();
+                }
+            }
+            let mut m = self.shared.meta.lock().unwrap_or_else(|e| e.into_inner());
+            if m.len == 0 {
+                return Err(RecvError);
+            }
+            m.len -= 1;
+            let v = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+                .expect("meta.len > 0 implies a queued value");
+            Ok(v)
+        }
+
+        /// Iterator draining the channel until all senders hang up.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+
+        /// Non-schedulable drain used by tests outside the model.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let mut m = self.shared.meta.lock().unwrap_or_else(|e| e.into_inner());
+            if m.len == 0 {
+                return Err(RecvError);
+            }
+            m.len -= 1;
+            let v = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+                .expect("meta.len > 0 implies a queued value");
+            Ok(v)
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+}

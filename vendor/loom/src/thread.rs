@@ -1,0 +1,163 @@
+//! Mock threads: [`spawn`]/[`JoinHandle`] and a [`scope`] mirror of
+//! `std::thread::scope`, registering every thread with the current
+//! model's scheduler (plain `std` threads outside a model).
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::sched::{cur_ctx, hook, run_thread, Op, Scheduler, Tid};
+
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    model: Option<(Arc<Scheduler>, Tid)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish; its completion order relative to
+    /// other operations is a scheduling decision under the model.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let (Some((sched, target)), Some((_, me))) = (&self.model, cur_ctx()) {
+            sched.join_point(me, *target);
+        }
+        self.inner.join()
+    }
+}
+
+/// Spawn a thread. Inside a model the child is registered with the
+/// scheduler *before* the OS thread starts, so its first operation is
+/// already schedulable.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match cur_ctx() {
+        Some((sched, _)) => {
+            let tid = sched.register_thread();
+            let inner = {
+                let sched = sched.clone();
+                std::thread::spawn(move || {
+                    run_thread(sched, tid, move || {
+                        // Park before any user code: thread prologues
+                        // must not race the still-running spawner.
+                        hook(Op::Spawn(tid));
+                        f()
+                    })
+                })
+            };
+            JoinHandle {
+                inner,
+                model: Some((sched, tid)),
+            }
+        }
+        None => JoinHandle {
+            inner: std::thread::spawn(f),
+            model: None,
+        },
+    }
+}
+
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    model: Option<Arc<Scheduler>>,
+    /// Model tids of scoped threads, joined at scope exit.
+    joins: RefCell<Vec<Tid>>,
+}
+
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    model: Option<(Arc<Scheduler>, Tid)>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        if let (Some((sched, target)), Some((_, me))) = (&self.model, cur_ctx()) {
+            sched.join_point(me, *target);
+        }
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.model {
+            Some(sched) => {
+                let tid = sched.register_thread();
+                self.joins.borrow_mut().push(tid);
+                let inner = {
+                    let sched = sched.clone();
+                    self.inner.spawn(move || {
+                        run_thread(sched, tid, move || {
+                            // See `spawn`: serialize the prologue.
+                            hook(Op::Spawn(tid));
+                            f()
+                        })
+                    })
+                };
+                ScopedJoinHandle {
+                    inner,
+                    model: Some((sched.clone(), tid)),
+                }
+            }
+            None => ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+                model: None,
+            },
+        }
+    }
+}
+
+/// Mirror of `std::thread::scope`: all scoped threads are joined before
+/// this returns. Under the model, the implicit joins at scope exit are
+/// schedule points exactly like explicit [`ScopedJoinHandle::join`].
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    // Unlike std, the outer reference is not `&'scope`: our `Scope`
+    // already stores the `&'scope std::thread::Scope` that `spawn`
+    // needs, so the wrapper value itself may live on the closure frame.
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    let ctx = cur_ctx();
+    let out = std::thread::scope(|s| {
+        let scope = Scope {
+            inner: s,
+            model: ctx.as_ref().map(|(sched, _)| sched.clone()),
+            joins: RefCell::new(Vec::new()),
+        };
+        // The closure must not unwind through `std::thread::scope`
+        // while scoped model threads are still parked: std would block
+        // joining them before the panic reaches the scheduler. Catch
+        // it here, report it (waking every parked thread), and let the
+        // scope drain.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let out = f(&scope);
+            if let Some((sched, me)) = &ctx {
+                // Implicit join of every scoped thread not yet joined
+                // explicitly (join_point no-ops for terminated ones).
+                for tid in scope.joins.borrow().iter() {
+                    sched.join_point(*me, *tid);
+                }
+            }
+            out
+        }));
+        match caught {
+            Ok(v) => Ok(v),
+            Err(p) => match &ctx {
+                Some((sched, _)) => {
+                    sched.record_panic(p);
+                    Err(())
+                }
+                None => std::panic::resume_unwind(p),
+            },
+        }
+    });
+    match out {
+        Ok(v) => v,
+        // The panic is recorded with the scheduler; unwind quietly.
+        Err(()) => std::panic::panic_any(crate::sched::AbortToken),
+    }
+}

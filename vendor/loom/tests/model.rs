@@ -1,0 +1,149 @@
+//! Self-tests for the vendored loom stand-in: the checker must count
+//! interleavings exactly, observe every outcome a racy protocol can
+//! produce, prune commuting operations, and catch deadlocks.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use loom::sync::atomic::AtomicUsize;
+use loom::sync::channel;
+
+#[test]
+fn fetch_add_counter_is_exact_in_every_interleaving() {
+    let report = loom::model(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let h = {
+            let n = n.clone();
+            loom::thread::spawn(move || {
+                n.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        n.fetch_add(1, Ordering::Relaxed);
+        h.join().unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    });
+    // Two dependent RMWs on one cell: both orders must be explored.
+    assert_eq!(report.schedules, 2, "expected both RMW orders: {report:?}");
+}
+
+#[test]
+fn load_then_store_exhibits_the_lost_update() {
+    // The classic broken counter: load, add, store. The checker must
+    // surface BOTH possible final values (2 when serialized, 1 when
+    // the increments interleave and one update is lost).
+    let finals: Arc<Mutex<BTreeSet<usize>>> = Arc::new(Mutex::new(BTreeSet::new()));
+    let sink = finals.clone();
+    loom::model(move || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let h = {
+            let n = n.clone();
+            loom::thread::spawn(move || {
+                let v = n.load(Ordering::Relaxed);
+                n.store(v + 1, Ordering::Relaxed);
+            })
+        };
+        let v = n.load(Ordering::Relaxed);
+        n.store(v + 1, Ordering::Relaxed);
+        h.join().unwrap();
+        sink.lock().unwrap().insert(n.load(Ordering::Relaxed));
+    });
+    let finals = finals.lock().unwrap();
+    assert_eq!(
+        &*finals,
+        &BTreeSet::from([1, 2]),
+        "exploration missed an outcome of the racy increment"
+    );
+}
+
+#[test]
+fn independent_operations_are_pruned_to_one_schedule() {
+    // Two threads touching *different* atomics commute; sleep sets
+    // must collapse the state space to a single complete schedule.
+    let report = loom::model(|| {
+        let a = Arc::new(AtomicUsize::new(0));
+        let b = Arc::new(AtomicUsize::new(0));
+        let h = {
+            let a = a.clone();
+            loom::thread::spawn(move || {
+                a.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        b.fetch_add(1, Ordering::Relaxed);
+        h.join().unwrap();
+        assert_eq!(a.load(Ordering::Relaxed), 1);
+        assert_eq!(b.load(Ordering::Relaxed), 1);
+    });
+    assert_eq!(
+        report.schedules, 1,
+        "commuting ops should explore one order: {report:?}"
+    );
+    assert!(report.pruned >= 1, "expected sleep-set pruning: {report:?}");
+}
+
+#[test]
+fn scoped_threads_fan_in_through_the_channel() {
+    let report = loom::model(|| {
+        let (tx, rx) = channel::bounded::<usize>(2);
+        loom::thread::scope(|s| {
+            for k in 1..=2usize {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    tx.send(k).unwrap();
+                });
+            }
+            drop(tx);
+            let mut got: Vec<usize> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        });
+    });
+    assert!(report.schedules >= 2, "sends must race: {report:?}");
+}
+
+#[test]
+fn deadlock_is_detected_and_reported() {
+    let r = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let (_tx, rx) = channel::bounded::<usize>(1);
+            // _tx alive, nothing sent: recv can never become ready.
+            let _ = rx.recv();
+        });
+    });
+    let err = r.expect_err("deadlock must fail the model");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("deadlock"), "unexpected payload: {msg:?}");
+}
+
+#[test]
+fn failing_assertion_escapes_the_model() {
+    let r = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let h = {
+                let n = n.clone();
+                loom::thread::spawn(move || {
+                    let v = n.load(Ordering::Relaxed);
+                    n.store(v + 1, Ordering::Relaxed);
+                })
+            };
+            let v = n.load(Ordering::Relaxed);
+            n.store(v + 1, Ordering::Relaxed);
+            h.join().unwrap();
+            // Fails on the interleaving that loses an update.
+            assert_eq!(n.load(Ordering::Relaxed), 2);
+        });
+    });
+    assert!(r.is_err(), "the lost-update schedule must surface");
+}
+
+#[test]
+fn mocks_degrade_to_std_outside_the_model() {
+    let n = AtomicUsize::new(41);
+    assert_eq!(n.fetch_add(1, Ordering::Relaxed), 41);
+    assert_eq!(n.load(Ordering::Relaxed), 42);
+    let (tx, rx) = channel::bounded::<u8>(1);
+    tx.send(7).unwrap();
+    drop(tx);
+    assert_eq!(rx.iter().collect::<Vec<_>>(), vec![7]);
+}
