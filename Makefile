@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test test-all bench bench-check bench-baseline bench-regress sim-parity sweep-check spec-check verify-exhaustive lint-custom loom-check loom-check-full doc fmt fmt-check clippy examples figures scale ci clean
+.PHONY: all build test test-all bench bench-check bench-baseline bench-regress sim-parity sweep-check spec-check family-rank-check verify-exhaustive lint-custom loom-check loom-check-full doc fmt fmt-check clippy examples figures scale ci clean
 
 ## The checked-in perf baseline this PR's trajectory is gated against.
 ## Convention: one BENCH_<pr>.json per PR that moved performance; the
@@ -84,6 +84,20 @@ spec-check:
 	  $(CARGO) run -q --release -p selfheal-experiments -- run --spec $$f; \
 	done
 
+## Family-ranking gate (E12): run the full healer registry × the
+## adversary library at 1, 2 and 8 worker threads and require all three
+## tables to match the checked-in golden byte for byte. Any change to a
+## healer's topology decisions, RNG streams, audit findings or the
+## ranking key shows up here; if the change is intentional, regenerate
+## with `run-experiments family-rank --quick --threads 1 2>/dev/null >
+## goldens/family_rank_quick.txt` and note it in the commit.
+family-rank-check:
+	@set -e; for t in 1 2 8; do \
+	  echo "== family-rank --threads $$t"; \
+	  $(CARGO) run -q --release -p selfheal-experiments -- family-rank --quick --threads $$t 2>/dev/null \
+	    | diff -u goldens/family_rank_quick.txt - ; \
+	done
+
 ## Exhaustive verification gate (E10), bounded to seconds: the
 ## small-world prover enumerates every connected graph up to n = 6 (the
 ## census-checked A001349 universe), every deletion order, and
@@ -158,7 +172,7 @@ scale:
 	$(CARGO) run -q --release -p selfheal-experiments -- scale
 
 ## The full CI gate.
-ci: fmt-check clippy build test-all doc bench-check bench-regress sim-parity sweep-check spec-check verify-exhaustive lint-custom loom-check
+ci: fmt-check clippy build test-all doc bench-check bench-regress sim-parity sweep-check spec-check family-rank-check verify-exhaustive lint-custom loom-check
 	@echo "ci green"
 
 clean:

@@ -60,6 +60,12 @@ pub enum HealMode {
     /// Algorithm 3: surrogate star when a member has enough δ slack,
     /// else fall back to the DASH tree.
     Sdash,
+    /// [`ForgivingTree`](crate::ftree::ForgivingTree): complete binary
+    /// tree rooted at the heir — the member with the lowest
+    /// `(current degree, initial ID)` — remaining members in initial-ID
+    /// order. Both keys are locally observable (NoN state), so the
+    /// distributed order matches the centralized one byte-for-byte.
+    ForgivingTree,
 }
 
 /// Distributed DASH/SDASH: per-node state stored columnar (indexed by
@@ -226,9 +232,25 @@ impl DistributedDash {
                 }
             }
         } else {
-            // Order by (δ, initial id) and wire the complete binary tree.
+            // Order the members and wire the complete binary tree. DASH
+            // and SDASH's fallback sort by (δ, initial id); ForgivingTree
+            // sorts by initial id and rotates the heir — lowest
+            // (current degree, initial id) — to the root, mirroring
+            // `ftree::order_heir_first` byte-for-byte.
             let mut ordered = members.clone();
-            ordered.sort_by_key(|&u| (self.delta(ctx, u), self.initial_id[u as usize]));
+            if self.mode == HealMode::ForgivingTree {
+                ordered.sort_by_key(|&u| self.initial_id[u as usize]);
+                let heir_pos = (0..ordered.len())
+                    .min_by_key(|&i| {
+                        let u = ordered[i];
+                        (ctx.neighbors(u).len(), self.initial_id[u as usize])
+                    })
+                    // panic-ok: `members` is non-empty (checked above).
+                    .unwrap();
+                ordered[..=heir_pos].rotate_right(1);
+            } else {
+                ordered.sort_by_key(|&u| (self.delta(ctx, u), self.initial_id[u as usize]));
+            }
             for i in 1..ordered.len() {
                 let (a, b) = (ordered[(i - 1) / 2], ordered[i]);
                 ctx.add_link(a, b);
@@ -444,6 +466,36 @@ mod tests {
             .iter()
             .all(|&v| sim.protocol.comp_id(v) == id));
         assert_eq!(report.dropped, 0);
+    }
+
+    #[test]
+    fn ftree_mode_roots_tree_at_heir() {
+        let edges: Vec<(u32, u32)> = (1..8u32).map(|i| (0, i)).collect();
+        let topo = Topology::from_edges(8, &edges);
+        let degrees: Vec<u32> = (0..8).map(|v| topo.neighbors(v).len() as u32).collect();
+        let mut sim = Simulator::new(
+            topo,
+            DistributedDash::with_mode(HealMode::ForgivingTree, degrees, 42),
+        );
+        sim.delete_node(0);
+        sim.run_to_quiescence();
+        // 7 spokes wired as a complete binary tree: 6 healing edges.
+        let healing_edges: usize = (1..8u32)
+            .map(|v| sim.protocol.gprime_neighbors(v).len())
+            .sum::<usize>()
+            / 2;
+        assert_eq!(healing_edges, 6);
+        // All spokes had degree 0 at heal time, so the heir is the spoke
+        // with the lowest initial ID; as the root it takes exactly its
+        // two children and no parent edge.
+        let heir = (1..8u32)
+            .min_by_key(|&v| sim.protocol.initial_id(v))
+            .unwrap();
+        assert_eq!(sim.protocol.gprime_neighbors(heir).len(), 2);
+        // Per-member gain stays within the family's ≤ 3 bound.
+        for v in 1..8u32 {
+            assert!(sim.topology.neighbors(v).len() <= 3, "node {v}");
+        }
     }
 
     #[test]

@@ -41,8 +41,8 @@
 //! `n = 1..7` ([`CONNECTED_COUNTS`]) is asserted as an oracle on every
 //! run, so an enumeration bug can never silently shrink the universe.
 
-use crate::invariants::{TheoremAuditor, TheoremBounds};
-use crate::scenario::{DegreeBatches, NetworkEvent, ScenarioEngine, ScriptedEvents};
+use crate::invariants::{FamilyAuditor, TheoremAuditor, TheoremBounds};
+use crate::scenario::{DegreeBatches, NetworkEvent, Observer, ScenarioEngine, ScriptedEvents};
 use crate::spec::{HealerSpec, SpecError};
 use crate::state::HealingNetwork;
 use selfheal_graph::parallel::{default_threads, parallel_fold};
@@ -319,6 +319,23 @@ fn audit_profile(healer: HealerSpec, n: usize) -> (bool, bool, bool, TheoremBoun
         HealerSpec::GraphHeal => (false, true, false, unbounded),
         HealerSpec::BinaryTreeHeal | HealerSpec::LineHeal => (true, true, false, unbounded),
         HealerSpec::NoHeal => (false, false, false, unbounded),
+        // The new families keep the structural claims (connectivity;
+        // ForgivingTree also keeps G' a forest) but make none of
+        // Theorem 1's numeric promises — their own degree/stretch/budget
+        // bounds are enforced by the [`FamilyAuditor`] composed in
+        // `audit_run`. RingForgiving deliberately cycles G'.
+        HealerSpec::ForgivingTree => (true, true, false, unbounded),
+        HealerSpec::RingForgiving { .. } => (false, true, false, unbounded),
+    }
+}
+
+/// The per-family auditor (degree-gain / stretch / budget bounds) for
+/// healers that carry one; `None` for the six Theorem 1 healers.
+fn family_auditor(healer: HealerSpec, net: &HealingNetwork) -> Option<FamilyAuditor> {
+    match healer {
+        HealerSpec::ForgivingTree => Some(FamilyAuditor::forgiving_tree(net)),
+        HealerSpec::RingForgiving { budget } => Some(FamilyAuditor::ring(net, budget)),
+        _ => None,
     }
 }
 
@@ -340,6 +357,16 @@ fn audit_run(
         auditor = auditor.with_rem_check();
     }
     let net = HealingNetwork::new(graph.to_graph(), seed);
+    let mut family = family_auditor(healer, &net);
+    // Compose the Theorem 1 auditor with the family's own bounds: both
+    // observe every event (the `FnMut` blanket impl turns the closure
+    // into an `Observer`).
+    let mut observer = |net: &HealingNetwork, rec: &crate::scenario::EventRecord| {
+        Observer::on_event(&mut auditor, net, rec);
+        if let Some(f) = family.as_mut() {
+            Observer::on_event(f, net, rec);
+        }
+    };
     let scenario_report = match (order, batch_k) {
         (Some(order), _) => {
             let events: Vec<NetworkEvent> = order
@@ -347,26 +374,35 @@ fn audit_run(
                 .map(|&v| NetworkEvent::Delete(NodeId(v as u32)))
                 .collect();
             let mut engine = ScenarioEngine::new(net, healer.build(), ScriptedEvents::new(events));
-            let report = engine.run_to_empty_with(&mut auditor);
+            let report = engine.run_to_empty_with(&mut observer);
             auditor.finish(&engine.net, &report);
             report
         }
         (None, Some(k)) => {
             let mut engine = ScenarioEngine::new(net, healer.build(), DegreeBatches::new(k));
-            let report = engine.run_to_empty_with(&mut auditor);
+            let report = engine.run_to_empty_with(&mut observer);
             auditor.finish(&engine.net, &report);
             report
         }
         (None, None) => unreachable!("a run is either an order sweep or a batch sweep"),
     };
     let _ = scenario_report;
-    if !auditor.ok() {
+    let family_violations = family.map(|f| (f.violations, f.truncated));
+    if !auditor.ok()
+        || family_violations
+            .as_ref()
+            .is_some_and(|(v, _)| !v.is_empty())
+    {
         let shape = match (order, batch_k) {
             (Some(order), _) => format!("order={order:?}"),
             (_, Some(k)) => format!("batch-k={k}"),
             _ => unreachable!(),
         };
-        for finding in &auditor.violations {
+        let family_findings = family_violations
+            .as_ref()
+            .map(|(v, _)| v.as_slice())
+            .unwrap_or(&[]);
+        for finding in auditor.violations.iter().chain(family_findings) {
             report.absorb(format!(
                 "n={} graph=0x{:x} healer={} {shape}: {finding}",
                 graph.n,
@@ -374,7 +410,7 @@ fn audit_run(
                 healer.name()
             ));
         }
-        if auditor.truncated {
+        if auditor.truncated || family_violations.is_some_and(|(_, t)| t) {
             report.truncated = true;
         }
     }
@@ -499,7 +535,7 @@ mod tests {
 
     #[test]
     fn tiny_universe_is_clean_for_every_healer() {
-        // n <= 4: 10 graphs x 6 healers, 159 orders each way — fast
+        // n <= 4: 10 graphs x 8 healers, 159 orders each way — fast
         // enough for the debug-profile unit suite. The full n <= 6 tier
         // runs in `make verify-exhaustive` / `run-experiments verify`.
         let cfg = UniverseConfig {
@@ -508,11 +544,89 @@ mod tests {
         };
         let report = run_universe(&cfg).unwrap();
         assert_eq!(report.graphs, 10);
-        assert_eq!(report.healers, 6);
+        assert_eq!(report.healers, 8);
         // Σ n! over graphs: 1·1! + 1·2! + 2·3! + 6·4! = 159 per healer.
-        assert_eq!(report.order_runs, 159 * 6);
-        assert_eq!(report.batch_runs, 10 * 2 * 6);
+        assert_eq!(report.order_runs, 159 * 8);
+        assert_eq!(report.batch_runs, 10 * 2 * 8);
         assert!(report.is_clean(), "{:#?}", report.violations);
+    }
+
+    /// Locked documentation (the PR 6 `AuditSpec::Exhaustive` precedent)
+    /// for why `audit_profile` hands the new families unbounded
+    /// Theorem 1 constants instead of DASH's.
+    ///
+    /// **ForgivingTree vs Lemma 6**: the heir ordering reads current
+    /// degrees and initial IDs, never δ, so a targeted adversary can
+    /// park one node in an internal tree slot event after event and push
+    /// its δ past `2 log₂ n` — while the family's *own* bounds (≤ 3
+    /// edges per adjacent victim, logarithmic stretch — the
+    /// [`FamilyAuditor`] profile the prover enforces instead) keep
+    /// holding. The scenario is a "broom": hub `x` adjacent to victims
+    /// `1..=K`, each victim carrying four fresh leaves. Every deletion
+    /// rebuilds `{x, 4 leaves}`; whenever `x`'s initial ID ranks below
+    /// the three non-heir leaves it takes the internal slot (+3 edges
+    /// for the 1 it lost, δ += 2). Seeds where `x` draws a small initial
+    /// ID cross the bound well before the sweep ends.
+    ///
+    /// **RingForgiving vs Lemma 1**: a single heal already closes a
+    /// cycle in `G'` — by design — so its profile sets
+    /// `expect_forest = false` (the same waiver GraphHeal gets).
+    #[test]
+    fn new_family_profiles_waive_exactly_what_the_families_break() {
+        const K: u32 = 12;
+        let mut g = Graph::new(1 + K as usize * 5);
+        for v in 1..=K {
+            g.add_edge(NodeId(0), NodeId(v)).unwrap();
+            for l in 0..4u32 {
+                g.add_edge(NodeId(v), NodeId(K + 4 * (v - 1) + l + 1))
+                    .unwrap();
+            }
+        }
+        let events: Vec<NetworkEvent> = (1..=K).map(|v| NetworkEvent::Delete(NodeId(v))).collect();
+        let mut lemma6_broken = false;
+        for seed in 0..200u64 {
+            let net = HealingNetwork::new(g.clone(), seed);
+            let mut theorem = TheoremAuditor::new(true);
+            let mut family = FamilyAuditor::forgiving_tree(&net);
+            let mut obs = |n: &HealingNetwork, r: &crate::scenario::EventRecord| {
+                Observer::on_event(&mut theorem, n, r);
+                Observer::on_event(&mut family, n, r);
+            };
+            let mut engine = ScenarioEngine::new(
+                net,
+                HealerSpec::ForgivingTree.build(),
+                ScriptedEvents::new(events.clone()),
+            );
+            engine.run_events_with(K as u64, &mut obs);
+            assert!(family.ok(), "seed {seed}: {:?}", family.violations);
+            // Everything *except* the δ bound must still hold: the
+            // family keeps connectivity, the G' forest and the weight
+            // ledger.
+            assert!(
+                theorem.violations.iter().all(|v| v.contains("theorem 1.1")),
+                "seed {seed}: {:?}",
+                theorem.violations
+            );
+            lemma6_broken |= !theorem.violations.is_empty();
+        }
+        assert!(
+            lemma6_broken,
+            "some broom seed must push ftree's delta past Lemma 6"
+        );
+
+        let net = HealingNetwork::new(selfheal_graph::generators::star_graph(5), 1);
+        let mut family = FamilyAuditor::ring(&net, 2);
+        let mut engine = ScenarioEngine::new(
+            net,
+            HealerSpec::RingForgiving { budget: 2 }.build(),
+            ScriptedEvents::new(vec![NetworkEvent::Delete(NodeId(0))]),
+        );
+        engine.run_events_with(1, &mut family);
+        assert!(
+            !crate::invariants::forest_ok(&engine.net),
+            "a 4-member ring heal must cycle G'"
+        );
+        assert!(family.ok(), "{:?}", family.violations);
     }
 
     #[test]

@@ -154,7 +154,9 @@ fn run_variant(
     order_for: &mut dyn FnMut(usize, usize) -> Vec<usize>,
     representative: Representative,
 ) -> Result<Vec<BatchShape>, String> {
-    let mode = healer.heal_mode().map_err(|e| e.to_string())?;
+    let mode = healer
+        .heal_mode(crate::spec::BackendSpec::Explorer)
+        .map_err(|e| e.to_string())?;
     let net = HealingNetwork::new(g.clone(), seed);
     let mut engine = ScenarioEngine::new(net, healer.build(), ScriptedEvents::default());
     let mut runner = DistributedScenarioRunner::with_mode(mode, g, seed);
@@ -266,7 +268,7 @@ pub fn explore_events(
     events: &[NetworkEvent],
     cfg: &ExplorerConfig,
 ) -> Result<ExplorerReport, SpecError> {
-    healer.heal_mode()?;
+    healer.heal_mode(crate::spec::BackendSpec::Explorer)?;
     let mut report = ExplorerReport {
         events: events.len() as u64,
         interleavings: 1,

@@ -397,6 +397,181 @@ impl Observer for TheoremAuditor {
     }
 }
 
+/// Per-family bound profile for [`FamilyAuditor`]: how many edges a
+/// survivor may gain per adjacent victim, and whether the family also
+/// promises logarithmic stretch across each victim's former neighbors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct FamilyBounds {
+    /// Healer name, used in violation messages.
+    family: &'static str,
+    /// Maximum degree gain per adjacent victim (ForgivingTree: 3 — one
+    /// parent plus two children; RingForgiving: 2 + budget — two cycle
+    /// edges plus one chord per round).
+    gain_per_victim: usize,
+    /// Whether each pair of a victim's surviving former neighbors must
+    /// stay within `2 log₂ n` hops of each other (ForgivingTree's
+    /// stretch claim; implies they stay connected at all).
+    check_stretch: bool,
+}
+
+/// The new healer families' *own* theorems as an
+/// [`Observer`](crate::scenario::Observer), complementing
+/// [`TheoremAuditor`] (whose numeric bounds are Theorem 1's and are
+/// waived for families that legitimately break them):
+///
+/// - **degree**: after every deletion event, each survivor's degree gain
+///   is at most `gain_per_victim ×` the number of victims it was
+///   adjacent to (ForgivingTree promises ≤ 3 per victim, RingForgiving
+///   ≤ 2 + budget);
+/// - **stretch** (ForgivingTree only): every pair of a victim's
+///   surviving former neighbors remains connected within
+///   `2 log₂ n` hops, `n` counting nodes ever created.
+///
+/// The auditor keeps a clone of the pre-event graph, so the bounds
+/// compose over multi-victim batches (a survivor adjacent to `k` victims
+/// may gain up to `k ×` the per-victim allowance) without needing victim
+/// identities in the [`EventRecord`].
+#[derive(Clone, Debug)]
+pub struct FamilyAuditor {
+    bounds: FamilyBounds,
+    /// The graph as of *before* the event being observed.
+    prev: selfheal_graph::Graph,
+    /// Violations found, prefixed with the event number (capped at
+    /// [`MAX_VIOLATIONS`]; `truncated` records overflow).
+    pub violations: Vec<String>,
+    /// Whether findings were dropped after the cap.
+    pub truncated: bool,
+}
+
+impl FamilyAuditor {
+    /// Auditor for [`ForgivingTree`](crate::ftree::ForgivingTree):
+    /// degree gain ≤ 3 per adjacent victim, stretch ≤ `2 log₂ n` across
+    /// each victim's former neighbors.
+    pub fn forgiving_tree(net: &HealingNetwork) -> Self {
+        FamilyAuditor {
+            bounds: FamilyBounds {
+                family: "ftree",
+                gain_per_victim: 3,
+                check_stretch: true,
+            },
+            prev: net.graph().clone(),
+            violations: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    /// Auditor for [`RingForgiving`](crate::ring::RingForgiving): degree
+    /// gain ≤ `2 + budget` per adjacent victim (no stretch claim).
+    pub fn ring(net: &HealingNetwork, budget: usize) -> Self {
+        FamilyAuditor {
+            bounds: FamilyBounds {
+                family: "ring",
+                gain_per_victim: 2 + budget,
+                check_stretch: false,
+            },
+            prev: net.graph().clone(),
+            violations: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    /// Whether every checked family bound held so far.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn record(&mut self, label: &str, finding: String) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations
+                .push(format!("{label} [{}]: {finding}", self.bounds.family));
+        } else {
+            self.truncated = true;
+        }
+    }
+}
+
+impl Observer for FamilyAuditor {
+    fn on_event(&mut self, net: &HealingNetwork, record: &EventRecord) {
+        if record.kind == EventKind::Join {
+            self.prev = net.graph().clone();
+            return;
+        }
+        let label = format!("event {} (round {})", record.event, record.round);
+        // Victims: alive before the event, dead after it.
+        let victims: Vec<NodeId> = self
+            .prev
+            .live_nodes()
+            .filter(|&v| !net.is_alive(v))
+            .collect();
+        let n = net.total_created().max(2) as f64;
+        let stretch_bound = (2.0 * n.log2()).floor() as u32;
+        let survivors: Vec<NodeId> = self
+            .prev
+            .live_nodes()
+            .filter(|&u| net.is_alive(u))
+            .collect();
+        for u in survivors {
+            // Edges `u` lost to the victims; the family bound allows
+            // `gain_per_victim` replacements for each.
+            let lost = self
+                .prev
+                .neighbors(u)
+                .iter()
+                .filter(|v| victims.contains(v))
+                .count();
+            let added = (net.graph().degree(u) + lost).saturating_sub(self.prev.degree(u));
+            if added > self.bounds.gain_per_victim * lost {
+                self.record(
+                    &label,
+                    format!(
+                        "survivor {u} gained {added} edges, allowed {} ({} per victim x {lost})",
+                        self.bounds.gain_per_victim * lost,
+                        self.bounds.gain_per_victim
+                    ),
+                );
+            }
+        }
+        if self.bounds.check_stretch {
+            // Every pair of a victim's surviving former neighbors must
+            // stay within 2 log₂ n hops (and, a fortiori, connected).
+            'victims: for &v in &victims {
+                let nbrs: Vec<NodeId> = self
+                    .prev
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&u| net.is_alive(u))
+                    .collect();
+                for (i, &a) in nbrs.iter().enumerate() {
+                    for &b in &nbrs[i + 1..] {
+                        match selfheal_graph::paths::distance(net.graph(), a, b) {
+                            Some(d) if d <= stretch_bound => {}
+                            Some(d) => {
+                                self.record(
+                                    &label,
+                                    format!(
+                                        "former neighbors {a},{b} of victim {v} are {d} apart, \
+                                         stretch bound {stretch_bound}"
+                                    ),
+                                );
+                                break 'victims;
+                            }
+                            None => {
+                                self.record(
+                                    &label,
+                                    format!("former neighbors {a},{b} of victim {v} disconnected"),
+                                );
+                                break 'victims;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.prev = net.graph().clone();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -547,6 +722,87 @@ mod tests {
         engine.run_to_empty_with(&mut auditor);
         assert!(
             auditor.violations.iter().any(|v| v.contains("theorem 1.1")),
+            "{:?}",
+            auditor.violations
+        );
+    }
+
+    #[test]
+    fn family_auditor_is_clean_on_ftree_and_ring_sweeps() {
+        use crate::attack::MaxNode;
+        use crate::ftree::ForgivingTree;
+        use crate::ring::RingForgiving;
+        use crate::scenario::ScenarioEngine;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let g = selfheal_graph::generators::barabasi_albert(40, 3, &mut StdRng::seed_from_u64(7));
+        let net = HealingNetwork::new(g.clone(), 7);
+        let mut auditor = FamilyAuditor::forgiving_tree(&net);
+        let mut engine = ScenarioEngine::new(net, ForgivingTree, MaxNode);
+        engine.run_to_empty_with(&mut auditor);
+        assert!(auditor.ok(), "{:?}", auditor.violations);
+
+        let net = HealingNetwork::new(g, 7);
+        let mut auditor = FamilyAuditor::ring(&net, 2);
+        let mut engine = ScenarioEngine::new(net, RingForgiving { budget: 2 }, MaxNode);
+        engine.run_to_empty_with(&mut auditor);
+        assert!(auditor.ok(), "{:?}", auditor.violations);
+    }
+
+    #[test]
+    fn family_auditor_flags_overbudget_degree_gain() {
+        use crate::state::PropagationReport;
+        // Kill the hub of star(8) and "heal" by wiring a star over spoke
+        // 1: six replacement edges for the single edge it lost — past
+        // both ftree's 3-per-victim and ring(2)'s 4-per-victim allowance.
+        let mut net = HealingNetwork::new(star_graph(8), 1);
+        let mut ftree = FamilyAuditor::forgiving_tree(&net);
+        let mut ringa = FamilyAuditor::ring(&net, 2);
+        net.delete_node(NodeId(0)).unwrap();
+        for v in 2..8u32 {
+            net.add_heal_edge(NodeId(1), NodeId(v)).unwrap();
+        }
+        let record = EventRecord {
+            event: 1,
+            round: 1,
+            kind: EventKind::Delete,
+            deleted: Some(NodeId(0)),
+            victims: 1,
+            joined: None,
+            rt_size: 7,
+            edges_added: 6,
+            surrogate: None,
+            propagation: PropagationReport::default(),
+            round_max_delta: None,
+        };
+        ftree.on_event(&net, &record);
+        ringa.on_event(&net, &record);
+        for auditor in [&ftree, &ringa] {
+            assert!(!auditor.ok());
+            assert!(
+                auditor.violations[0].contains("gained 6 edges"),
+                "{:?}",
+                auditor.violations
+            );
+        }
+        assert!(ftree.violations[0].contains("[ftree]"));
+        assert!(ringa.violations[0].contains("allowed 4"));
+    }
+
+    #[test]
+    fn family_auditor_flags_disconnection_as_infinite_stretch() {
+        use crate::naive::NoHeal;
+        use crate::scenario::{ScenarioEngine, ScriptedEvents};
+        let net = HealingNetwork::new(star_graph(5), 2);
+        let mut auditor = FamilyAuditor::forgiving_tree(&net);
+        let script = ScriptedEvents::new(vec![crate::scenario::NetworkEvent::Delete(NodeId(0))]);
+        let mut engine = ScenarioEngine::new(net, NoHeal, script);
+        engine.run_events_with(1, &mut auditor);
+        assert!(
+            auditor
+                .violations
+                .iter()
+                .any(|v| v.contains("disconnected")),
             "{:?}",
             auditor.violations
         );

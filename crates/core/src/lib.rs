@@ -39,10 +39,12 @@ pub mod distributed_runner;
 pub mod engine;
 pub mod exhaustive;
 pub mod explore;
+pub mod ftree;
 pub mod invariants;
 pub mod levelattack;
 pub mod naive;
 pub mod oracle;
+pub mod ring;
 pub mod rt;
 pub mod scenario;
 pub mod sdash;
@@ -57,7 +59,9 @@ pub use distributed_runner::{DistEventRecord, DistScenarioReport, DistributedSce
 pub use engine::{AuditLevel, Engine, EngineReport};
 pub use exhaustive::{run_universe, SmallGraph, UniverseConfig, UniverseReport};
 pub use explore::{check_seeded_orders, explore_events, ExplorerConfig, ExplorerReport};
-pub use invariants::{TheoremAuditor, TheoremBounds};
+pub use ftree::ForgivingTree;
+pub use invariants::{FamilyAuditor, TheoremAuditor, TheoremBounds};
+pub use ring::RingForgiving;
 pub use scenario::{
     EventRecord, EventSource, NetworkEvent, Observer, ScenarioEngine, ScenarioReport,
 };

@@ -225,6 +225,8 @@ mod tests {
             NoHeal.name(),
             crate::dash::Dash.name(),
             crate::sdash::Sdash.name(),
+            crate::ftree::ForgivingTree.name(),
+            crate::ring::RingForgiving::default().name(),
         ];
         let mut uniq = names.to_vec();
         uniq.sort_unstable();

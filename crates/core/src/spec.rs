@@ -9,11 +9,12 @@
 //!
 //! - [`GraphSpec`] — the generator registry (`ba(64, 3)`, `gnm(50, 120)`,
 //!   `ws(64, 4, 0.1)`, `path`/`cycle`/`star`/`complete`/`grid`);
-//! - [`HealerSpec`] — the canonical healer registry (all six strategies;
-//!   [`HealerSpec::build`] constructs, [`HealerSpec::heal_mode`] maps the
-//!   two fabric-capable strategies onto
+//! - [`HealerSpec`] — the canonical healer registry (all eight
+//!   strategies; [`HealerSpec::build`] constructs,
+//!   [`HealerSpec::heal_mode`] maps the fabric-capable strategies onto
 //!   [`HealMode`](crate::distributed::HealMode) and reports
-//!   [`SpecError::FabricUnsupported`] for the rest);
+//!   [`SpecError::FabricUnsupported`] — naming both the healer and the
+//!   requested backend — for the rest);
 //! - [`AdversarySpec`] — every event source in [`crate::attack`] and
 //!   [`crate::scenario`], plus the [`CuratedSchedule`] registry of
 //!   hand-curated mixed schedules the parity suites replay;
@@ -92,10 +93,12 @@ pub enum SpecError {
     /// The spec parsed but names an impossible configuration.
     Invalid(String),
     /// The named healer has no distributed-fabric implementation, so it
-    /// cannot drive the `distributed` or `parity` backends.
+    /// cannot drive the `distributed`, `parity` or `explorer` backends.
     FabricUnsupported {
         /// The healer's stable name.
         healer: &'static str,
+        /// The requested backend's stable name.
+        backend: &'static str,
     },
 }
 
@@ -105,10 +108,11 @@ impl fmt::Display for SpecError {
             SpecError::Parse { line, msg } => write!(f, "spec line {line}: {msg}"),
             SpecError::MissingKey(key) => write!(f, "spec is missing required key '{key}'"),
             SpecError::Invalid(msg) => write!(f, "invalid spec: {msg}"),
-            SpecError::FabricUnsupported { healer } => write!(
+            SpecError::FabricUnsupported { healer, backend } => write!(
                 f,
                 "healer '{healer}' has no distributed-fabric implementation \
-                 (only dash and sdash run on the sim backend); use backend = centralized"
+                 (backend = {backend} unsupported; only dash, sdash and ftree \
+                 run on the sim backend); use backend = centralized"
             ),
         }
     }
@@ -373,17 +377,35 @@ pub enum HealerSpec {
     LineHeal,
     /// Control: no healing.
     NoHeal,
+    /// Heir-rooted reconnection trees (Trehan's dissertation, Ch. 4):
+    /// ≤ 3 new edges per survivor per adjacent deletion, O(log n)
+    /// stretch. Fabric-capable.
+    ForgivingTree,
+    /// `ring(budget)` — cycle plus halving-stride chords under a
+    /// per-node budget (the Hayashi-style ring-enhancement family).
+    /// Centralized-only.
+    RingForgiving {
+        /// Chord rounds per heal (≤ `2 + budget` new edges per survivor
+        /// per adjacent deletion).
+        budget: usize,
+    },
 }
 
 impl HealerSpec {
-    /// Every healer, in registry order.
-    pub const ALL: [HealerSpec; 6] = [
+    /// Every healer, in registry order. The parameterized
+    /// [`RingForgiving`](HealerSpec::RingForgiving) entry carries its
+    /// canonical default budget.
+    pub const ALL: [HealerSpec; 8] = [
         HealerSpec::Dash,
         HealerSpec::Sdash,
         HealerSpec::GraphHeal,
         HealerSpec::BinaryTreeHeal,
         HealerSpec::LineHeal,
         HealerSpec::NoHeal,
+        HealerSpec::ForgivingTree,
+        HealerSpec::RingForgiving {
+            budget: crate::ring::RingForgiving::DEFAULT_BUDGET,
+        },
     ];
 
     /// The strategies the paper's figures compare (everything but NoHeal).
@@ -406,12 +428,23 @@ impl HealerSpec {
             HealerSpec::BinaryTreeHeal => "bintree-heal",
             HealerSpec::LineHeal => "line-heal",
             HealerSpec::NoHeal => "no-heal",
+            HealerSpec::ForgivingTree => "ftree",
+            HealerSpec::RingForgiving { .. } => "ring",
         }
     }
 
-    /// Parse a display name.
-    pub fn parse(name: &str) -> Option<HealerSpec> {
-        HealerSpec::ALL.into_iter().find(|h| h.name() == name)
+    /// Parse a display name (or the `ring(budget)` call form; a bare
+    /// `ring` resolves to the registry's canonical default budget).
+    pub fn parse(value: &str) -> Option<HealerSpec> {
+        let (name, args) = parse_call(value).ok()?;
+        match (name, args.as_slice()) {
+            ("ring", [budget]) => budget
+                .parse()
+                .ok()
+                .map(|budget| HealerSpec::RingForgiving { budget }),
+            (_, []) => HealerSpec::ALL.into_iter().find(|h| h.name() == name),
+            _ => None,
+        }
     }
 
     /// Instantiate the strategy.
@@ -423,18 +456,24 @@ impl HealerSpec {
             HealerSpec::BinaryTreeHeal => Box::new(crate::naive::BinaryTreeHeal),
             HealerSpec::LineHeal => Box::new(crate::naive::LineHeal),
             HealerSpec::NoHeal => Box::new(crate::naive::NoHeal),
+            HealerSpec::ForgivingTree => Box::new(crate::ftree::ForgivingTree),
+            HealerSpec::RingForgiving { budget } => Box::new(crate::ring::RingForgiving { budget }),
         }
     }
 
-    /// The distributed-fabric mode for this healer. Only DASH and SDASH
-    /// exist as message-passing protocols; every other strategy is
-    /// centralized-only and reports [`SpecError::FabricUnsupported`].
-    pub fn heal_mode(self) -> Result<HealMode, SpecError> {
+    /// The distributed-fabric mode for this healer on the given backend.
+    /// Only DASH, SDASH and ForgivingTree exist as message-passing
+    /// protocols; every other strategy is centralized-only and reports
+    /// [`SpecError::FabricUnsupported`], naming both the healer and the
+    /// backend the caller asked for.
+    pub fn heal_mode(self, backend: BackendSpec) -> Result<HealMode, SpecError> {
         match self {
             HealerSpec::Dash => Ok(HealMode::Dash),
             HealerSpec::Sdash => Ok(HealMode::Sdash),
+            HealerSpec::ForgivingTree => Ok(HealMode::ForgivingTree),
             other => Err(SpecError::FabricUnsupported {
                 healer: other.name(),
+                backend: backend.name(),
             }),
         }
     }
@@ -442,7 +481,10 @@ impl HealerSpec {
 
 impl fmt::Display for HealerSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
+        match *self {
+            HealerSpec::RingForgiving { budget } => write!(f, "ring({budget})"),
+            plain => f.write_str(plain.name()),
+        }
     }
 }
 
@@ -897,7 +939,7 @@ impl ScenarioSpec {
         self.graph.validate()?;
         self.adversary.validate()?;
         if self.backend != BackendSpec::Centralized {
-            self.healer.heal_mode()?;
+            self.healer.heal_mode(self.backend)?;
         }
         if self.audit == AuditSpec::Exhaustive {
             if self.backend != BackendSpec::Centralized {
@@ -1082,7 +1124,7 @@ impl ScenarioSpec {
         } else {
             // validate() proved heal_mode() succeeds.
             Some(DistributedScenarioRunner::with_mode(
-                self.healer.heal_mode()?,
+                self.healer.heal_mode(self.backend)?,
                 &g,
                 self.seed,
             ))
@@ -1485,11 +1527,13 @@ mod tests {
             HealerSpec::BinaryTreeHeal,
             HealerSpec::LineHeal,
             HealerSpec::NoHeal,
+            HealerSpec::RingForgiving { budget: 2 },
         ] {
             assert_eq!(
-                healer.heal_mode(),
+                healer.heal_mode(BackendSpec::Parity),
                 Err(SpecError::FabricUnsupported {
-                    healer: healer.name()
+                    healer: healer.name(),
+                    backend: "parity",
                 })
             );
             let mut spec = sample();
@@ -1499,8 +1543,64 @@ mod tests {
             spec.backend = BackendSpec::Centralized;
             assert!(spec.validate().is_ok());
         }
-        assert_eq!(HealerSpec::Dash.heal_mode(), Ok(HealMode::Dash));
-        assert_eq!(HealerSpec::Sdash.heal_mode(), Ok(HealMode::Sdash));
+        assert_eq!(
+            HealerSpec::Dash.heal_mode(BackendSpec::Distributed),
+            Ok(HealMode::Dash)
+        );
+        assert_eq!(
+            HealerSpec::Sdash.heal_mode(BackendSpec::Parity),
+            Ok(HealMode::Sdash)
+        );
+        assert_eq!(
+            HealerSpec::ForgivingTree.heal_mode(BackendSpec::Explorer),
+            Ok(HealMode::ForgivingTree)
+        );
+    }
+
+    /// Satellite: the `FabricUnsupported` message names both the healer
+    /// and the requested backend (and keeps the long-standing
+    /// "no distributed-fabric" phrasing the gates grep for), so a
+    /// `run --spec` failure says exactly which combination was refused.
+    #[test]
+    fn fabric_unsupported_display_names_healer_and_backend() {
+        let err = HealerSpec::RingForgiving { budget: 2 }
+            .heal_mode(BackendSpec::Parity)
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "healer 'ring' has no distributed-fabric implementation \
+             (backend = parity unsupported; only dash, sdash and ftree \
+             run on the sim backend); use backend = centralized"
+        );
+        let err = HealerSpec::NoHeal
+            .heal_mode(BackendSpec::Explorer)
+            .unwrap_err();
+        assert!(err.to_string().contains("backend = explorer unsupported"));
+        assert!(err.to_string().contains("no distributed-fabric"));
+    }
+
+    #[test]
+    fn ring_budget_parses_and_round_trips() {
+        assert_eq!(
+            HealerSpec::parse("ring"),
+            Some(HealerSpec::RingForgiving { budget: 2 })
+        );
+        assert_eq!(
+            HealerSpec::parse("ring(5)"),
+            Some(HealerSpec::RingForgiving { budget: 5 })
+        );
+        assert_eq!(
+            HealerSpec::RingForgiving { budget: 5 }.to_string(),
+            "ring(5)"
+        );
+        assert_eq!(HealerSpec::parse("ring()"), None);
+        assert_eq!(HealerSpec::parse("ring(x)"), None);
+        assert_eq!(HealerSpec::parse("ftree"), Some(HealerSpec::ForgivingTree));
+        let mut spec = sample();
+        spec.healer = HealerSpec::RingForgiving { budget: 3 };
+        let text = spec.to_string();
+        assert!(text.contains("healer = ring(3)"), "{text}");
+        assert_eq!(ScenarioSpec::parse(&text).unwrap(), spec);
     }
 
     #[test]

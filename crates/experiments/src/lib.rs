@@ -16,6 +16,7 @@
 //! | E9 | parallel sweep fleet + theorem auditors | [`sweep`] |
 //! | E10 | exhaustive prover + schedule explorer | [`verify`] |
 //! | E11 | million-node healing throughput | [`scale`] |
+//! | E12 | full healer registry ranked at equal budgets | [`familyrank`] |
 //!
 //! Run them all with the `run-experiments` binary:
 //!
@@ -30,6 +31,7 @@
 pub mod attacks;
 pub mod batchexp;
 pub mod config;
+pub mod familyrank;
 pub mod fig10;
 pub mod fig8;
 pub mod fig9;

@@ -23,6 +23,10 @@ pub fn degree_bound_m(healer: HealerKind) -> usize {
         HealerKind::LineHeal => 1,
         // Not M-bounded; attacked with the DASH tree for comparison.
         HealerKind::Sdash => 2,
+        // Heir-rooted binary tree: same internal-node shape as DASH.
+        HealerKind::ForgivingTree => 2,
+        // Two cycle edges plus one chord per budget round.
+        HealerKind::RingForgiving { budget } => 1 + budget,
         HealerKind::NoHeal => 0,
     }
 }

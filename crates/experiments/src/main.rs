@@ -11,8 +11,8 @@
 use selfheal_bench::alloc::CountingAlloc;
 use selfheal_core::spec::HealerSpec;
 use selfheal_experiments::{
-    attacks, batchexp, config::HealerKind, config::Scale, fig10, fig8, fig9, lowerbound, render,
-    scale, specrun, sweep, theorem1, verify,
+    attacks, batchexp, config::HealerKind, config::Scale, familyrank, fig10, fig8, fig9,
+    lowerbound, render, scale, specrun, sweep, theorem1, verify,
 };
 use selfheal_metrics::csv::write_figure_csv;
 use selfheal_metrics::Figure;
@@ -45,7 +45,8 @@ fn usage() -> ! {
          [--healer dash|sdash|both] [--parity]\n\
          \x20      run-experiments run --spec FILE.scn [--events N]\n\
          \x20      run-experiments verify [--full] [--threads N] [--seed N]\n\
-         \x20      run-experiments scale [--full] [--seed N]"
+         \x20      run-experiments scale [--full] [--seed N]\n\
+         \x20      run-experiments family-rank [--full] [--seed N] [--threads N]"
     );
     std::process::exit(2)
 }
@@ -75,10 +76,12 @@ fn parse_args() -> Options {
                     Some("both") => vec![HealerSpec::Dash, HealerSpec::Sdash],
                     // The sweep enforces Theorem 1 bounds, which only the
                     // paper's two algorithms satisfy — reject the naive
-                    // baselines here (as the pre-spec CLI did) instead of
-                    // burning a fleet run on a guaranteed failure.
+                    // baselines and the new families here (as the
+                    // pre-spec CLI did) instead of burning a fleet run on
+                    // a guaranteed failure. `family-rank` is the
+                    // experiment that sweeps the full registry.
                     Some(name) => vec![HealerSpec::parse(name)
-                        .filter(|h| h.heal_mode().is_ok())
+                        .filter(|h| matches!(h, HealerSpec::Dash | HealerSpec::Sdash))
                         .unwrap_or_else(|| usage())],
                     None => usage(),
                 }
@@ -127,6 +130,7 @@ fn parse_args() -> Options {
         "run",
         "verify",
         "scale",
+        "family-rank",
         "all",
     ];
     if !known.contains(&opts.command.as_str()) {
@@ -224,6 +228,25 @@ fn scale_command(opts: &Options) -> ! {
     std::process::exit(1);
 }
 
+/// The `family-rank` subcommand (E12): every registered healer family ×
+/// the full adversary library at equal budgets, folded into one
+/// deterministic ranking table. The table goes to stdout byte-identically
+/// for any `--threads` value (`make family-rank-check` pins this against
+/// a golden); timing goes to stderr to keep the golden stable. Not part
+/// of `all` — like `verify`, it sweeps healers the figure experiments
+/// deliberately exclude.
+fn family_rank_command(opts: &Options) -> ! {
+    let t0 = Instant::now();
+    println!(
+        "# E12: healer family ranking — {:?}, seed {}\n",
+        opts.scale, opts.seed
+    );
+    let rows = familyrank::run(opts.scale, opts.seed, opts.threads);
+    print!("{}", familyrank::render(&rows));
+    eprintln!("done in {:.1?}", t0.elapsed());
+    std::process::exit(0);
+}
+
 fn main() {
     let opts = parse_args();
     if opts.command == "run" {
@@ -234,6 +257,9 @@ fn main() {
     }
     if opts.command == "scale" {
         scale_command(&opts);
+    }
+    if opts.command == "family-rank" {
+        family_rank_command(&opts);
     }
     let t0 = Instant::now();
     let run = |name: &str| opts.command == name || opts.command == "all";

@@ -84,14 +84,18 @@ pub fn run(full: bool, threads: usize, seed: u64) -> VerifySummary {
     let universe = run_universe(&cfg).map_err(|e| e.to_string());
 
     let (g, events) = two_batch_scenario();
-    let explorations = [HealerSpec::Dash, HealerSpec::Sdash]
-        .into_iter()
-        .map(|healer| Exploration {
-            label: format!("cycle(16) two-batch / {}", healer.name()),
-            report: explore_events(&g, healer, seed, &events, &ExplorerConfig::default())
-                .map_err(|e| e.to_string()),
-        })
-        .collect();
+    let explorations = [
+        HealerSpec::Dash,
+        HealerSpec::Sdash,
+        HealerSpec::ForgivingTree,
+    ]
+    .into_iter()
+    .map(|healer| Exploration {
+        label: format!("cycle(16) two-batch / {}", healer.name()),
+        report: explore_events(&g, healer, seed, &events, &ExplorerConfig::default())
+            .map_err(|e| e.to_string()),
+    })
+    .collect();
 
     VerifySummary {
         max_n,

@@ -53,9 +53,11 @@ pub mod prelude {
     pub use selfheal_core::explore::{
         check_seeded_orders, explore_events, ExplorerConfig, ExplorerReport,
     };
-    pub use selfheal_core::invariants::{TheoremAuditor, TheoremBounds};
+    pub use selfheal_core::ftree::ForgivingTree;
+    pub use selfheal_core::invariants::{FamilyAuditor, TheoremAuditor, TheoremBounds};
     pub use selfheal_core::naive::{BinaryTreeHeal, GraphHeal, LineHeal, NoHeal};
     pub use selfheal_core::oracle::OracleDash;
+    pub use selfheal_core::ring::RingForgiving;
     pub use selfheal_core::scenario::{
         AuditObserver, DegreeBatches, EventKind, EventRecord, EventSource, NetworkEvent,
         NullObserver, Observer, RandomChurn, RecordLog, ScenarioEngine, ScenarioReport,

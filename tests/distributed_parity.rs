@@ -10,7 +10,8 @@
 //! on both sides — the distributed protocol reproduces the centralized
 //! engine's final topology, healing forest, component IDs, ID-change
 //! counts, per-node message counters, and per-event message counts
-//! **exactly**, under both DASH and SDASH.
+//! **exactly**, under DASH, SDASH, and the ForgivingTree family (whose
+//! fabric twin must elect the same heir from neighborhood-local views).
 
 mod common;
 
@@ -19,6 +20,7 @@ use rand::SeedableRng;
 use selfheal_core::dash::Dash;
 use selfheal_core::distributed::HealMode;
 use selfheal_core::distributed_runner::DistributedScenarioRunner;
+use selfheal_core::ftree::ForgivingTree;
 use selfheal_core::scenario::{NetworkEvent, ScenarioEngine, ScriptedEvents};
 use selfheal_core::sdash::Sdash;
 use selfheal_core::spec::CuratedSchedule;
@@ -31,10 +33,10 @@ use selfheal_graph::Graph;
 /// observable — per event and at the fixed point — with the shared
 /// comparator in `tests/common/mod.rs`.
 fn assert_schedule_parity<H: Healer>(g: &Graph, seed: u64, schedule: &[NetworkEvent], healer: H) {
-    let mode = if healer.name() == "sdash" {
-        HealMode::Sdash
-    } else {
-        HealMode::Dash
+    let mode = match healer.name() {
+        "sdash" => HealMode::Sdash,
+        "ftree" => HealMode::ForgivingTree,
+        _ => HealMode::Dash,
     };
     let net = HealingNetwork::new(g.clone(), seed);
     let mut engine = ScenarioEngine::new(net, healer, ScriptedEvents::new(schedule.to_vec()));
@@ -71,19 +73,30 @@ fn mixed_schedule_parity_sdash() {
     assert_schedule_parity(&ba(32, 5), 5, &schedule, Sdash);
 }
 
+#[test]
+fn mixed_schedule_parity_ftree() {
+    let schedule = CuratedSchedule::MixedAcceptance.events();
+    assert_schedule_parity(&ba(32, 5), 5, &schedule, ForgivingTree);
+}
+
 /// Batches on a cycle: maximal independent sets, then churn.
 #[test]
 fn cycle_batch_parity() {
     let schedule = CuratedSchedule::CycleBatches.events();
     assert_schedule_parity(&cycle_graph(12), 17, &schedule, Dash);
     assert_schedule_parity(&cycle_graph(12), 17, &schedule, Sdash);
+    assert_schedule_parity(&cycle_graph(12), 17, &schedule, ForgivingTree);
 }
 
-/// Star hubs stress surrogation (large δ spread) under batches.
+/// Star hubs stress surrogation (large δ spread) under batches. For the
+/// heir-rooted family the hub deletion is the canonical case: every
+/// spoke is in the reconstruction set and the elected heir becomes the
+/// tree root, so any divergence in heir election shows up here first.
 #[test]
 fn star_batch_parity_sdash() {
     let schedule = CuratedSchedule::StarBatches.events();
     assert_schedule_parity(&star_graph(16), 29, &schedule, Sdash);
+    assert_schedule_parity(&star_graph(16), 29, &schedule, ForgivingTree);
 }
 
 /// Joined nodes get deleted again, re-joined, and batch-killed — the
@@ -93,6 +106,7 @@ fn join_heavy_churn_parity() {
     let schedule = CuratedSchedule::JoinChurn.events();
     assert_schedule_parity(&ba(24, 3), 3, &schedule, Dash);
     assert_schedule_parity(&ba(24, 3), 3, &schedule, Sdash);
+    assert_schedule_parity(&ba(24, 3), 3, &schedule, ForgivingTree);
 }
 
 /// Satellite: parity under *randomly permuted* notification
@@ -144,9 +158,10 @@ mod seeded_interleavings {
             graph_seed in 1u64..1_000,
             order_seed in 0u64..u64::MAX,
             n in 32usize..=64,
-            healer_i in 0usize..2,
+            healer_i in 0usize..3,
         ) {
-            let healer = [HealerSpec::Dash, HealerSpec::Sdash][healer_i];
+            let healer =
+                [HealerSpec::Dash, HealerSpec::Sdash, HealerSpec::ForgivingTree][healer_i];
             let g = ba(n, graph_seed);
             let events = random_batch_schedule(n, graph_seed ^ 0xfeed);
             let outcome = check_seeded_orders(&g, healer, graph_seed, &events, order_seed);

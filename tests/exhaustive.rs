@@ -35,18 +35,45 @@ fn universe_up_to_five_is_clean_for_every_healer() {
     };
     let report = run_universe(&cfg).unwrap();
     assert_eq!(report.graphs, 31, "1+1+2+6+21 connected graphs");
-    assert_eq!(report.healers, 6);
+    assert_eq!(report.healers, 8);
     // Σ n! over graphs: 1 + 2 + 12 + 144 + 21·120 = 2679 per healer.
-    assert_eq!(report.order_runs, 2679 * 6);
-    assert_eq!(report.batch_runs, 31 * 2 * 6);
+    assert_eq!(report.order_runs, 2679 * 8);
+    assert_eq!(report.batch_runs, 31 * 2 * 8);
+    assert!(report.is_clean(), "{:#?}", report.violations);
+}
+
+/// Tentpole attribution: the two new families alone, over the whole
+/// n ≤ 5 universe, with exact run accounting — their per-family bounds
+/// (ftree: ≤ 3 edges gained per adjacent deletion and 2 log₂ n stretch;
+/// ring: ≤ 2 + budget edges per adjacent deletion) plus connectivity
+/// hold on every connected graph under every deletion order and the
+/// representative batch partitions. This is the proof the ISSUE's
+/// family profiles exist to make possible: the full-registry test above
+/// would pass even if the new families were silently skipped; the pins
+/// here cannot.
+#[test]
+fn new_families_alone_are_clean_over_the_whole_small_universe() {
+    let cfg = UniverseConfig {
+        max_n: 5,
+        healers: vec![
+            HealerSpec::ForgivingTree,
+            HealerSpec::RingForgiving { budget: 2 },
+        ],
+        ..UniverseConfig::default()
+    };
+    let report = run_universe(&cfg).unwrap();
+    assert_eq!(report.graphs, 31);
+    assert_eq!(report.healers, 2);
+    assert_eq!(report.order_runs, 2679 * 2);
+    assert_eq!(report.batch_runs, 31 * 2 * 2);
     assert!(report.is_clean(), "{:#?}", report.violations);
 }
 
 /// The explorer proves centralized/distributed parity over *every* DPOR
-/// schedule class of a mixed two-batch scenario, for both fabric-capable
-/// healers, and the prune accounting is exact: 6!·4! raw interleavings
-/// collapse to 3!·2! classes, each checked twice (canonical + maximally
-/// different representative).
+/// schedule class of a mixed two-batch scenario, for all three
+/// fabric-capable healers, and the prune accounting is exact: 6!·4! raw
+/// interleavings collapse to 3!·2! classes, each checked twice
+/// (canonical + maximally different representative).
 #[test]
 fn explorer_proves_two_batch_parity_with_exact_prune_accounting() {
     let g = cycle_graph(16);
@@ -58,7 +85,11 @@ fn explorer_proves_two_batch_parity_with_exact_prune_accounting() {
             neighbors: vec![NodeId(5), NodeId(6)],
         },
     ];
-    for healer in [HealerSpec::Dash, HealerSpec::Sdash] {
+    for healer in [
+        HealerSpec::Dash,
+        HealerSpec::Sdash,
+        HealerSpec::ForgivingTree,
+    ] {
         let report = explore_events(&g, healer, 17, &events, &ExplorerConfig::default()).unwrap();
         assert_eq!(report.batches, 2);
         assert_eq!(report.interleavings, 720 * 24, "6! x 4! notifications");

@@ -327,6 +327,159 @@ proptest! {
         g.validate().unwrap();
     }
 
+    /// Satellite: every ForgivingTree heal, under a random deletion
+    /// schedule on random BA graphs, is byte-identical to the naive
+    /// reference — [`order_heir_first`] over the reconstruction set plus
+    /// the `(i-1)/2` complete-binary-tree parent rule — and keeps the
+    /// family's promises per event: the reconnection touches only the
+    /// victim's former neighbors, is acyclic on its own edges, and no
+    /// survivor gains more than 3 edges.
+    #[test]
+    fn ftree_heals_match_heir_first_reference(
+        n in 8usize..40,
+        seed in 0u64..1_000,
+        picks in prop::collection::vec(0usize..64, 1..16),
+    ) {
+        let g = generators::barabasi_albert(n, 2, &mut StdRng::seed_from_u64(seed));
+        let mut net = HealingNetwork::new(g, seed);
+        let mut healer = selfheal_core::ftree::ForgivingTree;
+        for pick in picks {
+            let live = net.graph().live_node_count();
+            if live <= 1 {
+                break;
+            }
+            let victim = net.graph().nth_live(pick % live).unwrap();
+            let former: Vec<NodeId> = net.graph().neighbors(victim).to_vec();
+            let before: Vec<usize> = (0..net.graph().node_bound())
+                .map(|i| net.graph().degree(NodeId::from_index(i)))
+                .collect();
+            let ctx = net.delete_node(victim).unwrap();
+
+            // Naive reference, computed on the same post-deletion,
+            // pre-heal state the strategy sees.
+            let mut members = Vec::new();
+            selfheal_core::rt::reconstruction_set_into(
+                &net, &ctx, &mut Vec::new(), &mut members,
+            );
+            let mut order = Vec::new();
+            selfheal_core::ftree::order_heir_first(&net, &members, &mut order);
+            let mut expect: Vec<(NodeId, NodeId)> = (1..order.len())
+                .map(|i| (order[(i - 1) / 2], order[i]))
+                .filter(|&(p, c)| !net.healing_graph().has_edge(p, c))
+                .map(|(p, c)| (p.min(c), p.max(c)))
+                .collect();
+            expect.sort_unstable();
+
+            let outcome = healer.heal(&mut net, &ctx);
+            net.propagate_min_id(&outcome.rt_members);
+            prop_assert_eq!(&outcome.rt_members, &members);
+            let mut got: Vec<(NodeId, NodeId)> = outcome
+                .edges_added
+                .iter()
+                .map(|&(a, b)| (a.min(b), a.max(b)))
+                .collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expect, "victim {}", victim);
+
+            // Locality + acyclicity of the reconnection itself.
+            let mut uf = UnionFind::new(net.graph().node_bound());
+            for &(a, b) in &got {
+                prop_assert!(
+                    former.contains(&a) && former.contains(&b),
+                    "edge {a}-{b} leaves the victim's former neighborhood"
+                );
+                prop_assert!(!uf.same(a.index(), b.index()), "reconnection cycles at {a}-{b}");
+                uf.union(a.index(), b.index());
+            }
+            // O(1) degree gain: ≤ 3 per member per adjacent deletion.
+            for &m in &outcome.rt_members {
+                let lost = usize::from(former.contains(&m));
+                let gained = (net.graph().degree(m) + lost).saturating_sub(before[m.index()]);
+                prop_assert!(gained <= 3, "member {m} gained {gained}");
+            }
+        }
+    }
+
+    /// Satellite: every RingForgiving heal matches its exposed naive
+    /// reference plan ([`ring_plan`]) exactly — members in initial-ID
+    /// order, a single cycle, then the halving-stride chord rounds — and
+    /// each survivor gains at most `2 + budget` edges per adjacent
+    /// deletion.
+    #[test]
+    fn ring_heals_match_ring_plan_reference(
+        n in 8usize..40,
+        seed in 0u64..1_000,
+        budget in 0usize..4,
+        picks in prop::collection::vec(0usize..64, 1..16),
+    ) {
+        use selfheal_core::ring::{ring_plan, RingForgiving};
+        let g = generators::barabasi_albert(n, 2, &mut StdRng::seed_from_u64(seed));
+        let mut net = HealingNetwork::new(g, seed);
+        let mut healer = RingForgiving { budget };
+        for pick in picks {
+            let live = net.graph().live_node_count();
+            if live <= 1 {
+                break;
+            }
+            let victim = net.graph().nth_live(pick % live).unwrap();
+            let former: Vec<NodeId> = net.graph().neighbors(victim).to_vec();
+            let before: Vec<usize> = (0..net.graph().node_bound())
+                .map(|i| net.graph().degree(NodeId::from_index(i)))
+                .collect();
+            let ctx = net.delete_node(victim).unwrap();
+
+            let mut members = Vec::new();
+            selfheal_core::rt::reconstruction_set_into(
+                &net, &ctx, &mut Vec::new(), &mut members,
+            );
+            let mut order = members.clone();
+            order.sort_unstable_by_key(|&v| net.initial_id(v));
+            let mut expect: Vec<(NodeId, NodeId)> = ring_plan(order.len(), budget)
+                .into_iter()
+                .map(|(i, j)| (order[i], order[j]))
+                .filter(|&(a, b)| !net.healing_graph().has_edge(a, b))
+                .map(|(a, b)| (a.min(b), a.max(b)))
+                .collect();
+            expect.sort_unstable();
+            expect.dedup();
+
+            let outcome = healer.heal(&mut net, &ctx);
+            net.propagate_min_id(&outcome.rt_members);
+            prop_assert_eq!(&outcome.rt_members, &members);
+            let mut got: Vec<(NodeId, NodeId)> = outcome
+                .edges_added
+                .iter()
+                .map(|&(a, b)| (a.min(b), a.max(b)))
+                .collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expect, "victim {}", victim);
+
+            // The single cycle is present in G' after the heal…
+            let m = order.len();
+            if m >= 2 {
+                for i in 0..m {
+                    let (a, b) = (order[i], order[(i + 1) % m]);
+                    if a != b {
+                        prop_assert!(
+                            net.healing_graph().has_edge(a, b),
+                            "cycle edge {a}-{b} missing"
+                        );
+                    }
+                }
+            }
+            // …and the budget caps every survivor's gain.
+            for &mem in &outcome.rt_members {
+                let lost = usize::from(former.contains(&mem));
+                let gained =
+                    (net.graph().degree(mem) + lost).saturating_sub(before[mem.index()]);
+                prop_assert!(
+                    gained <= 2 + budget,
+                    "member {mem} gained {gained} with budget {budget}"
+                );
+            }
+        }
+    }
+
     /// CSR snapshots preserve BFS distances from the dynamic graph.
     #[test]
     fn csr_distances_match_graph(n in 2usize..40, p in 0.05f64..0.4, seed in 0u64..500) {

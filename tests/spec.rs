@@ -8,7 +8,7 @@
 //!    byte-identical (full `Debug` report) to the pre-redesign
 //!    hand-built construction (`ScenarioEngine` wired by hand), on the
 //!    centralized backend always and on the distributed backend for the
-//!    two fabric-capable healers.
+//!    three fabric-capable healers.
 //! 3. **Checked-in specs** — every `specs/*.scn` parses, validates, and
 //!    round-trips through the text format.
 
@@ -40,6 +40,15 @@ fn graph_variant(idx: usize, a: usize, b: usize, p: f64) -> GraphSpec {
     }
 }
 
+fn healer_variant(idx: usize, b: usize) -> HealerSpec {
+    match idx % 8 {
+        // The ring family is the registry's only parameterized healer —
+        // exercise randomized budgets, not just the default.
+        0 => HealerSpec::RingForgiving { budget: b },
+        i => HealerSpec::ALL[i],
+    }
+}
+
 fn adversary_variant(idx: usize, a: usize, b: usize, p: f64) -> AdversarySpec {
     match idx % 11 {
         0 => AdversarySpec::MaxNode,
@@ -66,7 +75,7 @@ proptest! {
     fn parse_display_round_trip(
         gi in 0usize..8,
         ai in 0usize..11,
-        hi in 0usize..6,
+        hi in 0usize..8,
         audit_i in 0usize..5,
         backend_i in 0usize..4,
         a in 1usize..200,
@@ -77,7 +86,7 @@ proptest! {
     ) {
         let mut spec = ScenarioSpec::new(
             graph_variant(gi, a, b, p),
-            HealerSpec::ALL[hi],
+            healer_variant(hi, b),
             adversary_variant(ai, a, b, p),
             seed,
         );
@@ -116,6 +125,8 @@ fn hand_healer(healer: HealerSpec) -> Box<dyn Healer> {
         HealerSpec::BinaryTreeHeal => Box::new(BinaryTreeHeal),
         HealerSpec::LineHeal => Box::new(LineHeal),
         HealerSpec::NoHeal => Box::new(NoHeal),
+        HealerSpec::ForgivingTree => Box::new(ForgivingTree),
+        HealerSpec::RingForgiving { budget } => Box::new(RingForgiving { budget }),
     }
 }
 
@@ -134,7 +145,7 @@ fn golden_spec(healer: HealerSpec, adversary: AdversarySpec, seed: u64) -> Scena
 /// Golden equivalence, centralized backend: the spec-built run's full
 /// report is byte-identical (Debug form) to the hand-wired
 /// `ScenarioEngine` construction every call site used before the
-/// redesign — for all six healers against all three adversaries.
+/// redesign — for all eight healers against all three adversaries.
 #[test]
 fn spec_runs_match_hand_built_centralized_runs() {
     for healer in HealerSpec::ALL {
@@ -162,9 +173,9 @@ fn spec_runs_match_hand_built_centralized_runs() {
     }
 }
 
-/// Golden equivalence, distributed backend: for the two fabric-capable
+/// Golden equivalence, distributed backend: for the three fabric-capable
 /// healers the spec-built fabric report is byte-identical to a hand-run
-/// `DistributedScenarioRunner` twin; the other four healers are rejected
+/// `DistributedScenarioRunner` twin; the other five healers are rejected
 /// with `FabricUnsupported` instead of panicking or silently degrading.
 #[test]
 fn spec_runs_match_hand_built_distributed_runs() {
@@ -175,7 +186,7 @@ fn spec_runs_match_hand_built_distributed_runs() {
             spec.backend = BackendSpec::Parity;
             let outcome = spec.run();
 
-            let Ok(mode) = healer.heal_mode() else {
+            let Ok(mode) = healer.heal_mode(BackendSpec::Parity) else {
                 assert!(
                     matches!(outcome, Err(SpecError::FabricUnsupported { .. })),
                     "{healer} must be rejected on the fabric"
@@ -247,7 +258,11 @@ fn checked_in_specs_parse_validate_and_round_trip() {
 #[test]
 fn curated_specs_hold_parity() {
     for schedule in CuratedSchedule::ALL {
-        for healer in [HealerSpec::Dash, HealerSpec::Sdash] {
+        for healer in [
+            HealerSpec::Dash,
+            HealerSpec::Sdash,
+            HealerSpec::ForgivingTree,
+        ] {
             let mut spec = ScenarioSpec::new(
                 GraphSpec::BarabasiAlbert { n: 32, m: 3 },
                 healer,
