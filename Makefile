@@ -3,12 +3,12 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test test-all bench bench-check bench-baseline bench-regress sim-parity sweep-check spec-check family-rank-check verify-exhaustive lint-custom loom-check loom-check-full doc fmt fmt-check clippy examples figures scale ci clean
+.PHONY: all build test test-all bench bench-check bench-baseline bench-regress sim-parity sweep-check spec-check family-rank-check serve-check verify-exhaustive lint-custom loom-check loom-check-full doc fmt fmt-check clippy examples figures scale ci clean
 
 ## The checked-in perf baseline this PR's trajectory is gated against.
 ## Convention: one BENCH_<pr>.json per PR that moved performance; the
 ## newest file is the active gate (see README "perf trajectory").
-BENCH_BASELINE ?= BENCH_8.json
+BENCH_BASELINE ?= BENCH_10.json
 BENCH_EXPORT   := target/criterion-export.jsonl
 
 all: build
@@ -48,10 +48,20 @@ bench-baseline:
 ## Perf-regression gate: re-run the suite and compare against the
 ## checked-in baseline. Fails when any benchmark's median regresses more
 ## than 10% beyond a 3-MAD noise slack; renamed/removed benches warn.
+## A reported regression is re-sampled once before failing: on a shared
+## host, transient CPU interference shifts a whole bench run's medians
+## by far more than the MAD slack (observed +50..200% on rotating,
+## unrelated benches), while a real regression reproduces on the
+## second sample.
 bench-regress:
 	rm -f $(BENCH_EXPORT)
 	CRITERION_EXPORT=$(CURDIR)/$(BENCH_EXPORT) $(CARGO) bench -p selfheal-bench
-	$(CARGO) run -q --release -p selfheal-bench --bin baseline -- compare $(BENCH_BASELINE) $(BENCH_EXPORT)
+	@$(CARGO) run -q --release -p selfheal-bench --bin baseline -- compare $(BENCH_BASELINE) $(BENCH_EXPORT) || { \
+	  echo "bench-regress: re-sampling once to rule out host interference"; \
+	  rm -f $(BENCH_EXPORT); \
+	  CRITERION_EXPORT=$(CURDIR)/$(BENCH_EXPORT) $(CARGO) bench -p selfheal-bench; \
+	  $(CARGO) run -q --release -p selfheal-bench --bin baseline -- compare $(BENCH_BASELINE) $(BENCH_EXPORT); \
+	}
 
 ## Distributed-vs-centralized parity gate: the curated parity suite, the
 ## randomized parity proptests, and the distributed fabric bench (whose
@@ -98,6 +108,29 @@ family-rank-check:
 	    | diff -u goldens/family_rank_quick.txt - ; \
 	done
 
+## Serving-layer gate (E13 + smoke): the serve crate's test-suite
+## (wire-form proptests, hostile-input handling, the concurrent-reader
+## soak, worker-count invariance), then the two-tenant replay smoke and
+## the quick serve-bench soak at 1, 2 and 8 workers — every output must
+## match its checked-in golden byte for byte (the cluster's determinism
+## contract). Regenerate intentionally changed goldens with the two
+## commands below, piping stdout over the golden, and note it in the
+## commit.
+serve-check:
+	$(CARGO) test -q -p selfheal-serve
+	@set -e; for t in 1 2 8; do \
+	  echo "== selfheal-serve --threads $$t (replay smoke)"; \
+	  $(CARGO) run -q --release -p selfheal-serve -- \
+	    --specs specs --tenants random_churn,epidemic_sdash \
+	    --threads $$t --replay specs/serve_smoke.replay \
+	    | diff -u goldens/serve_smoke.txt - ; \
+	done
+	@set -e; for t in 1 2 8; do \
+	  echo "== serve-bench --threads $$t"; \
+	  $(CARGO) run -q --release -p selfheal-experiments -- serve-bench --quick --threads $$t 2>/dev/null \
+	    | diff -u goldens/serve_bench_quick.txt - ; \
+	done
+
 ## Exhaustive verification gate (E10), bounded to seconds: the
 ## small-world prover enumerates every connected graph up to n = 6 (the
 ## census-checked A001349 universe), every deletion order, and
@@ -131,12 +164,14 @@ loom-check:
 	RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom $(CARGO) test --release -q -p loom
 	RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom $(CARGO) test --release -q -p selfheal-graph --test loom -- --nocapture
 	RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom $(CARGO) test --release -q -p selfheal-bench --test loom -- --nocapture
+	RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom $(CARGO) test --release -q -p selfheal-serve --test loom -- --nocapture
 
 ## Opt-in full tier: 3-thread models (tens of thousands of
 ## interleavings, ~10s).
 loom-check-full:
 	LOOM_FULL=1 RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom $(CARGO) test --release -q -p selfheal-graph --test loom -- --nocapture
 	LOOM_FULL=1 RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom $(CARGO) test --release -q -p selfheal-bench --test loom -- --nocapture
+	LOOM_FULL=1 RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom $(CARGO) test --release -q -p selfheal-serve --test loom -- --nocapture
 
 ## API docs for the workspace crates only.
 doc:
@@ -172,7 +207,7 @@ scale:
 	$(CARGO) run -q --release -p selfheal-experiments -- scale
 
 ## The full CI gate.
-ci: fmt-check clippy build test-all doc bench-check bench-regress sim-parity sweep-check spec-check family-rank-check verify-exhaustive lint-custom loom-check
+ci: fmt-check clippy build test-all doc bench-check bench-regress sim-parity sweep-check spec-check family-rank-check serve-check verify-exhaustive lint-custom loom-check
 	@echo "ci green"
 
 clean:

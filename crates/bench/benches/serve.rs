@@ -1,0 +1,131 @@
+//! Serving-layer throughput: lock-free snapshot reads under publish
+//! churn (the headline claim of `serve::snapshot` — queries never block
+//! a heal) against a mutex-guarded baseline, plus end-to-end cluster
+//! ticking with two tenant shards.
+//!
+//! Every benchmark asserts its structural expectations (no torn pairs,
+//! exact per-tick event accounting), so `make bench` doubles as a smoke
+//! gate for the serving crate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
+use selfheal_core::scenario::NetworkEvent;
+use selfheal_core::spec::ScenarioSpec;
+use selfheal_serve::{slot_pair, Cluster};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Snapshot-read cost while a publisher churns as fast as it can: the
+/// epoch-validated double-buffer read versus taking a mutex around the
+/// same pair. The assert catches torn reads, so this is also a stress
+/// test of the protocol the loom model proves.
+fn bench_snapshot_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    {
+        let (mut writer, reader) = slot_pair((0u64, 0u64), (0u64, 0u64));
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let publisher = std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !flag.load(Ordering::Acquire) {
+                i += 1;
+                writer.publish(|buf| *buf = (i, i));
+            }
+        });
+        group.bench_function("snapshot_read_under_churn", |b| {
+            b.iter(|| {
+                let (epoch, (x, y)) = reader.read(|pair| *pair);
+                assert_eq!(x, y, "torn read at epoch {epoch}");
+                black_box(epoch)
+            })
+        });
+        stop.store(true, Ordering::Release);
+        let _ = publisher.join();
+    }
+
+    {
+        let shared = Arc::new(Mutex::new((0u64, 0u64)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (pair, flag) = (shared.clone(), stop.clone());
+        let publisher = std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !flag.load(Ordering::Acquire) {
+                i += 1;
+                *pair.lock() = (i, i);
+            }
+        });
+        group.bench_function("mutex_read_under_churn", |b| {
+            b.iter(|| {
+                let (x, y) = *shared.lock();
+                assert_eq!(x, y);
+                black_box(x)
+            })
+        });
+        stop.store(true, Ordering::Release);
+        let _ = publisher.join();
+    }
+
+    group.finish();
+}
+
+const CHURN_SPEC: &str = include_str!("../../../specs/random_churn.scn");
+const EPIDEMIC_SPEC: &str = include_str!("../../../specs/epidemic_sdash.scn");
+
+fn served_spec(text: &str) -> ScenarioSpec {
+    let spec = ScenarioSpec::parse(text).expect("checked-in spec parses");
+    spec.validate().expect("checked-in spec validates");
+    spec
+}
+
+/// End-to-end cluster ticking: 64 events per tenant per tick (an even
+/// delete/join mix drawn from the published live set, so the networks
+/// stay in a stable population band across iterations).
+fn bench_cluster_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let mut cluster = Cluster::new(2);
+    cluster
+        .add_spec("churn", &served_spec(CHURN_SPEC))
+        .expect("servable spec");
+    cluster
+        .add_spec("epidemic", &served_spec(EPIDEMIC_SPEC))
+        .expect("servable spec");
+    let mut salt = 0x5EED_u64;
+    group.bench_function("two_tenant_tick_128_events", |b| {
+        b.iter(|| {
+            for tenant in ["churn", "epidemic"] {
+                let reader = cluster.reader(tenant).expect("served tenant");
+                let (_, live) = reader.read(|snap| snap.state.live.clone());
+                for k in 0..64usize {
+                    salt = salt
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let pick = live[(salt % live.len() as u64) as usize];
+                    let event = if k % 2 == 0 {
+                        NetworkEvent::Delete(pick)
+                    } else {
+                        NetworkEvent::Join {
+                            neighbors: vec![pick],
+                        }
+                    };
+                    cluster.submit(tenant, event).expect("valid event");
+                }
+            }
+            let (applied, skipped) = cluster.tick();
+            assert_eq!(applied + skipped, 128, "every submitted event accounted");
+            black_box(applied)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot_reads, bench_cluster_tick);
+criterion_main!(benches);

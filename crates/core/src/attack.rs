@@ -34,7 +34,11 @@ use selfheal_sim::SplitMix64;
 use std::collections::VecDeque;
 
 /// An adversary that chooses one victim per round.
-pub trait Adversary {
+///
+/// `Send` is a supertrait so boxed adversaries (and the engines holding
+/// them) can migrate across the serving layer's worker threads; every
+/// adversary is plain owned data, so the bound costs nothing.
+pub trait Adversary: Send {
     /// Short stable name used in tables and benchmarks.
     fn name(&self) -> &'static str;
 

@@ -48,6 +48,7 @@ pub mod ring;
 pub mod rt;
 pub mod scenario;
 pub mod sdash;
+pub mod snapshot;
 pub mod spec;
 pub mod state;
 pub mod strategy;
@@ -66,6 +67,7 @@ pub use scenario::{
     EventRecord, EventSource, NetworkEvent, Observer, ScenarioEngine, ScenarioReport,
 };
 pub use sdash::Sdash;
+pub use snapshot::StateSnapshot;
 pub use spec::{
     AdversarySpec, AuditSpec, BackendSpec, CuratedSchedule, DynScenarioEngine, GraphSpec,
     HealerSpec, RunOptions, ScenarioSpec, SpecError, SpecOutcome,

@@ -109,13 +109,82 @@ pub enum NetworkEvent {
     },
 }
 
+impl std::fmt::Display for NetworkEvent {
+    /// The canonical wire form used by the serving layer's line
+    /// protocol: `delete 5`, `delete-batch 1 2 3` (bare `delete-batch`
+    /// for an empty batch), `join 4 5` (bare `join` for an isolated
+    /// node). `FromStr` is its exact inverse.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkEvent::Delete(v) => write!(f, "delete {}", v.0),
+            NetworkEvent::DeleteBatch(vs) => {
+                f.write_str("delete-batch")?;
+                for v in vs {
+                    write!(f, " {}", v.0)?;
+                }
+                Ok(())
+            }
+            NetworkEvent::Join { neighbors } => {
+                f.write_str("join")?;
+                for v in neighbors {
+                    write!(f, " {}", v.0)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for NetworkEvent {
+    type Err = String;
+
+    /// Parse the wire form produced by `Display`. Errors are complete
+    /// sentences naming the offending token, in the same hand-rolled
+    /// style as [`crate::spec`] — the serving layer surfaces them to
+    /// clients verbatim.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut words = s.split_whitespace();
+        let keyword = words.next().ok_or_else(|| "empty event".to_string())?;
+        let parse_ids = |words: std::str::SplitWhitespace<'_>| -> Result<Vec<NodeId>, String> {
+            words
+                .map(|w| {
+                    w.parse::<u32>()
+                        .map(NodeId)
+                        .map_err(|_| format!("invalid node id '{w}'"))
+                })
+                .collect()
+        };
+        match keyword {
+            "delete" => {
+                let ids = parse_ids(words)?;
+                match ids.as_slice() {
+                    [v] => Ok(NetworkEvent::Delete(*v)),
+                    _ => Err(format!(
+                        "'delete' takes exactly one node id, got {}",
+                        ids.len()
+                    )),
+                }
+            }
+            "delete-batch" => Ok(NetworkEvent::DeleteBatch(parse_ids(words)?)),
+            "join" => Ok(NetworkEvent::Join {
+                neighbors: parse_ids(words)?,
+            }),
+            other => Err(format!(
+                "unknown event '{other}' (expected delete, delete-batch, or join)"
+            )),
+        }
+    }
+}
+
 /// A stream of [`NetworkEvent`]s generated against the evolving network.
 ///
 /// Every [`Adversary`] is an `EventSource` via the blanket adapter below:
 /// its per-round victim picks become `Delete` events, so any existing
 /// attack strategy drives the unified engine unchanged (and on the same
 /// RNG stream).
-pub trait EventSource {
+/// `Send` is a supertrait so boxed sources (and the engines holding
+/// them) can migrate across the serving layer's worker threads.
+pub trait EventSource: Send {
     /// Short stable name used in tables and benchmarks.
     fn name(&self) -> &'static str;
 
@@ -348,6 +417,23 @@ impl EventRecord {
             surrogate: None,
             propagation: PropagationReport::default(),
             round_max_delta: None,
+        }
+    }
+
+    /// This event's contribution to a merge-able
+    /// [`TenantStats`](selfheal_metrics::TenantStats) aggregate — the
+    /// bridge between the `Observer` hook and the metrics layer's
+    /// worker-count-invariant per-tenant accounting.
+    #[must_use]
+    pub fn tenant_sample(&self) -> selfheal_metrics::TenantSample {
+        selfheal_metrics::TenantSample {
+            victims: self.victims,
+            joined: self.joined.is_some(),
+            rt_size: self.rt_size,
+            edges_added: self.edges_added,
+            messages: self.propagation.messages,
+            latency: self.propagation.latency,
+            round_max_delta: self.round_max_delta,
         }
     }
 }
@@ -800,6 +886,38 @@ mod tests {
     fn ba_net(n: usize, seed: u64) -> HealingNetwork {
         let g = barabasi_albert(n, 3, &mut StdRng::seed_from_u64(seed));
         HealingNetwork::new(g, seed)
+    }
+
+    #[test]
+    fn event_wire_form_round_trips() {
+        let cases = [
+            NetworkEvent::Delete(NodeId(5)),
+            NetworkEvent::DeleteBatch(vec![]),
+            NetworkEvent::DeleteBatch(vec![NodeId(1), NodeId(2), NodeId(3)]),
+            NetworkEvent::Join { neighbors: vec![] },
+            NetworkEvent::Join {
+                neighbors: vec![NodeId(4), NodeId(5)],
+            },
+        ];
+        for ev in cases {
+            let wire = ev.to_string();
+            let back: NetworkEvent = wire.parse().unwrap_or_else(|e| {
+                panic!("'{wire}' failed to parse back: {e}");
+            });
+            assert_eq!(back, ev, "round trip through '{wire}'");
+        }
+    }
+
+    #[test]
+    fn event_wire_form_rejects_garbage_with_readable_errors() {
+        let err = |s: &str| s.parse::<NetworkEvent>().unwrap_err();
+        assert!(err("").contains("empty event"));
+        assert!(err("explode 3").contains("unknown event 'explode'"));
+        assert!(err("delete").contains("exactly one node id"));
+        assert!(err("delete 1 2").contains("exactly one node id"));
+        assert!(err("delete x").contains("invalid node id 'x'"));
+        assert!(err("delete-batch 1 -2").contains("invalid node id '-2'"));
+        assert!(err("join 4294967296").contains("invalid node id"));
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Cheap, reusable extraction of queryable engine state.
+//!
+//! The serving layer ([`selfheal-serve`]) answers read-mostly topology
+//! queries (`components`, `degree`, `gprime-edges`, `stats`) without
+//! blocking heals, by republishing a [`StateSnapshot`] of each shard's
+//! [`HealingNetwork`] every epoch into a lock-free double buffer. That
+//! makes capture a hot path: [`StateSnapshot::capture`] therefore reuses
+//! every internal allocation, so steady-state republishing is
+//! allocation-free once the vectors have grown to the network's size
+//! (mirroring the engine's own `DeletionContext` reuse).
+//!
+//! The snapshot is plain owned data — no references into the network —
+//! so a reader thread can hold it while the shard mutates freely.
+//!
+//! [`selfheal-serve`]: ../../selfheal_serve/index.html
+
+use crate::state::HealingNetwork;
+use selfheal_graph::NodeId;
+
+/// A point-in-time summary of one healing network: the live node set,
+/// the broadcast component IDs (aggregated), per-slot `G'` degrees and
+/// degree deltas, and scalar topology counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StateSnapshot {
+    /// Live node ids, in increasing order.
+    pub live: Vec<NodeId>,
+    /// `(component id, member count)` pairs, sorted by component id.
+    /// The component id is the *believed* one — the minimum initial ID
+    /// each node has learned so far (`HealingNetwork::comp_id`), which
+    /// starts as the node's own shuffled ID and converges downward as
+    /// heal-triggered `propagate_min_id` broadcasts flood. The entry
+    /// count therefore tracks broadcast convergence, not graph
+    /// connectivity: it *shrinks toward* one entry per connected
+    /// component as healing rounds accumulate.
+    pub components: Vec<(u64, usize)>,
+    /// Degree in the healed graph `G'`, indexed by slot
+    /// ([`NodeId::index`]); dead slots report 0.
+    pub degrees: Vec<u32>,
+    /// Degree increase `delta(v)` over the original degree, indexed by
+    /// slot; dead slots report 0.
+    pub deltas: Vec<i64>,
+    /// Maximum degree increase over live nodes (Theorem 1's bounded
+    /// quantity).
+    pub max_delta: i64,
+    /// Edge count of the healed graph `G'`.
+    pub gprime_edges: usize,
+    /// Total deletions applied so far.
+    pub deletions: u64,
+    /// Scratch for component aggregation, kept to reuse its allocation.
+    scratch: Vec<u64>,
+}
+
+impl StateSnapshot {
+    /// Refill this snapshot from `net`, reusing all internal
+    /// allocations. O(n + m) with no allocation at steady state.
+    pub fn capture(&mut self, net: &HealingNetwork) {
+        let g = net.healing_graph();
+        g.live_nodes_into(&mut self.live);
+        g.degrees_into(&mut self.degrees);
+        self.deltas.clear();
+        self.deltas.resize(g.node_bound(), 0);
+        for &v in &self.live {
+            self.deltas[v.index()] = net.delta(v);
+        }
+        self.max_delta = net.max_delta_alive();
+        self.gprime_edges = g.edge_count();
+        self.deletions = net.deletion_count();
+
+        // Aggregate broadcast component ids by sort + run-length
+        // encoding: deterministic and allocation-reusing, unlike a
+        // per-capture map.
+        self.scratch.clear();
+        self.scratch
+            .extend(self.live.iter().map(|&v| net.comp_id(v)));
+        self.scratch.sort_unstable();
+        self.components.clear();
+        for &id in &self.scratch {
+            match self.components.last_mut() {
+                Some((last, n)) if *last == id => *n += 1,
+                _ => self.components.push((id, 1)),
+            }
+        }
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `G'` degree of `v`, or `None` for ids outside the slot range
+    /// (dead-but-allocated slots report `Some(0)`, matching
+    /// `Graph::degree`).
+    #[must_use]
+    pub fn degree_of(&self, v: NodeId) -> Option<u32> {
+        self.degrees.get(v.index()).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::MaxNode;
+    use crate::scenario::ScenarioEngine;
+    use crate::sdash::Sdash;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selfheal_graph::generators::barabasi_albert;
+
+    #[test]
+    fn snapshot_matches_direct_network_queries() {
+        let g = barabasi_albert(40, 3, &mut StdRng::seed_from_u64(9));
+        let net = HealingNetwork::new(g, 9);
+        let mut engine = ScenarioEngine::new(net, Sdash, MaxNode);
+        for _ in 0..15 {
+            engine.step();
+        }
+
+        let mut snap = StateSnapshot::default();
+        snap.capture(&engine.net);
+
+        assert_eq!(
+            snap.live,
+            engine.net.graph().live_nodes().collect::<Vec<_>>()
+        );
+        assert_eq!(snap.live_count(), engine.net.graph().live_node_count());
+        assert_eq!(snap.gprime_edges, engine.net.healing_graph().edge_count());
+        assert_eq!(snap.max_delta, engine.net.max_delta_alive());
+        assert_eq!(snap.deletions, 15);
+        for &v in &snap.live {
+            assert_eq!(
+                snap.degree_of(v),
+                Some(engine.net.healing_graph().degree(v) as u32)
+            );
+            assert_eq!(snap.deltas[v.index()], engine.net.delta(v));
+        }
+        let total: usize = snap.components.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, snap.live_count());
+        assert!(snap.components.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn capture_reuses_allocations_at_steady_state() {
+        let g = barabasi_albert(32, 3, &mut StdRng::seed_from_u64(4));
+        let net = HealingNetwork::new(g, 4);
+        let mut engine = ScenarioEngine::new(net, Sdash, MaxNode);
+        let mut snap = StateSnapshot::default();
+        snap.capture(&engine.net);
+        let caps = (
+            snap.live.capacity(),
+            snap.degrees.capacity(),
+            snap.deltas.capacity(),
+            snap.components.capacity(),
+            snap.scratch.capacity(),
+        );
+        for _ in 0..10 {
+            engine.step();
+            snap.capture(&engine.net);
+        }
+        // The network only shrinks under pure deletions, so every
+        // buffer's first-capture capacity suffices from then on.
+        assert_eq!(
+            caps,
+            (
+                snap.live.capacity(),
+                snap.degrees.capacity(),
+                snap.deltas.capacity(),
+                snap.components.capacity(),
+                snap.scratch.capacity(),
+            )
+        );
+    }
+}

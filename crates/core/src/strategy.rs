@@ -32,7 +32,11 @@ impl HealOutcome {
 /// the [`DeletionContext`]; the strategy may add edges **only among the
 /// former neighbors of the deleted node** (the locality contract of the
 /// paper's model — verified by the engine's audit mode).
-pub trait Healer {
+///
+/// `Send` is a supertrait so boxed healers (and the engines holding
+/// them) can migrate across the serving layer's worker threads; every
+/// strategy is plain owned data, so the bound costs nothing.
+pub trait Healer: Send {
     /// Short stable name used in tables and benchmarks.
     fn name(&self) -> &'static str;
 

@@ -13,7 +13,7 @@ use selfheal_core::scenario::{DegreeBatches, ScenarioEngine};
 use selfheal_core::state::HealingNetwork;
 use selfheal_graph::components::is_connected;
 use selfheal_graph::generators::barabasi_albert;
-use selfheal_metrics::{summarize, Table};
+use selfheal_metrics::{summarize, Table, TenantStats};
 
 /// One row of the batch experiment.
 #[derive(Clone, Debug)]
@@ -35,23 +35,24 @@ pub struct BatchRow {
 /// Run one batched kill-sweep; returns (max delta ever, batch count,
 /// stayed connected). Driven by the unified [`ScenarioEngine`]: the
 /// [`DegreeBatches`] source emits `DeleteBatch` events of up to `k`
-/// independent victims until the network drains.
+/// independent victims until the network drains. Accumulation goes
+/// through the shared [`TenantStats`] aggregate rather than ad-hoc
+/// counters, so this trial reports the same quantities the serving
+/// layer's per-tenant `stats` query does.
 pub fn run_batch_trial(n: usize, k: usize, seed: u64) -> (i64, u64, bool) {
     let g = barabasi_albert(n, BA_ATTACHMENT, &mut StdRng::seed_from_u64(seed));
     let net = HealingNetwork::new(g, seed);
     let mut engine = ScenarioEngine::new(net, Dash, DegreeBatches::new(k));
-    let mut max_delta = 0i64;
-    let mut batches = 0u64;
+    let mut stats = TenantStats::default();
     let mut connected = true;
     while let Some(rec) = engine.step() {
-        batches += 1;
-        max_delta = max_delta.max(rec.round_max_delta.unwrap_or(0));
+        stats.observe(rec.tenant_sample());
         if !is_connected(engine.net.graph()) {
             connected = false;
             break;
         }
     }
-    (max_delta, batches, connected)
+    (stats.max_delta, stats.events, connected)
 }
 
 /// Sweep batch sizes at every scale size.

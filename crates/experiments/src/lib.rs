@@ -17,6 +17,7 @@
 //! | E10 | exhaustive prover + schedule explorer | [`verify`] |
 //! | E11 | million-node healing throughput | [`scale`] |
 //! | E12 | full healer registry ranked at equal budgets | [`familyrank`] |
+//! | E13 | healing-as-a-service multi-tenant soak | [`servebench`] |
 //!
 //! Run them all with the `run-experiments` binary:
 //!
@@ -40,6 +41,7 @@ pub mod observe;
 pub mod render;
 pub mod runner;
 pub mod scale;
+pub mod servebench;
 pub mod specrun;
 pub mod sweep;
 pub mod theorem1;

@@ -12,7 +12,7 @@ use selfheal_bench::alloc::CountingAlloc;
 use selfheal_core::spec::HealerSpec;
 use selfheal_experiments::{
     attacks, batchexp, config::HealerKind, config::Scale, familyrank, fig10, fig8, fig9,
-    lowerbound, render, scale, specrun, sweep, theorem1, verify,
+    lowerbound, render, scale, servebench, specrun, sweep, theorem1, verify,
 };
 use selfheal_metrics::csv::write_figure_csv;
 use selfheal_metrics::Figure;
@@ -46,7 +46,8 @@ fn usage() -> ! {
          \x20      run-experiments run --spec FILE.scn [--events N]\n\
          \x20      run-experiments verify [--full] [--threads N] [--seed N]\n\
          \x20      run-experiments scale [--full] [--seed N]\n\
-         \x20      run-experiments family-rank [--full] [--seed N] [--threads N]"
+         \x20      run-experiments family-rank [--full] [--seed N] [--threads N]\n\
+         \x20      run-experiments serve-bench [--full] [--seed N] [--threads N]"
     );
     std::process::exit(2)
 }
@@ -131,6 +132,7 @@ fn parse_args() -> Options {
         "verify",
         "scale",
         "family-rank",
+        "serve-bench",
         "all",
     ];
     if !known.contains(&opts.command.as_str()) {
@@ -247,6 +249,44 @@ fn family_rank_command(opts: &Options) -> ! {
     std::process::exit(0);
 }
 
+/// The `serve-bench` subcommand (E13): the healing-as-a-service soak —
+/// four tenant shards under deterministic churn streams with snapshot
+/// readers hammering the lock-free slots throughout. The summary table
+/// goes to stdout byte-identically for any `--threads` value (`make
+/// serve-check` pins the quick tier against a golden at 1/2/8 workers);
+/// throughput goes to stderr to keep the golden stable. Not part of
+/// `all` — like `scale`, it measures a serving workload, not a paper
+/// figure.
+fn serve_bench_command(opts: &Options) -> ! {
+    let t0 = Instant::now();
+    println!(
+        "# E13: healing-as-a-service soak — {:?}, seed {}\n",
+        opts.scale, opts.seed
+    );
+    let soak = servebench::run(opts.scale, opts.seed, opts.threads);
+    print!("{}", servebench::render(&soak.rows));
+    let secs = t0.elapsed().as_secs_f64();
+    for row in &soak.rows {
+        eprintln!(
+            "shard {}: {:.0} events/s",
+            row.tenant,
+            (row.stats.events + row.stats.skipped) as f64 / secs
+        );
+    }
+    eprintln!(
+        "snapshot reads under churn: {} ({:.0}/s)",
+        soak.snapshot_reads,
+        soak.snapshot_reads as f64 / secs
+    );
+    eprintln!("done in {:.1?}", t0.elapsed());
+    let findings: usize = soak.rows.iter().map(|r| r.findings).sum();
+    if findings == 0 {
+        std::process::exit(0);
+    }
+    eprintln!("FAILED: the soak reported audit findings");
+    std::process::exit(1);
+}
+
 fn main() {
     let opts = parse_args();
     if opts.command == "run" {
@@ -260,6 +300,9 @@ fn main() {
     }
     if opts.command == "family-rank" {
         family_rank_command(&opts);
+    }
+    if opts.command == "serve-bench" {
+        serve_bench_command(&opts);
     }
     let t0 = Instant::now();
     let run = |name: &str| opts.command == name || opts.command == "all";

@@ -493,6 +493,26 @@ impl Graph {
             .map(|(i, _)| NodeId::from_index(i))
     }
 
+    /// Collect all live node ids (increasing order) into `out`, reusing
+    /// its allocation — the snapshot-capture path rebuilds this list
+    /// every epoch and must not allocate at steady state.
+    pub fn live_nodes_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.live_nodes());
+    }
+
+    /// Collect the degree of every slot (dead slots report 0) into
+    /// `out`, indexed by [`NodeId::index`] and sized to
+    /// [`Graph::node_bound`], reusing its allocation.
+    pub fn degrees_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(
+            self.adj
+                .iter()
+                .map(|r| u32::try_from(r.len()).unwrap_or(u32::MAX)),
+        );
+    }
+
     /// The k-th (0-indexed) live node in increasing id order, in O(log n).
     ///
     /// Agrees exactly with `live_nodes().nth(k)`: sampling
@@ -670,6 +690,27 @@ mod tests {
             assert_eq!(g.degree(v), 0);
         }
         g.validate().unwrap();
+    }
+
+    #[test]
+    fn bulk_accessors_match_their_per_node_counterparts() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1)).unwrap();
+        g.add_edge(NodeId(1), NodeId(2)).unwrap();
+        g.add_edge(NodeId(2), NodeId(3)).unwrap();
+        g.remove_node(NodeId(1)).unwrap();
+
+        let mut live = vec![NodeId(99)]; // stale content must be cleared
+        g.live_nodes_into(&mut live);
+        assert_eq!(live, g.live_nodes().collect::<Vec<_>>());
+
+        let mut degs = vec![77u32];
+        g.degrees_into(&mut degs);
+        assert_eq!(degs.len(), g.node_bound());
+        for (i, &d) in degs.iter().enumerate() {
+            assert_eq!(d as usize, g.degree(NodeId::from_index(i)));
+        }
+        assert_eq!(degs[1], 0, "dead slot must report degree 0");
     }
 
     #[test]

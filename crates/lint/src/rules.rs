@@ -37,8 +37,14 @@ impl std::fmt::Display for Diagnostic {
 }
 
 /// Crates whose iteration order is part of the byte-parity contract
-/// (goldens, sweep aggregates, exhaustive censuses).
-const DETERMINISTIC_CRATES: [&str; 3] = ["crates/core/src", "crates/graph/src", "crates/sim/src"];
+/// (goldens, sweep aggregates, exhaustive censuses, per-tenant serving
+/// reports).
+const DETERMINISTIC_CRATES: [&str; 4] = [
+    "crates/core/src",
+    "crates/graph/src",
+    "crates/sim/src",
+    "crates/serve/src",
+];
 
 /// Files allowed to panic: binary entry points own their exit behavior.
 fn panic_allowlisted(path: &str) -> bool {

@@ -16,6 +16,7 @@ pub mod series;
 pub mod stats;
 pub mod stretch;
 pub mod table;
+pub mod tenant;
 
 pub use aggregate::Extreme;
 pub use histogram::Histogram;
@@ -23,3 +24,4 @@ pub use series::{Figure, Series, SeriesPoint};
 pub use stats::{summarize, Summary, Welford};
 pub use stretch::{StretchBaseline, StretchResult};
 pub use table::Table;
+pub use tenant::{TenantSample, TenantStats};

@@ -1,0 +1,175 @@
+//! Per-tenant aggregate metrics, the reusable accumulator behind the
+//! serving layer's `stats` query and the experiments' per-run tables.
+//!
+//! A [`TenantStats`] folds a stream of per-event [`TenantSample`]s into
+//! scalar sums and maxes. Both `observe` and `merge` are commutative
+//! and associative, so the aggregate is **worker-count-invariant**: any
+//! partition of a sample stream across workers, merged in any order,
+//! yields the exact value the sequential fold would — the same contract
+//! `graph::parallel::parallel_fold` demands of its reducers, and the
+//! property that lets `selfheal-serve` promise byte-identical per-tenant
+//! reports across 1/2/8 worker threads.
+//!
+//! The metrics crate sits below `core` in the crate DAG, so the sample
+//! is a plain struct: callers (the serve shard's observer, experiment
+//! loops) convert their `EventRecord`s into samples at the hook site.
+
+/// One event's contribution to a tenant's aggregate, extracted from a
+/// core `EventRecord` by the layer that owns it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantSample {
+    /// Nodes actually deleted by the event (0 for no-ops and joins).
+    pub victims: usize,
+    /// Whether the event created a node.
+    pub joined: bool,
+    /// Total reconstruction-set size across the event's heals.
+    pub rt_size: usize,
+    /// Healing edges added by the event.
+    pub edges_added: usize,
+    /// ID-broadcast messages sent during the event.
+    pub messages: u64,
+    /// ID-broadcast latency of the event.
+    pub latency: u64,
+    /// Maximum degree increase among the event's reconstruction-set
+    /// members (`None` when nothing healed).
+    pub round_max_delta: Option<i64>,
+}
+
+/// Merge-able per-tenant aggregate: sums and maxes over observed
+/// samples. All fields are scalars, so the whole aggregate is `Copy`
+/// and comparisons are exact.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Events observed (including sanitized no-ops).
+    pub events: u64,
+    /// Events skipped before reaching the engine (pre-validated
+    /// no-progress events a serving shard refuses to apply).
+    pub skipped: u64,
+    /// Total nodes deleted.
+    pub deletions: u64,
+    /// Total nodes joined.
+    pub joins: u64,
+    /// Total reconstruction-set membership across all heals.
+    pub rt_total: u64,
+    /// Total healing edges added.
+    pub edges_added: u64,
+    /// Total ID-broadcast messages.
+    pub messages: u64,
+    /// Total ID-broadcast latency.
+    pub latency_total: u64,
+    /// Worst single-event broadcast latency.
+    pub max_latency: u64,
+    /// Worst degree increase ever observed (Theorem 1's quantity).
+    pub max_delta: i64,
+}
+
+impl TenantStats {
+    /// Fold one event's sample into the aggregate.
+    pub fn observe(&mut self, s: TenantSample) {
+        self.events += 1;
+        self.deletions += s.victims as u64;
+        self.joins += u64::from(s.joined);
+        self.rt_total += s.rt_size as u64;
+        self.edges_added += s.edges_added as u64;
+        self.messages += s.messages;
+        self.latency_total += s.latency;
+        self.max_latency = self.max_latency.max(s.latency);
+        if let Some(d) = s.round_max_delta {
+            self.max_delta = self.max_delta.max(d);
+        }
+    }
+
+    /// Count an event refused before the engine saw it.
+    pub fn observe_skipped(&mut self) {
+        self.skipped += 1;
+    }
+
+    /// Fold another aggregate in (commutative, associative).
+    pub fn merge(&mut self, other: TenantStats) {
+        self.events += other.events;
+        self.skipped += other.skipped;
+        self.deletions += other.deletions;
+        self.joins += other.joins;
+        self.rt_total += other.rt_total;
+        self.edges_added += other.edges_added;
+        self.messages += other.messages;
+        self.latency_total += other.latency_total;
+        self.max_latency = self.max_latency.max(other.max_latency);
+        self.max_delta = self.max_delta.max(other.max_delta);
+    }
+
+    /// Mean broadcast latency per event (0 before any event).
+    #[must_use]
+    pub fn amortized_latency(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.latency_total as f64 / self.events as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(i: u64) -> TenantSample {
+        TenantSample {
+            victims: (i % 3) as usize,
+            joined: i.is_multiple_of(4),
+            rt_size: (i % 5) as usize,
+            edges_added: (i % 7) as usize,
+            messages: i * 3,
+            latency: i % 11,
+            round_max_delta: if i.is_multiple_of(2) {
+                Some(i as i64 % 9)
+            } else {
+                None
+            },
+        }
+    }
+
+    #[test]
+    fn observe_accumulates_sums_and_maxes() {
+        let mut t = TenantStats::default();
+        t.observe(TenantSample {
+            victims: 2,
+            joined: false,
+            rt_size: 4,
+            edges_added: 3,
+            messages: 10,
+            latency: 5,
+            round_max_delta: Some(7),
+        });
+        t.observe_skipped();
+        assert_eq!(t.events, 1);
+        assert_eq!(t.skipped, 1);
+        assert_eq!(t.deletions, 2);
+        assert_eq!(t.max_delta, 7);
+        assert_eq!(t.amortized_latency(), 5.0);
+    }
+
+    #[test]
+    fn any_partition_merged_in_any_order_matches_the_sequential_fold() {
+        let mut sequential = TenantStats::default();
+        for i in 0..64 {
+            sequential.observe(sample(i));
+        }
+        // Split the stream at every boundary and merge both ways.
+        for split in 0..64 {
+            let (mut a, mut b) = (TenantStats::default(), TenantStats::default());
+            for i in 0..split {
+                a.observe(sample(i));
+            }
+            for i in split..64 {
+                b.observe(sample(i));
+            }
+            let mut ab = a;
+            ab.merge(b);
+            let mut ba = b;
+            ba.merge(a);
+            assert_eq!(ab, sequential, "split at {split}");
+            assert_eq!(ba, sequential, "merge order must not matter");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Exhaustive interleaving checks for the serving layer's snapshot
+//! protocol (`serve::snapshot`), run via `make loom-check`
+//! (`RUSTFLAGS="--cfg loom" cargo test -p selfheal-serve --test loom`).
+//!
+//! The `SnapSlot` double buffer claims that readers never observe a
+//! torn buffer, never return data older than the published epoch at
+//! the start of the read, and never deadlock the writer's
+//! wait-for-unpin. Plain memory writes are invisible to the vendored
+//! model (only mock-atomic operations are scheduling decisions), so
+//! the buffer under test holds *mock atomics*: every word the fill
+//! closure writes and the read closure loads is a schedule point, and
+//! a protocol bug that let a reader dereference a buffer mid-fill
+//! would surface as a mixed `(a, b)` pair in some interleaving.
+//!
+//! Each published buffer holds its own epoch number in both words, so
+//! one assertion catches both failure modes: `a != b` is a torn fill,
+//! `a != epoch` is a buffer/state-word mismatch (reading the wrong
+//! buffer, or one overwritten while pinned).
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use selfheal_serve::slot_pair;
+
+/// Two words the writer always fills with the same value. The fill is
+/// two separate mock stores, so the model can (and does) preempt the
+/// writer between them — only the pin protocol keeps readers out.
+#[derive(Default)]
+struct Pair {
+    a: AtomicUsize,
+    b: AtomicUsize,
+}
+
+fn fill(p: &Pair, v: usize) {
+    p.a.store(v, Ordering::SeqCst);
+    p.b.store(v, Ordering::SeqCst);
+}
+
+fn read_pair(p: &Pair) -> (usize, usize) {
+    (p.a.load(Ordering::SeqCst), p.b.load(Ordering::SeqCst))
+}
+
+/// One reader races two publishes: every interleaving of pin /
+/// validate / fill / swap, including the one where the second publish
+/// must wait for the reader's pin on the buffer it wants to refill
+/// (the `wait_until` readiness path — a protocol that never released
+/// the pin would be reported by the model as a deadlock).
+#[test]
+fn a_read_racing_two_publishes_is_never_torn_and_never_stale() {
+    let report = loom::model(|| {
+        let (mut w, r) = slot_pair(Pair::default(), Pair::default());
+        let reader = r.clone();
+        let t = loom::thread::spawn(move || {
+            let before = reader.epoch();
+            let (epoch, (a, b)) = reader.read(read_pair);
+            assert_eq!(a, b, "torn fill observed at epoch {epoch}");
+            assert_eq!(a, epoch, "buffer does not match its epoch stamp");
+            assert!(
+                epoch >= before,
+                "read returned epoch {epoch} after observing epoch {before}"
+            );
+            epoch
+        });
+        for i in 1..=2usize {
+            w.publish(|p| fill(p, i));
+        }
+        let epoch = t.join().unwrap();
+        assert!(epoch <= 2, "epoch {epoch} from only two publishes");
+        assert_eq!(w.epoch(), 2);
+    });
+    println!(
+        "loom snapshot protocol (1 reader / 2 publishes): {} interleavings \
+         explored, {} pruned, max depth {}",
+        report.schedules, report.pruned, report.max_depth
+    );
+    assert!(
+        report.schedules > 1,
+        "the read must actually race the publishes"
+    );
+}
+
+/// Full tier: two independent readers race the same two publishes, so
+/// both buffers can be pinned at once and pins can straddle both
+/// swaps. Larger state space — opt in via `make loom-check-full`
+/// (`LOOM_FULL=1`).
+#[test]
+fn two_readers_racing_two_publishes_stay_coherent() {
+    if std::env::var_os("LOOM_FULL").is_none() {
+        eprintln!(
+            "skipped: full-tier loom config (opt in with LOOM_FULL=1 / make loom-check-full)"
+        );
+        return;
+    }
+    let report = loom::model(|| {
+        let (mut w, r) = slot_pair(Pair::default(), Pair::default());
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let reader = r.clone();
+                loom::thread::spawn(move || {
+                    let (epoch, (a, b)) = reader.read(read_pair);
+                    assert_eq!(a, b, "torn fill observed at epoch {epoch}");
+                    assert_eq!(a, epoch, "buffer does not match its epoch stamp");
+                })
+            })
+            .collect();
+        for i in 1..=2usize {
+            w.publish(|p| fill(p, i));
+        }
+        for t in readers {
+            t.join().unwrap();
+        }
+        assert_eq!(w.epoch(), 2);
+    });
+    println!(
+        "loom snapshot protocol (2 readers / 2 publishes): {} interleavings \
+         explored, {} pruned, max depth {}",
+        report.schedules, report.pruned, report.max_depth
+    );
+    assert!(report.schedules > 1);
+}

@@ -13,7 +13,9 @@
 //! - [`core`] — DASH/SDASH healing algorithms, attacks, engine,
 //!   invariants,
 //! - [`metrics`] — statistics, stretch, tables,
-//! - [`experiments`] — the harness regenerating every figure of the paper.
+//! - [`experiments`] — the harness regenerating every figure of the paper,
+//! - [`serve`] — healing-as-a-service: tenant shards behind a line
+//!   protocol with lock-free snapshot queries.
 //!
 //! # Example
 //! ```
@@ -35,6 +37,7 @@ pub use selfheal_core as core;
 pub use selfheal_experiments as experiments;
 pub use selfheal_graph as graph;
 pub use selfheal_metrics as metrics;
+pub use selfheal_serve as serve;
 pub use selfheal_sim as sim;
 
 /// Most-used items in one import.
@@ -74,5 +77,6 @@ pub mod prelude {
         replay, run_sweep, SweepAdversary, SweepAggregate, SweepConfig,
     };
     pub use selfheal_graph::{generators, Graph, NodeId};
+    pub use selfheal_serve::{Cluster, ShardSnapshot, SnapshotReader};
     pub use selfheal_sim::BatchSchedule;
 }

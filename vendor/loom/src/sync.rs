@@ -13,7 +13,7 @@ pub mod atomic {
 
     use std::sync::OnceLock;
 
-    use crate::sched::{cur_ctx, hook, Op};
+    use crate::sched::{cur_ctx, hook, hook_ready, Op};
 
     macro_rules! mock_atomic {
         ($name:ident, $raw:ty, $int:ty) => {
@@ -81,6 +81,41 @@ pub mod atomic {
                 ) -> Result<$int, $int> {
                     hook(Op::Rmw(self.addr()));
                     self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Block until `pred(value)` holds — the modeled analogue
+                /// of a futex wait. Under the model this is **one**
+                /// schedule point whose readiness predicate re-samples the
+                /// value whenever the scheduler makes a decision, so the
+                /// thread is simply not enabled until the predicate holds:
+                /// exploration never enumerates spin iterations (a naive
+                /// `while !pred(load())` loop has unboundedly many
+                /// schedules and blows the DFS), and a predicate no other
+                /// thread can ever satisfy is reported as a deadlock.
+                /// Outside a model it degrades to a spin-yield loop.
+                ///
+                /// The predicate is a plain `fn` on the sampled value, so
+                /// it cannot touch mock objects or the scheduler (the
+                /// [`Readiness::When`](crate::sched) contract).
+                pub fn wait_until(&self, pred: fn($int) -> bool) {
+                    let addr = self.addr();
+                    let target = &self.inner as *const $raw as usize;
+                    let ready: Box<dyn Fn() -> bool + Send> = Box::new(move || {
+                        // SAFETY: the scheduler holds this closure only
+                        // while the waiting thread is parked inside
+                        // `hook_ready` below (granting the thread clears
+                        // its pending readiness), and that parked frame
+                        // keeps the `&self` borrow — hence the pointee —
+                        // alive for the closure's whole lifetime.
+                        let inner = unsafe { &*(target as *const $raw) };
+                        pred(inner.load(Ordering::SeqCst))
+                    });
+                    if !hook_ready(Op::Load(addr), ready) {
+                        // Outside a model: busy-wait for the condition.
+                        while !pred(self.inner.load(Ordering::SeqCst)) {
+                            std::thread::yield_now();
+                        }
+                    }
                 }
             }
         };

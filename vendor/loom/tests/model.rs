@@ -102,6 +102,62 @@ fn scoped_threads_fan_in_through_the_channel() {
 }
 
 #[test]
+fn wait_until_blocks_without_enumerating_spins() {
+    // The futex-style wait: the waiter parks on one schedule point until
+    // two worker increments land. A spin loop here would diverge the DFS;
+    // the readiness predicate keeps the state space tiny and the waiter
+    // must observe the condition in EVERY schedule.
+    let report = loom::model(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                loom::thread::spawn(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        n.wait_until(|v| v >= 2);
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+        for h in workers {
+            h.join().unwrap();
+        }
+    });
+    assert!(
+        report.schedules >= 1 && report.max_depth < 40,
+        "wait_until must not spin-expand the schedule space: {report:?}"
+    );
+}
+
+#[test]
+fn wait_until_that_can_never_be_satisfied_is_a_deadlock() {
+    let r = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let n = AtomicUsize::new(0);
+            // No other thread exists to change the value.
+            n.wait_until(|v| v == 1);
+        });
+    });
+    let err = r.expect_err("unsatisfiable wait must fail the model");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("deadlock"), "unexpected payload: {msg:?}");
+}
+
+#[test]
+fn wait_until_degrades_to_a_spin_outside_the_model() {
+    let n = Arc::new(AtomicUsize::new(0));
+    let h = {
+        let n = n.clone();
+        std::thread::spawn(move || {
+            n.store(3, Ordering::SeqCst);
+        })
+    };
+    n.wait_until(|v| v == 3);
+    assert_eq!(n.load(Ordering::SeqCst), 3);
+    h.join().unwrap();
+}
+
+#[test]
 fn deadlock_is_detected_and_reported() {
     let r = std::panic::catch_unwind(|| {
         loom::model(|| {
