@@ -52,16 +52,30 @@ bench-baseline:
 ## host, transient CPU interference shifts a whole bench run's medians
 ## by far more than the MAD slack (observed +50..200% on rotating,
 ## unrelated benches), while a real regression reproduces on the
-## second sample.
+## second sample. So a retry cannot silently absorb a borderline real
+## regression, both samples' full delta tables are echoed and kept
+## under target/, and the benches that REGRESSED in sample 1 are
+## re-printed with their sample-2 deltas side by side — a reviewer can
+## see from the log whether the pass was convincing or marginal.
 bench-regress:
 	rm -f $(BENCH_EXPORT)
 	CRITERION_EXPORT=$(CURDIR)/$(BENCH_EXPORT) $(CARGO) bench -p selfheal-bench
-	@$(CARGO) run -q --release -p selfheal-bench --bin baseline -- compare $(BENCH_BASELINE) $(BENCH_EXPORT) || { \
-	  echo "bench-regress: re-sampling once to rule out host interference"; \
-	  rm -f $(BENCH_EXPORT); \
+	@$(CARGO) run -q --release -p selfheal-bench --bin baseline -- compare $(BENCH_BASELINE) $(BENCH_EXPORT) > target/bench-compare-1.txt 2>&1; \
+	st=$$?; cat target/bench-compare-1.txt; \
+	if [ $$st -ne 0 ]; then \
+	  echo "bench-regress: re-sampling once to rule out host interference (sample-1 deltas above)"; \
+	  mv -f $(BENCH_EXPORT) $(BENCH_EXPORT).sample1; \
 	  CRITERION_EXPORT=$(CURDIR)/$(BENCH_EXPORT) $(CARGO) bench -p selfheal-bench; \
-	  $(CARGO) run -q --release -p selfheal-bench --bin baseline -- compare $(BENCH_BASELINE) $(BENCH_EXPORT); \
-	}
+	  $(CARGO) run -q --release -p selfheal-bench --bin baseline -- compare $(BENCH_BASELINE) $(BENCH_EXPORT) > target/bench-compare-2.txt 2>&1; \
+	  st=$$?; cat target/bench-compare-2.txt; \
+	  echo "bench-regress: sample-1 REGRESSED benches, as seen by sample 2:"; \
+	  grep '^REGRESSED' target/bench-compare-1.txt | awk '{print $$2}' | while read -r k; do \
+	    echo "  sample 1: $$(grep -F -- " $$k " target/bench-compare-1.txt | head -1)"; \
+	    s2=$$(grep -F -- " $$k " target/bench-compare-2.txt | head -1); \
+	    echo "  sample 2: $${s2:-$$k missing from sample 2}"; \
+	  done; \
+	  exit $$st; \
+	fi
 
 ## Distributed-vs-centralized parity gate: the curated parity suite, the
 ## randomized parity proptests, and the distributed fabric bench (whose

@@ -149,6 +149,17 @@ pub fn run(scale: Scale, base_seed: u64, threads: usize) -> Soak {
                 // Deterministic despite the concurrent readers: the
                 // published snapshot only changes at tick barriers.
                 let (_, live) = reader.read(|snap| snap.state.live.clone());
+                // The population band below steers an *estimate* (est):
+                // skipped joins and duplicate-victim deletes make it
+                // drift from the true live count within a round, so it
+                // is a heuristic, not a proof the set stays non-empty.
+                // Fail readably here rather than as a `% 0` panic in
+                // `pick` if the band is ever mistuned.
+                assert!(
+                    !live.is_empty(),
+                    "serve-bench: tenant {tenant} has no live nodes at round start \
+                     (population band drifted to extinction)"
+                );
                 let mut est = live.len();
                 for _ in 0..batch {
                     let r = splitmix(rng);

@@ -30,9 +30,32 @@
 //! *next* publish targets that buffer and blocks, so data handed out is
 //! never more than one epoch behind the published state.
 //!
-//! `crates/serve/tests/loom.rs` model-checks exactly this file's
-//! protocol (torn reads, staleness bound, writer starvation) under
-//! every interleaving via the `--cfg loom` type swap below.
+//! # Memory ordering
+//!
+//! The publish/pin handshake is a Dekker-style store→load pattern on
+//! two different atomics: the writer *stores* the state word and, on
+//! its next publish, *loads* the other buffer's pin count; a reader
+//! *stores* (increments) a pin count and then *loads* the state word
+//! back. Acquire/release alone does not forbid the outcome where both
+//! loads miss the other side's store — store→load reordering across
+//! distinct locations is allowed even on x86-TSO — which would let the
+//! writer see a pin count of zero while the reader's re-validation
+//! still sees the stale state word: the writer refills the buffer the
+//! reader is dereferencing. The four accesses on that path (the
+//! publish store, the writer's pin-count wait load, the reader's pin
+//! `fetch_add`, and the reader's re-validation load) are therefore
+//! `SeqCst`: the single total order over them forces either the
+//! reader's pin before the writer's wait load (the writer blocks) or
+//! the publish store before the re-validation (the reader unpins and
+//! retries). Everything else needs only acquire/release.
+//!
+//! `crates/serve/tests/loom.rs` model-checks this file's protocol
+//! (torn reads, staleness bound, writer starvation) across every
+//! *sequentially consistent* interleaving via the `--cfg loom` type
+//! swap below. The vendored model does not simulate weak-memory
+//! reordering, so it cannot vouch for the ordering choice above — the
+//! SeqCst handshake is load-bearing precisely because the model only
+//! covers the SC subset.
 
 use std::cell::UnsafeCell;
 use std::sync::Arc;
@@ -45,12 +68,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Block until `a` reads zero. Under the model this is one schedule
 /// point with a readiness predicate (no spin-loop state-space blowup);
 /// outside it, a yielding spin — publishes are long compared to reads,
-/// so the wait is almost always already satisfied.
+/// so the wait is almost always already satisfied. The load is SeqCst:
+/// it is the writer-side load of the Dekker handshake (see the module
+/// docs) and must be totally ordered against the readers' pins.
 fn wait_zero(a: &AtomicUsize) {
     #[cfg(loom)]
     a.wait_until(|v| v == 0);
     #[cfg(not(loom))]
-    while a.load(Ordering::Acquire) != 0 {
+    while a.load(Ordering::SeqCst) != 0 {
         std::thread::yield_now();
     }
 }
@@ -67,8 +92,10 @@ pub struct SnapSlot<T> {
 // SAFETY: the epoch/pin protocol documented on the module makes every
 // `&mut` access to a buffer exclusive (writer fills only the inactive
 // buffer after its pin count drains, readers only dereference a buffer
-// they pinned *and* re-validated as active) — model-checked under every
-// interleaving by crates/serve/tests/loom.rs.
+// they pinned *and* re-validated as active). The SC interleavings of
+// the protocol are model-checked by crates/serve/tests/loom.rs;
+// weak-memory store→load reorderings are excluded by the SeqCst
+// publish/pin handshake (module docs, "Memory ordering").
 unsafe impl<T: Send + Sync> Sync for SnapSlot<T> {}
 // SAFETY: the slot owns its buffers; moving it moves plain owned data.
 unsafe impl<T: Send> Send for SnapSlot<T> {}
@@ -120,10 +147,15 @@ impl<T> SnapshotWriter<T> {
         // re-validation against the *current* state word, whose active
         // index is `inactive ^ 1` and which only we can change. Pins
         // taken under an older state word fail validation and release
-        // without touching the buffer.
+        // without touching the buffer — and the SeqCst handshake
+        // (module docs) guarantees any pin our wait_zero missed has its
+        // re-validation ordered after our previous publish store, so it
+        // does fail.
         fill(unsafe { &mut *slot.bufs[inactive].get() });
         let next = ((state & !1usize).wrapping_add(2)) | inactive;
-        slot.state.store(next, Ordering::Release);
+        // SeqCst, not Release: this store is the writer's side of the
+        // Dekker handshake with the readers' pin/re-validate sequence.
+        slot.state.store(next, Ordering::SeqCst);
     }
 
     /// The published epoch (see [`SnapSlot::epoch`]).
@@ -159,13 +191,17 @@ impl<T> SnapshotReader<T> {
             // dispatch-ok: reader pin count, not an index dispenser; the
             // increment publishes nothing by itself — it only holds the
             // writer out of this buffer until the matching fetch_sub.
-            // Model-checked by crates/serve/tests/loom.rs.
-            slot.readers[idx].fetch_add(1, Ordering::AcqRel);
-            if slot.state.load(Ordering::Acquire) == state {
+            // SeqCst: the pin and the re-validation below are the reader
+            // side of the Dekker handshake (module docs) and must be
+            // totally ordered against the writer's store/wait pair.
+            // SC interleavings model-checked by crates/serve/tests/loom.rs.
+            slot.readers[idx].fetch_add(1, Ordering::SeqCst);
+            if slot.state.load(Ordering::SeqCst) == state {
                 // SAFETY: the pin was taken *and* the state word
-                // re-validated, so `bufs[idx]` is the published buffer
-                // and the writer will not touch it until the pin below
-                // is released (its publish waits for this count).
+                // re-validated (both SeqCst — see the module's memory-
+                // ordering section), so `bufs[idx]` is the published
+                // buffer and the writer will not touch it until the pin
+                // below is released (its publish waits for this count).
                 let out = f(unsafe { &*slot.bufs[idx].get() });
                 slot.readers[idx].fetch_sub(1, Ordering::Release);
                 return (state >> 1, out);

@@ -16,6 +16,12 @@
 //! one assertion catches both failure modes: `a != b` is a torn fill,
 //! `a != epoch` is a buffer/state-word mismatch (reading the wrong
 //! buffer, or one overwritten while pinned).
+//!
+//! Scope: the vendored model explores every *sequentially consistent*
+//! interleaving; it does not simulate weak-memory store→load
+//! reordering. The protocol's defence against that (the SeqCst
+//! publish/pin handshake) is argued in `serve::snapshot`'s
+//! memory-ordering docs, not provable here.
 #![cfg(loom)]
 
 use loom::sync::atomic::{AtomicUsize, Ordering};
